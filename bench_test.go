@@ -1,0 +1,416 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus the ablations DESIGN.md calls out. Each Table benchmark runs the
+// Section 4.1 workload under one cell of the Section 4.3 table and reports
+// the virtual-time metrics that correspond to the paper's wall-clock
+// seconds (see EXPERIMENTS.md for the recorded comparison):
+//
+//	virtual_ns/run   application-measured elapsed time of the timed loop
+//	overhead_%       that run's overhead over the matching Base cell
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package rvdyn_test
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/core"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/parse"
+	"rvdyn/internal/patch"
+	"rvdyn/internal/proc"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/symtab"
+	"rvdyn/internal/workload"
+)
+
+// Benchmark workload scale: large enough that per-block instrumentation
+// dominates, small enough for iteration. The paper uses n=100; overhead
+// percentages are scale-independent (they depend on work per block, not on
+// block count).
+const (
+	benchN    = 32
+	benchReps = 1
+)
+
+type tableCell struct {
+	points string // "", "entry", "blocks"
+	mode   codegen.Mode
+	model  func() *emu.CostModel
+}
+
+// buildCell assembles and (if requested) instruments the workload.
+func buildCell(b *testing.B, cell tableCell) *elfrv.File {
+	b.Helper()
+	file, err := workload.BuildMatmul(benchN, benchReps, asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if cell.points == "" {
+		return file
+	}
+	bin, err := core.FromFile(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, err := bin.FindFunction("multiply")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := bin.NewMutator(cell.mode)
+	counter := m.NewVar("bench_counter", 8)
+	var pts []snippet.Point
+	if cell.points == "entry" {
+		pts = []snippet.Point{snippet.FuncEntry(fn)}
+	} else {
+		pts = snippet.BlockEntries(fn)
+	}
+	for _, pt := range pts {
+		if err := m.InsertSnippet(pt, snippet.Increment(counter)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	out, err := m.Rewrite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// runCell executes the built binary once and returns the app-measured
+// elapsed virtual nanoseconds.
+func runCell(b *testing.B, file *elfrv.File, model *emu.CostModel) uint64 {
+	b.Helper()
+	cpu, err := emu.New(file, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if r := cpu.Run(0); r != emu.StopExit {
+		b.Fatalf("stopped: %v (%v)", r, cpu.LastTrap())
+	}
+	sym, ok := file.Symbol("elapsed_ns")
+	if !ok {
+		b.Fatal("no elapsed_ns symbol")
+	}
+	ns, err := cpu.Mem.Read64(sym.Value)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ns
+}
+
+// benchTable is the harness for one cell of the Section 4.3 table.
+func benchTable(b *testing.B, cell tableCell) {
+	file := buildCell(b, cell)
+	baseFile := file
+	if cell.points != "" {
+		baseFile = buildCell(b, tableCell{mode: cell.mode, model: cell.model})
+	}
+	var ns, baseNS uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ns = runCell(b, file, cell.model())
+	}
+	b.StopTimer()
+	baseNS = runCell(b, baseFile, cell.model())
+	b.ReportMetric(float64(ns), "virtual_ns/run")
+	if cell.points != "" {
+		b.ReportMetric(100*(float64(ns)/float64(baseNS)-1), "overhead_%")
+	}
+}
+
+// The six cells of the Section 4.3 table. The x86 column pairs the
+// spill-always codegen mode with the x86-comparator cost model; the RISC-V
+// column pairs the dead-register mode with the P550 model (DESIGN.md).
+
+func BenchmarkTableBaseX86(b *testing.B) {
+	benchTable(b, tableCell{mode: codegen.ModeSpillAlways, model: emu.X86Comparator})
+}
+
+func BenchmarkTableBaseRISCV(b *testing.B) {
+	benchTable(b, tableCell{mode: codegen.ModeDeadRegister, model: emu.P550})
+}
+
+func BenchmarkTableFuncCountX86(b *testing.B) {
+	benchTable(b, tableCell{points: "entry", mode: codegen.ModeSpillAlways, model: emu.X86Comparator})
+}
+
+func BenchmarkTableFuncCountRISCV(b *testing.B) {
+	benchTable(b, tableCell{points: "entry", mode: codegen.ModeDeadRegister, model: emu.P550})
+}
+
+func BenchmarkTableBBCountX86(b *testing.B) {
+	benchTable(b, tableCell{points: "blocks", mode: codegen.ModeSpillAlways, model: emu.X86Comparator})
+}
+
+func BenchmarkTableBBCountRISCV(b *testing.B) {
+	benchTable(b, tableCell{points: "blocks", mode: codegen.ModeDeadRegister, model: emu.P550})
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: the three instrumentation variants, each counting multiply
+// entries; the benchmark measures end-to-end tool time (analysis +
+// instrumentation + execution).
+
+func fig1Workload(b *testing.B) *elfrv.File {
+	b.Helper()
+	file, err := workload.BuildMatmul(12, 2, asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return file
+}
+
+func BenchmarkFig1StaticRewrite(b *testing.B) {
+	file := fig1Workload(b)
+	for i := 0; i < b.N; i++ {
+		bin, err := core.FromFile(file)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fn, _ := bin.FindFunction("multiply")
+		m := bin.NewMutator(codegen.ModeDeadRegister)
+		v := m.NewVar("c", 8)
+		if err := m.AtFuncEntry(fn, snippet.Increment(v)); err != nil {
+			b.Fatal(err)
+		}
+		out, err := m.Rewrite()
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpu, err := emu.New(out, emu.P550())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := cpu.Run(0); r != emu.StopExit {
+			b.Fatal(r)
+		}
+	}
+}
+
+func BenchmarkFig1DynamicSpawn(b *testing.B) {
+	file := fig1Workload(b)
+	for i := 0; i < b.N; i++ {
+		bin, err := core.FromFile(file)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fn, _ := bin.FindFunction("multiply")
+		p, err := bin.Launch(emu.P550())
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := p.NewVar("c", 8)
+		if _, err := p.InstrumentFunction(fn, []snippet.Point{snippet.FuncEntry(fn)},
+			snippet.Increment(v), codegen.ModeDeadRegister); err != nil {
+			b.Fatal(err)
+		}
+		if ev, err := p.Continue(); err != nil || ev.Kind != proc.EventExit {
+			b.Fatalf("ev=%+v err=%v", ev, err)
+		}
+	}
+}
+
+func BenchmarkFig1DynamicAttach(b *testing.B) {
+	file := fig1Workload(b)
+	for i := 0; i < b.N; i++ {
+		bin, err := core.FromFile(file)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fn, _ := bin.FindFunction("multiply")
+		cpu, err := emu.New(bin.File, emu.P550())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpu.Run(200)
+		p := bin.Attach(cpu)
+		v := p.NewVar("c", 8)
+		if _, err := p.InstrumentFunction(fn, []snippet.Point{snippet.FuncEntry(fn)},
+			snippet.Increment(v), codegen.ModeDeadRegister); err != nil {
+			b.Fatal(err)
+		}
+		if ev, err := p.Continue(); err != nil || ev.Kind != proc.EventExit {
+			b.Fatalf("ev=%+v err=%v", ev, err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 1 (DESIGN.md): dead-register allocation vs spill-always,
+// isolated to snippet code size and runtime.
+
+func benchAblationRegAlloc(b *testing.B, mode codegen.Mode) {
+	file, err := workload.BuildMatmul(16, 1, asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := core.FromFile(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, _ := bin.FindFunction("multiply")
+	m := bin.NewMutator(mode)
+	v := m.NewVar("c", 8)
+	if err := m.AtBlockEntries(fn, snippet.Increment(v)); err != nil {
+		b.Fatal(err)
+	}
+	out, err := m.Rewrite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		cpu, err := emu.New(out, emu.P550())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := cpu.Run(0); r != emu.StopExit {
+			b.Fatal(r)
+		}
+		cycles = cpu.Cycles
+	}
+	b.ReportMetric(float64(cycles), "model_cycles/run")
+}
+
+func BenchmarkAblationRegisterAllocationDead(b *testing.B) {
+	benchAblationRegAlloc(b, codegen.ModeDeadRegister)
+}
+
+func BenchmarkAblationRegisterAllocationSpill(b *testing.B) {
+	benchAblationRegAlloc(b, codegen.ModeSpillAlways)
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2: compressed-aware entry patching vs always-4-byte patching —
+// reported as the ladder rung distribution over a population of synthetic
+// patch sites at varying distances and room.
+
+func BenchmarkAblationCompressedPatch(b *testing.B) {
+	type site struct {
+		from, to, room uint64
+	}
+	var sites []site
+	for d := uint64(64); d <= 1<<22; d *= 4 {
+		for _, room := range []uint64{2, 4, 8} {
+			sites = append(sites, site{0x400000, 0x400000 + d, room})
+			sites = append(sites, site{0x400000 + d, 0x400000, room})
+		}
+	}
+	count := map[patch.PatchKind]int{}
+	for i := 0; i < b.N; i++ {
+		count = map[patch.PatchKind]int{}
+		for _, s := range sites {
+			kind, _, err := patch.JumpPatch(s.from, s.to, s.room, riscv.RV64GC, riscv.RegT0, true)
+			if err != nil {
+				continue
+			}
+			count[kind]++
+		}
+	}
+	b.ReportMetric(float64(count[patch.PatchCJ]), "c.j_patches")
+	b.ReportMetric(float64(count[patch.PatchJAL]), "jal_patches")
+	b.ReportMetric(float64(count[patch.PatchAuipcJalr]), "auipc_patches")
+	b.ReportMetric(float64(count[patch.PatchTrap]), "trap_patches")
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 3: parallel vs serial CFG parsing ("fast parallel algorithm",
+// Section 2.1), on a 200-function random program so the per-round frontier
+// has real fan-out.
+
+func benchParse(b *testing.B, workers int) {
+	file, err := asm.Assemble(workload.RandomProgram(7, 200), asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := symtab.FromFile(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parse.Parse(st, parse.Options{Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationParallelParseSerial(b *testing.B) { benchParse(b, 1) }
+func BenchmarkAblationParallelParse8(b *testing.B)      { benchParse(b, 8) }
+
+// ---------------------------------------------------------------------------
+// Substrate microbenchmarks: decoder and emulator throughput.
+
+func BenchmarkDecode32(b *testing.B) {
+	w := riscv.MustEncode(riscv.Inst{Mn: riscv.MnADD, Rd: riscv.RegA0,
+		Rs1: riscv.RegA1, Rs2: riscv.RegA2, Rs3: riscv.RegNone})
+	buf := []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := riscv.Decode(buf, 0x1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeCompressed(b *testing.B) {
+	buf := []byte{0x01, 0x00} // c.nop
+	for i := 0; i < b.N; i++ {
+		if _, err := riscv.Decode(buf, 0x1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	file, err := workload.BuildMatmul(24, 1, asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu, err := emu.New(file, emu.P550())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r := cpu.Run(0); r != emu.StopExit {
+			b.Fatal(r)
+		}
+		insts = cpu.Instret
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "emulated_MIPS")
+}
+
+func BenchmarkSnippetGeneration(b *testing.B) {
+	v := &snippet.Var{Name: "v", Width: 8, Addr: 0x200000}
+	sn := snippet.Increment(v)
+	for i := 0; i < b.N; i++ {
+		if _, err := codegen.Generate(sn, codegen.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiveness(b *testing.B) {
+	file, err := workload.BuildMatmul(8, 1, asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bin, err := core.FromFile(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, _ := bin.FindFunction("multiply")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bin.Liveness(fn)
+	}
+}

@@ -1,0 +1,81 @@
+// Command rvas assembles RV64GC assembly source into an ELF executable —
+// the toolchain substrate this reproduction uses in place of a RISC-V gcc
+// (see DESIGN.md).
+//
+// Usage:
+//
+//	rvas [-o out.elf] [-arch rv64gc] [-no-compress] input.s
+//	rvas -workload matmul [-n 100] [-reps 10] -o matmul.elf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rvas: ")
+	out := flag.String("o", "a.elf", "output path")
+	arch := flag.String("arch", "rv64gc", "target architecture string")
+	noCompress := flag.Bool("no-compress", false, "disable compressed-instruction selection")
+	noAttrs := flag.Bool("no-attributes", false, "omit the .riscv.attributes section")
+	wl := flag.String("workload", "", "build a built-in workload instead of a file: matmul, jumptable, tailcall, farcall, tiny, fib, fp")
+	n := flag.Int("n", workload.MatmulN, "matmul dimension")
+	reps := flag.Int("reps", workload.MatmulReps, "matmul repetitions")
+	flag.Parse()
+
+	set, err := riscv.ParseArchString(*arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := asm.Options{Arch: set, NoCompress: *noCompress, NoAttributes: *noAttrs}
+
+	var src string
+	switch *wl {
+	case "":
+		if flag.NArg() != 1 {
+			log.Fatal("need exactly one input file (or -workload)")
+		}
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(data)
+	case "matmul":
+		src = workload.MatmulSource(*n, *reps)
+	case "jumptable":
+		src = workload.JumpTableSource
+	case "tailcall":
+		src = workload.TailCallSource
+	case "farcall":
+		src = workload.FarCallSource
+	case "tiny":
+		src = workload.TinyFuncSource
+	case "fib":
+		src = workload.FibSource
+	case "fp":
+		src = workload.FramePointerSource
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+
+	f, err := asm.Assemble(src, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := f.Write()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, raw, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: entry %#x, %d bytes, %d symbols\n", *out, f.Entry, len(raw), len(f.Symbols))
+}

@@ -1,0 +1,402 @@
+// Command rvdyn is the mutator CLI over the toolkit suite — the analog of
+// the tools one builds with Dyninst. It analyzes RISC-V binaries and
+// instruments them statically or dynamically.
+//
+// Subcommands:
+//
+//	rvdyn symbols prog.elf                   symbol table and extension info
+//	rvdyn disasm [-func f] prog.elf          disassembly
+//	rvdyn cfg [-func f] prog.elf             control-flow graph with the
+//	                                         jal/jalr classifier verdicts
+//	rvdyn liveness -func f prog.elf          per-block dead registers
+//	rvdyn slice -func f -addr A -reg R [-forward] prog.elf
+//	                                         backward/forward slice
+//	rvdyn rewrite -func f [-points entry|exits|blocks] [-mode dead|spill]
+//	      [-o out.elf] prog.elf              static instrumentation (counter)
+//	rvdyn run [-mode static|spawn|attach] -func f prog.elf
+//	                                         instrument + execute, print count
+//	rvdyn components                         the Figure 2 component graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/core"
+	"rvdyn/internal/dataflow"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/instruction"
+	"rvdyn/internal/parse"
+	"rvdyn/internal/proc"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/snippet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rvdyn: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "symbols":
+		cmdSymbols(args)
+	case "disasm":
+		cmdDisasm(args)
+	case "cfg":
+		cmdCFG(args)
+	case "liveness":
+		cmdLiveness(args)
+	case "slice":
+		cmdSlice(args)
+	case "rewrite":
+		cmdRewrite(args)
+	case "run":
+		cmdRun(args)
+	case "components":
+		cmdComponents()
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rvdyn {symbols|disasm|cfg|liveness|slice|rewrite|run|components} [flags] prog.elf")
+	os.Exit(2)
+}
+
+func openArg(fs *flag.FlagSet) *core.Binary {
+	if fs.NArg() != 1 {
+		log.Fatal("need exactly one ELF file")
+	}
+	b, err := core.OpenPath(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return b
+}
+
+func cmdSymbols(args []string) {
+	fs := flag.NewFlagSet("symbols", flag.ExitOnError)
+	fs.Parse(args)
+	b := openArg(fs)
+	st := b.Symtab
+	fmt.Printf("entry:      %#x\n", st.Entry)
+	fmt.Printf("extensions: %v (from %v", st.Extensions, st.ExtSource)
+	if st.Arch != "" {
+		fmt.Printf(", arch %q", st.Arch)
+	}
+	fmt.Println(")")
+	fmt.Println("\nregions:")
+	for _, r := range st.Regions {
+		perm := "r"
+		if r.Write {
+			perm += "w"
+		}
+		if r.Exec {
+			perm += "x"
+		}
+		fmt.Printf("  %-18s %#10x  %8d bytes  %s\n", r.Name, r.Addr, r.Size, perm)
+	}
+	fmt.Println("\nfunctions:")
+	for _, f := range st.Functions {
+		bind := "local "
+		if f.Global {
+			bind = "global"
+		}
+		fmt.Printf("  %#10x  %6d bytes  %s  %s\n", f.Addr, f.Size, bind, f.Name)
+	}
+}
+
+func cmdDisasm(args []string) {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	fname := fs.String("func", "", "restrict to one function")
+	access := fs.Bool("access", false, "annotate operand read/write access")
+	fs.Parse(args)
+	b := openArg(fs)
+	for _, fn := range b.Functions() {
+		if *fname != "" && fn.Name != *fname {
+			continue
+		}
+		fmt.Printf("\n%s: (%d blocks)\n", name(fn), len(fn.Blocks))
+		for _, blk := range fn.Blocks {
+			for _, in := range blk.Insts {
+				c := " "
+				if in.Compressed {
+					c = "c"
+				}
+				fmt.Printf("  %#10x %s  %-32v", in.Addr, c, in)
+				if *access {
+					// The InstructionAPI operand view: per-operand
+					// read/write flags (the metadata the paper's authors
+					// upstreamed into Capstone v6).
+					obj := instruction.Instruction{Inst: in}
+					for _, op := range obj.Operands() {
+						tag := ""
+						if op.Read {
+							tag += "r"
+						}
+						if op.Written {
+							tag += "w"
+						}
+						fmt.Printf("  %s:%s", op, tag)
+					}
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+func name(fn *parse.Function) string {
+	if fn.Name != "" {
+		return fn.Name
+	}
+	return fmt.Sprintf("func_%x", fn.Entry)
+}
+
+func cmdCFG(args []string) {
+	fs := flag.NewFlagSet("cfg", flag.ExitOnError)
+	fname := fs.String("func", "", "restrict to one function")
+	fs.Parse(args)
+	b := openArg(fs)
+	for _, fn := range b.Functions() {
+		if *fname != "" && fn.Name != *fname {
+			continue
+		}
+		spec := ""
+		if fn.Speculative {
+			spec = " (speculative, from gap parsing)"
+		}
+		fmt.Printf("\nfunction %s at %#x: %d blocks, %d loops, returns=%v%s\n",
+			name(fn), fn.Entry, len(fn.Blocks), len(fn.Loops), fn.Returns, spec)
+		for _, blk := range fn.Blocks {
+			fmt.Printf("  block [%#x,%#x)", blk.Start, blk.End)
+			if blk.Purpose != parse.PurposeNone {
+				fmt.Printf("  %v", blk.Purpose)
+			}
+			fmt.Println()
+			for _, e := range blk.Out {
+				tgt := "?"
+				if e.To != nil {
+					tgt = fmt.Sprintf("%#x", e.To.Start)
+				} else if e.Target != 0 {
+					tgt = fmt.Sprintf("%#x", e.Target)
+				}
+				fmt.Printf("    -> %s (%v)\n", tgt, e.Kind)
+			}
+			if blk.Purpose == parse.PurposeJumpTable {
+				fmt.Printf("    table at %#x: %d entries, stride %d\n",
+					blk.TableBase, blk.TableCount, blk.TableStride)
+			}
+		}
+		for _, l := range fn.Loops {
+			fmt.Printf("  loop head %#x, %d blocks, %d back edges\n",
+				l.Head.Start, len(l.Blocks), len(l.BackEdges))
+		}
+	}
+	s := b.CFG.Stats
+	fmt.Printf("\ntotals: %d functions (%d from gaps), %d blocks, %d instructions\n",
+		s.Functions, s.GapFuncs, s.Blocks, s.Instructions)
+	fmt.Printf("classifier: %d calls, %d returns, %d jumps, %d tail calls, %d jump tables, %d unresolved\n",
+		s.Calls, s.Returns, s.Jumps, s.TailCalls, s.JumpTables, s.Unresolved)
+}
+
+func cmdLiveness(args []string) {
+	fs := flag.NewFlagSet("liveness", flag.ExitOnError)
+	fname := fs.String("func", "", "function to analyze (required)")
+	fs.Parse(args)
+	b := openArg(fs)
+	fn, err := b.FindFunction(*fname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lv := dataflow.Liveness(fn)
+	fmt.Printf("dead registers by block of %s (instrumentation scratch candidates):\n", *fname)
+	for _, blk := range fn.Blocks {
+		dead := lv.DeadScratchX(blk.Start)
+		fmt.Printf("  %#10x: %v\n", blk.Start, dead)
+	}
+}
+
+func cmdSlice(args []string) {
+	fs := flag.NewFlagSet("slice", flag.ExitOnError)
+	fname := fs.String("func", "", "function to analyze (required)")
+	addrStr := fs.String("addr", "", "criterion instruction address (hex, required)")
+	regName := fs.String("reg", "", "criterion register (required for backward)")
+	forward := fs.Bool("forward", false, "forward slice instead of backward")
+	fs.Parse(args)
+	b := openArg(fs)
+	fn, err := b.FindFunction(*fname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(*addrStr, "0x"), 16, 64)
+	if err != nil {
+		log.Fatalf("bad -addr %q: %v", *addrStr, err)
+	}
+	if *forward {
+		nodes := dataflow.ForwardSlice(fn, addr)
+		fmt.Printf("forward slice from %#x (%d instructions affected):\n", addr, len(nodes))
+		for _, n := range nodes {
+			fmt.Printf("  %#10x  %v\n", n.Inst().Addr, n.Inst())
+		}
+		return
+	}
+	reg, ok := riscv.LookupReg(*regName)
+	if !ok {
+		log.Fatalf("bad register %q", *regName)
+	}
+	nodes := dataflow.BackwardSlice(fn, addr, reg)
+	fmt.Printf("backward slice of %s at %#x (%d producing instructions):\n", reg, addr, len(nodes))
+	for _, n := range nodes {
+		fmt.Printf("  %#10x  %v\n", n.Inst().Addr, n.Inst())
+	}
+}
+
+func cmdRewrite(args []string) {
+	fs := flag.NewFlagSet("rewrite", flag.ExitOnError)
+	fname := fs.String("func", "", "function to instrument (required)")
+	points := fs.String("points", "entry", "points: entry, exits, or blocks")
+	mode := fs.String("mode", "dead", "register allocation: dead or spill")
+	out := fs.String("o", "instrumented.elf", "output path")
+	fs.Parse(args)
+	b := openArg(fs)
+	fn, err := b.FindFunction(*fname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := b.NewMutator(parseMode(*mode))
+	counter := m.NewVar("rvdyn_counter", 8)
+	switch *points {
+	case "entry":
+		err = m.AtFuncEntry(fn, snippet.Increment(counter))
+	case "exits":
+		err = m.AtFuncExits(fn, snippet.Increment(counter))
+	case "blocks":
+		err = m.AtBlockEntries(fn, snippet.Increment(counter))
+	default:
+		log.Fatalf("unknown points %q", *points)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	outFile, err := m.Rewrite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := outFile.Write()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, raw, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range m.Patches {
+		fmt.Printf("patched %s entry %#x -> %#x via %v\n", p.Func, p.From, p.To, p.Kind)
+	}
+	fmt.Printf("wrote %s (counter variable %q at %#x)\n", *out, counter.Name, counter.Addr)
+}
+
+func parseMode(s string) codegen.Mode {
+	switch s {
+	case "dead":
+		return codegen.ModeDeadRegister
+	case "spill":
+		return codegen.ModeSpillAlways
+	}
+	log.Fatalf("unknown mode %q", s)
+	return 0
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	fname := fs.String("func", "", "function whose entries to count (required)")
+	mode := fs.String("mode", "static", "instrumentation variant: static, spawn, or attach (Figure 1)")
+	fs.Parse(args)
+	b := openArg(fs)
+	fn, err := b.FindFunction(*fname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *mode {
+	case "static":
+		m := b.NewMutator(codegen.ModeDeadRegister)
+		counter := m.NewVar("count", 8)
+		if err := m.AtFuncEntry(fn, snippet.Increment(counter)); err != nil {
+			log.Fatal(err)
+		}
+		outFile, err := m.Rewrite()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpu, err := emu.New(outFile, emu.P550())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cpu.Stdout = os.Stdout
+		if r := cpu.Run(0); r != emu.StopExit {
+			log.Fatalf("stopped: %v (%v)", r, cpu.LastTrap())
+		}
+		v, _ := cpu.Mem.Read64(counter.Addr)
+		fmt.Printf("static rewrite: %s entered %d times; exit code %d; %.6f virtual s\n",
+			*fname, v, cpu.ExitCode, float64(cpu.VirtualNanos())/1e9)
+	case "spawn", "attach":
+		var p *core.Process
+		if *mode == "spawn" {
+			p, err = b.Launch(emu.P550())
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			cpu, err := emu.New(b.File, emu.P550())
+			if err != nil {
+				log.Fatal(err)
+			}
+			cpu.Run(500)
+			p = b.Attach(cpu)
+		}
+		p.CPU().Stdout = os.Stdout
+		counter := p.NewVar("count", 8)
+		kind, err := p.InstrumentFunction(fn, []snippet.Point{snippet.FuncEntry(fn)},
+			snippet.Increment(counter), codegen.ModeDeadRegister)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := p.Continue()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ev.Kind != proc.EventExit {
+			log.Fatalf("stopped: %+v", ev)
+		}
+		v, _ := p.ReadVar(counter)
+		fmt.Printf("dynamic (%s, entry patch %v): %s entered %d times; exit code %d\n",
+			*mode, kind, *fname, v, ev.ExitCode)
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func cmdComponents() {
+	fmt.Println("Component graph (paper Figure 2); arrows show information flow (uses):")
+	comps := core.Components()
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Name < comps[j].Name })
+	for _, c := range comps {
+		tag := ""
+		if c.Substrate {
+			tag = "  [substrate]"
+		}
+		fmt.Printf("  %-12s %s%s\n", c.Name, c.Role, tag)
+		for _, u := range c.Uses {
+			fmt.Printf("               -> %s\n", u)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package rvdyn is a from-scratch Go reproduction of "Dyninst on the
+// RISC-V: Binary Instrumentation in Support of Performance, Debugging, and
+// Other Tools" (He, Chauhan, Kupsch, Wu, Miller; SC Workshops '25).
+//
+// The library implements the full Dyninst-style toolkit stack for the
+// RV64GC profile — SymtabAPI, InstructionAPI, ParseAPI, DataflowAPI,
+// snippets/points, CodeGenAPI, PatchAPI, ProcControlAPI, and
+// StackwalkerAPI analogs — together with every substrate the paper's
+// experiments need: an RV64GC assembler, an ELF64/RISC-V reader/writer
+// with .riscv.attributes support, a deterministic RV64GC emulator with
+// cost models standing in for the paper's SiFive P550 and x86 hardware,
+// and the benchmark workloads of Section 4.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// paper-to-code substitution table, and EXPERIMENTS.md for the
+// paper-vs-measured record of every table and figure. The benchmarks in
+// bench_test.go regenerate each experiment; cmd/benchtable prints the
+// Section 4.3 results table directly.
+package rvdyn

@@ -1,0 +1,88 @@
+// bbcount reproduces the paper's experiment 2 (Section 4.2): instrument the
+// start of each of the 11 basic blocks of the multiply function with a
+// counter increment and measure the overhead of both register-allocation
+// modes — the pair of cells in the Section 4.3 table where the paper's
+// dead-register optimization shows up (15.3% on RISC-V with it vs 66.9% on
+// x86 without it).
+//
+//	go run ./examples/bbcount [-n 40] [-reps 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/core"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 40, "matrix dimension")
+	reps := flag.Int("reps", 2, "multiply calls")
+	flag.Parse()
+
+	base, err := workload.BuildMatmul(*n, *reps, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseNS := run(base, nil)
+	fmt.Printf("base:                         %.6fs\n", float64(baseNS)/1e9)
+
+	for _, mode := range []codegen.Mode{codegen.ModeDeadRegister, codegen.ModeSpillAlways} {
+		bin, err := core.FromFile(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fn, err := bin.FindFunction("multiply")
+		if err != nil {
+			log.Fatal(err)
+		}
+		points := snippet.BlockEntries(fn)
+		fmt.Printf("\nmode %v: instrumenting %d basic blocks of multiply\n", mode, len(points))
+		mut := bin.NewMutator(mode)
+		counter := mut.NewVar("bb_count", 8)
+		for _, pt := range points {
+			if err := mut.InsertSnippet(pt, snippet.Increment(counter)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		outFile, err := mut.Rewrite()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var count uint64
+		ns := run(outFile, func(c *emu.CPU) {
+			count, _ = c.Mem.Read64(counter.Addr)
+		})
+		fmt.Printf("  elapsed %.6fs, overhead %+.1f%%, %d block executions counted\n",
+			float64(ns)/1e9, 100*(float64(ns)/float64(baseNS)-1), count)
+	}
+	fmt.Println("\n(The paper's table: x86 spill-mode +66.9%, RISC-V dead-register +15.3%;")
+	fmt.Println(" the ordering — dead-register well below spill-always — is the result.)")
+}
+
+func run(f *elfrv.File, after func(*emu.CPU)) uint64 {
+	cpu, err := emu.New(f, emu.P550())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r := cpu.Run(0); r != emu.StopExit {
+		log.Fatalf("stopped: %v (%v)", r, cpu.LastTrap())
+	}
+	if after != nil {
+		after(cpu)
+	}
+	sym, ok := f.Symbol("elapsed_ns")
+	if !ok {
+		log.Fatal("no elapsed_ns")
+	}
+	ns, _ := cpu.Mem.Read64(sym.Value)
+	return ns
+}

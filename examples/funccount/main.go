@@ -1,0 +1,85 @@
+// funccount reproduces the paper's experiment 1 (Section 4.2) as a
+// standalone tool: instrument the entry point of the multiply function in
+// the matrix-multiplication benchmark with a counter increment, then run
+// the base and instrumented binaries and report the application-measured
+// elapsed times and the overhead percentage — one cell pair of the Section
+// 4.3 table, on both code-generation modes.
+//
+//	go run ./examples/funccount [-n 40] [-reps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/core"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 40, "matrix dimension")
+	reps := flag.Int("reps", 3, "multiply calls")
+	flag.Parse()
+
+	base, err := workload.BuildMatmul(*n, *reps, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseNS := run(base, nil)
+	fmt.Printf("base:                %.6fs (app-measured)\n", float64(baseNS)/1e9)
+
+	for _, mode := range []codegen.Mode{codegen.ModeDeadRegister, codegen.ModeSpillAlways} {
+		bin, err := core.FromFile(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fn, err := bin.FindFunction("multiply")
+		if err != nil {
+			log.Fatal(err)
+		}
+		mut := bin.NewMutator(mode)
+		counter := mut.NewVar("entry_count", 8)
+		if err := mut.AtFuncEntry(fn, snippet.Increment(counter)); err != nil {
+			log.Fatal(err)
+		}
+		outFile, err := mut.Rewrite()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var count uint64
+		ns := run(outFile, func(c *emu.CPU) {
+			count, _ = c.Mem.Read64(counter.Addr)
+		})
+		fmt.Printf("instrumented (%s): %.6fs, overhead %+.2f%%, multiply entered %d times\n",
+			mode, float64(ns)/1e9, 100*(float64(ns)/float64(baseNS)-1), count)
+		if count != uint64(*reps) {
+			log.Fatalf("counter = %d, want %d", count, *reps)
+		}
+	}
+}
+
+func run(f *elfrv.File, after func(*emu.CPU)) uint64 {
+	cpu, err := emu.New(f, emu.P550())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r := cpu.Run(0); r != emu.StopExit {
+		log.Fatalf("stopped: %v (%v)", r, cpu.LastTrap())
+	}
+	if after != nil {
+		after(cpu)
+	}
+	sym, ok := f.Symbol("elapsed_ns")
+	if !ok {
+		log.Fatal("no elapsed_ns")
+	}
+	ns, _ := cpu.Mem.Read64(sym.Value)
+	return ns
+}

@@ -1,0 +1,94 @@
+// memtrace counts the memory traffic of the multiply kernel using
+// instruction-level instrumentation points — the lowest-level point
+// abstraction the paper lists ("if you wanted to trace ... every memory
+// access, or even every stack memory reference"). Every load and store
+// instruction in multiply gets a counter snippet inserted before it; the
+// measured counts are checked against the analytic expectation from the
+// loop structure.
+//
+//	go run ./examples/memtrace [-n 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/core"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/workload"
+
+	"rvdyn/internal/asm"
+)
+
+func main() {
+	log.SetFlags(0)
+	n := flag.Int("n", 24, "matrix dimension")
+	flag.Parse()
+
+	file, err := workload.BuildMatmul(*n, 1, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := core.FromFile(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fn, err := bin.FindFunction("multiply")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mut := bin.NewMutator(codegen.ModeDeadRegister)
+	loads := mut.NewVar("loads", 8)
+	stores := mut.NewVar("stores", 8)
+
+	nLoadSites, nStoreSites := 0, 0
+	for _, blk := range fn.Blocks {
+		for _, in := range blk.Insts {
+			var v *snippet.Var
+			switch {
+			case in.IsLoad():
+				v, nLoadSites = loads, nLoadSites+1
+			case in.IsStore():
+				v, nStoreSites = stores, nStoreSites+1
+			default:
+				continue
+			}
+			pt, err := snippet.Before(fn, in.Addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := mut.InsertSnippet(pt, snippet.Increment(v)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("multiply has %d load sites and %d store sites\n", nLoadSites, nStoreSites)
+
+	out, err := mut.Rewrite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu, err := emu.New(out, emu.P550())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r := cpu.Run(0); r != emu.StopExit {
+		log.Fatalf("stopped: %v (%v)", r, cpu.LastTrap())
+	}
+
+	lv, _ := cpu.Mem.Read64(loads.Addr)
+	sv, _ := cpu.Mem.Read64(stores.Addr)
+	nn := uint64(*n)
+	wantLoads := 2 * nn * nn * nn // A[i][k] and B[k][j] per inner iteration
+	wantStores := nn * nn         // C[i][j] per middle iteration
+	fmt.Printf("dynamic loads:  %d (expected %d)\n", lv, wantLoads)
+	fmt.Printf("dynamic stores: %d (expected %d)\n", sv, wantStores)
+	if lv != wantLoads || sv != wantStores {
+		log.Fatal("memory-access counts do not match the analytic model")
+	}
+	fmt.Println("counts match the loop-nest model: 2n^3 loads, n^2 stores")
+}

@@ -1,0 +1,79 @@
+// stackdump demonstrates the StackwalkerAPI analog in the debugging role
+// the paper cites (the STAT debugger builds on Dyninst's stack walking): it
+// attaches to a process, stops it inside a deep call chain, and prints the
+// call stack recovered by the frame steppers — including frames that
+// maintain no frame pointer, which the stack-height stepper handles via
+// dataflow analysis (Section 3.2.7).
+//
+//	go run ./examples/stackdump
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/core"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/proc"
+	"rvdyn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	file, err := asm.Assemble(workload.FramePointerSource, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := core.FromFile(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start the process running, then attach — Figure 1's attach variant.
+	cpu, err := emu.New(bin.File, emu.P550())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu.Run(8) // the process is already underway (still in _start/level1)
+	p := bin.Attach(cpu)
+
+	// Break deep in the chain: _start -> level1 -> level2 -> level3 -> spin.
+	spin, err := bin.FindFunction("spin")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := p.InsertBreakpoint(spin.Entry); err != nil {
+		log.Fatal(err)
+	}
+	ev, err := p.Continue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ev.Kind != proc.EventBreakpoint {
+		log.Fatalf("never reached spin: %+v", ev)
+	}
+
+	frames, err := p.Walk()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("call stack (innermost first):")
+	for i, f := range frames {
+		stepper := f.Stepper
+		if stepper == "" {
+			stepper = "-"
+		}
+		fmt.Printf("  #%d %-8s pc=%#x sp=%#x   (caller recovered by %s)\n",
+			i, f.FuncName, f.PC, f.SP, stepper)
+	}
+
+	// Resume to completion.
+	for ev.Kind == proc.EventBreakpoint {
+		if ev, err = p.Continue(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nprocess exited with %d (expected %d)\n", ev.ExitCode, workload.FramePointerExpected)
+}

@@ -1,0 +1,73 @@
+// tracer is a dynamic-instrumentation tool in the spirit of the tracing
+// tools the paper's introduction motivates ("if you wanted to trace every
+// function entry and exit ... you can easily create a modified version of
+// your executable"): it launches the mutatee under ProcControl, plants
+// probes at every function entry and exit point, and prints an indented
+// call trace with arguments and return values, all without modifying the
+// binary on disk.
+//
+//	go run ./examples/tracer
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/core"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/proc"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	file, err := asm.Assemble(workload.TailCallSource, asm.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := core.FromFile(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := bin.Launch(emu.P550())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	depth := 0
+	for _, fn := range bin.Functions() {
+		fn := fn
+		if err := p.Probe(fn.Entry, func(pp *core.Process) {
+			fmt.Printf("%s-> %s(a0=%d)\n", strings.Repeat("  ", depth), fn.Name, pp.GetReg(riscv.RegA0))
+			depth++
+		}); err != nil {
+			log.Fatal(err)
+		}
+		for _, pt := range snippet.FuncExits(fn) {
+			exitFn := fn
+			if err := p.Probe(pt.Addr, func(pp *core.Process) {
+				if depth > 0 {
+					depth--
+				}
+				fmt.Printf("%s<- %s returns a0=%d\n", strings.Repeat("  ", depth), exitFn.Name, pp.GetReg(riscv.RegA0))
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	ev, err := p.Continue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ev.Kind != proc.EventExit {
+		log.Fatalf("stopped unexpectedly: %+v", ev)
+	}
+	fmt.Printf("\nprocess exited with %d (expected %d)\n", ev.ExitCode, workload.TailCallExpected)
+	fmt.Printf("software single-steps taken to cross probes: %d\n", p.Steps)
+}

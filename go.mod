@@ -1,0 +1,3 @@
+module rvdyn
+
+go 1.22

@@ -1,0 +1,538 @@
+// Package asm is a two-pass RV64GC assembler. It turns an assembly source
+// string into a runnable ELF64/RISC-V executable (via the elfrv package).
+//
+// In the paper's experimental setup the benchmark workload is compiled with
+// gcc on real RISC-V hardware; in this reproduction the assembler is the
+// toolchain substrate that produces genuine RV64GC binaries for the
+// emulator, the parser, and the instrumenter to operate on.
+//
+// Supported syntax (a practical subset of GNU as):
+//
+//	sections    .text .data .rodata .bss .section NAME
+//	symbols     LABEL:   .globl  .local  .type N,@function|@object  .size N,E
+//	data        .byte .half .word .dword .zero .ascii .asciz .string .double
+//	alignment   .align P2   .balign N
+//	constants   .equ NAME, EXPR   (and .set)
+//	instructions: every RV64GC mnemonic from the riscv package, plus the
+//	standard pseudo-instructions (li la mv not neg nop j jr ret call tail
+//	seqz snez beqz bnez bgt ble ... fmv.d fabs.d fneg.d csrr csrw rdcycle
+//	rdtime rdinstret) and two far-form pseudos, callfar/tailfar, that emit
+//	the auipc+jalr multi-instruction sequences Section 3.2.3 of the paper
+//	discusses.
+//	relocations  %hi(sym) %lo(sym) in lui/addi/load/store operands
+//
+// When the target architecture includes the C extension the assembler
+// opportunistically compresses instructions that have a 16-bit form, except
+// instructions whose immediate refers to a symbol (their offsets must stay
+// stable across layout).
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/riscv"
+)
+
+// Options configures assembly.
+type Options struct {
+	// TextBase is the virtual address of the .text section (default 0x10000).
+	TextBase uint64
+	// Arch is the target extension set (default RV64GC). Instructions from
+	// extensions outside the set are rejected, and compression only happens
+	// when the set includes C.
+	Arch riscv.ExtSet
+	// NoCompress disables the compression pass even when Arch includes C.
+	NoCompress bool
+	// NoAttributes omits the .riscv.attributes section, exercising the
+	// e_flags-only fallback path in symtab.
+	NoAttributes bool
+}
+
+type modKind uint8
+
+const (
+	modNone    modKind = iota
+	modHi              // %hi(sym): adjusted high 20 bits of the absolute address
+	modLo              // %lo(sym): low 12 bits of the absolute address
+	modPCRel           // branch/jal target: encode target-addr as offset
+	modPCRelHi         // auipc half of a far pair
+	modPCRelLo         // jalr/addi half of a far pair (imm relative to the auipc)
+)
+
+// symRef is a symbolic immediate operand awaiting resolution.
+type symRef struct {
+	sym    string
+	addend int64
+	mod    modKind
+	pair   *item // for modPCRelLo: the auipc item supplying the base address
+}
+
+type itemKind uint8
+
+const (
+	itemInst itemKind = iota
+	itemData
+	itemAlign
+)
+
+type item struct {
+	kind itemKind
+	inst riscv.Inst
+	ref  *symRef
+	data []byte
+	p2   uint64 // for itemAlign: alignment in bytes
+	size uint64
+	addr uint64
+	line int
+}
+
+type section struct {
+	name  string
+	items []*item
+	flags uint64
+	typ   uint32
+	addr  uint64
+	size  uint64
+}
+
+type symInfo struct {
+	section *section
+	item    int // index into section.items the label precedes (== len means end)
+	addr    uint64
+	global  bool
+	typ     byte
+	size    uint64
+	hasSize bool
+	defined bool
+	line    int
+
+	// For ".size sym, .-sym": the position marking the end of the symbol.
+	sizeEndSection *section
+	sizeEndItem    int
+}
+
+type assembler struct {
+	opts     Options
+	sections map[string]*section
+	order    []*section
+	cur      *section
+	syms     map[string]*symInfo
+	equs     map[string]int64
+	usedExt  riscv.ExtSet
+	line     int
+	compress bool
+}
+
+// Assemble assembles source into an ELF executable image.
+func Assemble(src string, opts Options) (*elfrv.File, error) {
+	if opts.TextBase == 0 {
+		opts.TextBase = 0x10000
+	}
+	if opts.Arch == 0 {
+		opts.Arch = riscv.RV64GC
+	}
+	a := &assembler{
+		opts:     opts,
+		sections: map[string]*section{},
+		syms:     map[string]*symInfo{},
+		equs:     map[string]int64{},
+		usedExt:  riscv.ExtI,
+		compress: opts.Arch.Has(riscv.ExtC) && !opts.NoCompress,
+	}
+	a.switchSection(".text")
+	for n, raw := range strings.Split(src, "\n") {
+		a.line = n + 1
+		if err := a.doLine(raw); err != nil {
+			return nil, fmt.Errorf("line %d: %w", a.line, err)
+		}
+	}
+	if err := a.layout(); err != nil {
+		return nil, err
+	}
+	return a.buildFile()
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+func (a *assembler) switchSection(name string) {
+	if s, ok := a.sections[name]; ok {
+		a.cur = s
+		return
+	}
+	s := &section{name: name, typ: elfrv.SHTProgbits, flags: elfrv.SHFAlloc}
+	switch name {
+	case ".text":
+		s.flags |= elfrv.SHFExecinstr
+	case ".data":
+		s.flags |= elfrv.SHFWrite
+	case ".bss":
+		s.flags |= elfrv.SHFWrite
+		s.typ = elfrv.SHTNobits
+	case ".rodata":
+		// read-only alloc
+	default:
+		s.flags |= elfrv.SHFWrite
+	}
+	a.sections[name] = s
+	a.order = append(a.order, s)
+	a.cur = s
+}
+
+// stripComment removes # and // comments outside of string literals.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"':
+			inStr = !inStr
+		case !inStr && s[i] == '#':
+			return s[:i]
+		case !inStr && s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) doLine(raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	for {
+		if s == "" {
+			return nil
+		}
+		// Peel off leading labels.
+		if i := strings.IndexByte(s, ':'); i > 0 && isIdent(s[:i]) && !strings.ContainsAny(s[:i], " \t") {
+			if err := a.defineLabel(s[:i]); err != nil {
+				return err
+			}
+			s = strings.TrimSpace(s[i+1:])
+			continue
+		}
+		break
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.doDirective(s)
+	}
+	return a.doInstruction(s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c == '.' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) defineLabel(name string) error {
+	si := a.symbol(name)
+	if si.defined {
+		return a.errf("symbol %q redefined (first at line %d)", name, si.line)
+	}
+	si.defined = true
+	si.section = a.cur
+	si.item = len(a.cur.items)
+	si.line = a.line
+	return nil
+}
+
+func (a *assembler) symbol(name string) *symInfo {
+	if si, ok := a.syms[name]; ok {
+		return si
+	}
+	si := &symInfo{}
+	a.syms[name] = si
+	return si
+}
+
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	tail := strings.TrimSpace(s[start:])
+	if tail != "" || len(out) > 0 {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func (a *assembler) doDirective(s string) error {
+	name := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i > 0 {
+		name, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	ops := splitOperands(rest)
+	switch name {
+	case ".text", ".data", ".bss", ".rodata":
+		a.switchSection(name)
+	case ".section":
+		if len(ops) < 1 {
+			return a.errf(".section needs a name")
+		}
+		a.switchSection(ops[0])
+	case ".globl", ".global":
+		for _, op := range ops {
+			a.symbol(op).global = true
+		}
+	case ".local":
+		for _, op := range ops {
+			a.symbol(op).global = false
+		}
+	case ".type":
+		if len(ops) != 2 {
+			return a.errf(".type needs symbol and kind")
+		}
+		switch strings.TrimPrefix(ops[1], "@") {
+		case "function":
+			a.symbol(ops[0]).typ = elfrv.STTFunc
+		case "object":
+			a.symbol(ops[0]).typ = elfrv.STTObject
+		default:
+			return a.errf("unknown .type kind %q", ops[1])
+		}
+	case ".size":
+		if len(ops) != 2 {
+			return a.errf(".size needs symbol and size expression")
+		}
+		si := a.symbol(ops[0])
+		if ops[1] == ".-"+ops[0] {
+			// Resolved at layout: from symbol to current position.
+			si.hasSize = true
+			si.size = ^uint64(0) // sentinel: compute to "here"
+			a.markSizeEnd(ops[0])
+			return nil
+		}
+		v, err := a.constExpr(ops[1])
+		if err != nil {
+			return err
+		}
+		si.hasSize = true
+		si.size = uint64(v)
+	case ".equ", ".set":
+		if len(ops) != 2 {
+			return a.errf("%s needs name and value", name)
+		}
+		v, err := a.constExpr(ops[1])
+		if err != nil {
+			return err
+		}
+		a.equs[ops[0]] = v
+	case ".align", ".p2align":
+		v, err := a.constExpr(ops[0])
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > 12 {
+			return a.errf("bad alignment power %d", v)
+		}
+		a.cur.items = append(a.cur.items, &item{kind: itemAlign, p2: uint64(1) << uint(v), line: a.line})
+	case ".balign":
+		v, err := a.constExpr(ops[0])
+		if err != nil {
+			return err
+		}
+		if v <= 0 || v&(v-1) != 0 {
+			return a.errf("bad byte alignment %d", v)
+		}
+		a.cur.items = append(a.cur.items, &item{kind: itemAlign, p2: uint64(v), line: a.line})
+	case ".byte", ".half", ".word", ".dword", ".quad":
+		width := map[string]int{".byte": 1, ".half": 2, ".word": 4, ".dword": 8, ".quad": 8}[name]
+		for _, op := range ops {
+			if width == 8 {
+				if sym, add, ok := a.symPlusAddend(op); ok {
+					it := &item{kind: itemData, data: make([]byte, 8), size: 8, line: a.line,
+						ref: &symRef{sym: sym, addend: add, mod: modNone}}
+					a.cur.items = append(a.cur.items, it)
+					continue
+				}
+			}
+			v, err := a.constExpr(op)
+			if err != nil {
+				return err
+			}
+			b := make([]byte, width)
+			for i := 0; i < width; i++ {
+				b[i] = byte(v >> (8 * i))
+			}
+			a.cur.items = append(a.cur.items, &item{kind: itemData, data: b, size: uint64(width), line: a.line})
+		}
+	case ".zero", ".space":
+		v, err := a.constExpr(ops[0])
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return a.errf("negative .zero size")
+		}
+		a.cur.items = append(a.cur.items, &item{kind: itemData, data: make([]byte, v), size: uint64(v), line: a.line})
+	case ".ascii", ".asciz", ".string":
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf("bad string literal %s: %v", rest, err)
+		}
+		b := []byte(str)
+		if name != ".ascii" {
+			b = append(b, 0)
+		}
+		a.cur.items = append(a.cur.items, &item{kind: itemData, data: b, size: uint64(len(b)), line: a.line})
+	case ".double":
+		for _, op := range ops {
+			f, err := strconv.ParseFloat(op, 64)
+			if err != nil {
+				return a.errf("bad double %q: %v", op, err)
+			}
+			u := math.Float64bits(f)
+			b := make([]byte, 8)
+			for i := 0; i < 8; i++ {
+				b[i] = byte(u >> (8 * i))
+			}
+			a.cur.items = append(a.cur.items, &item{kind: itemData, data: b, size: 8, line: a.line})
+		}
+	case ".float":
+		for _, op := range ops {
+			f, err := strconv.ParseFloat(op, 32)
+			if err != nil {
+				return a.errf("bad float %q: %v", op, err)
+			}
+			u := math.Float32bits(float32(f))
+			b := []byte{byte(u), byte(u >> 8), byte(u >> 16), byte(u >> 24)}
+			a.cur.items = append(a.cur.items, &item{kind: itemData, data: b, size: 4, line: a.line})
+		}
+	case ".option":
+		// accepted and ignored (norvc/rvc handled via Options)
+	default:
+		return a.errf("unknown directive %s", name)
+	}
+	return nil
+}
+
+// markSizeEnd records that the ".-sym" size expression ends at the current
+// position of the current section.
+func (a *assembler) markSizeEnd(sym string) {
+	si := a.symbol(sym)
+	si.sizeEndSection = a.cur
+	si.sizeEndItem = len(a.cur.items)
+}
+
+// constExpr evaluates a constant expression: a literal, an .equ name, or a
+// simple a+b / a-b / a*b of such.
+func (a *assembler) constExpr(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, a.errf("empty expression")
+	}
+	// Binary operators at top level (left-to-right, no precedence beyond
+	// scanning from the right so a-b+c parses as (a-b)+c).
+	depth := 0
+	for i := len(s) - 1; i > 0; i-- {
+		c := s[i]
+		switch c {
+		case ')':
+			depth++
+		case '(':
+			depth--
+		case '+', '-', '*':
+			if depth != 0 {
+				continue
+			}
+			// Avoid treating a leading sign, another operator, or a hex
+			// prefix ("0x") as a binary operator boundary.
+			prev := s[i-1]
+			if prev == '+' || prev == '-' || prev == '*' {
+				continue
+			}
+			if (prev == 'x' || prev == 'X') && i >= 2 && s[i-2] == '0' {
+				continue
+			}
+			l, err := a.constExpr(s[:i])
+			if err != nil {
+				return 0, err
+			}
+			r, err := a.constExpr(s[i+1:])
+			if err != nil {
+				return 0, err
+			}
+			switch c {
+			case '+':
+				return l + r, nil
+			case '-':
+				return l - r, nil
+			case '*':
+				return l * r, nil
+			}
+		}
+	}
+	if v, ok := a.equs[s]; ok {
+		return v, nil
+	}
+	if strings.HasPrefix(s, "'") && strings.HasSuffix(s, "'") && len(s) >= 3 {
+		r, _, _, err := strconv.UnquoteChar(s[1:len(s)-1], '\'')
+		if err != nil {
+			return 0, a.errf("bad char literal %s", s)
+		}
+		return int64(r), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow big unsigned hex.
+		if u, uerr := strconv.ParseUint(s, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, a.errf("bad expression %q", s)
+	}
+	return v, nil
+}
+
+// symPlusAddend matches "sym", "sym+N", "sym-N" for identifier syms that are
+// not .equ constants.
+func (a *assembler) symPlusAddend(s string) (string, int64, bool) {
+	s = strings.TrimSpace(s)
+	base, add := s, int64(0)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			v, err := a.constExpr(s[i:])
+			if err != nil {
+				return "", 0, false
+			}
+			base, add = s[:i], v
+			break
+		}
+	}
+	if !isIdent(base) {
+		return "", 0, false
+	}
+	if _, isEqu := a.equs[base]; isEqu {
+		return "", 0, false
+	}
+	if _, err := strconv.ParseInt(base, 0, 64); err == nil {
+		return "", 0, false
+	}
+	return base, add, true
+}

@@ -1,0 +1,628 @@
+package asm
+
+import (
+	"testing"
+
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/riscv"
+)
+
+// decodeText decodes the .text section of f into instructions.
+func decodeText(t *testing.T, f *elfrv.File) []riscv.Inst {
+	t.Helper()
+	sec := f.Section(".text")
+	if sec == nil {
+		t.Fatal("no .text section")
+	}
+	var out []riscv.Inst
+	for off := 0; off < len(sec.Data); {
+		inst, err := riscv.Decode(sec.Data[off:], sec.Addr+uint64(off))
+		if err != nil {
+			t.Fatalf("decode at +%#x: %v", off, err)
+		}
+		out = append(out, inst)
+		off += inst.Len
+	}
+	return out
+}
+
+func mustAssemble(t *testing.T, src string, opts Options) *elfrv.File {
+	t.Helper()
+	f, err := Assemble(src, opts)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return f
+}
+
+func TestBasicProgram(t *testing.T) {
+	src := `
+	.text
+	.globl _start
+_start:
+	addi a0, zero, 42   # the answer
+	li a7, 93           // exit syscall
+	ecall
+`
+	f := mustAssemble(t, src, Options{})
+	insts := decodeText(t, f)
+	if len(insts) != 3 {
+		t.Fatalf("got %d instructions: %v", len(insts), insts)
+	}
+	if insts[0].Mn != riscv.MnADDI || insts[0].Imm != 42 || insts[0].Rd != riscv.RegA0 {
+		t.Errorf("inst 0 = %v", insts[0])
+	}
+	if insts[1].Mn != riscv.MnADDI || insts[1].Imm != 93 || insts[1].Rd != riscv.RegA7 {
+		t.Errorf("inst 1 = %v", insts[1])
+	}
+	if insts[2].Mn != riscv.MnECALL {
+		t.Errorf("inst 2 = %v", insts[2])
+	}
+	if f.Entry != 0x10000 {
+		t.Errorf("entry = %#x", f.Entry)
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	src := `
+	.text
+_start:
+loop:
+	addi a0, a0, -1
+	bnez a0, loop
+	beq a0, a1, done
+	j loop
+done:
+	ret
+`
+	f := mustAssemble(t, src, Options{NoCompress: true})
+	insts := decodeText(t, f)
+	// bnez -> bne a0, x0, loop: offset back to loop (-4).
+	if insts[1].Mn != riscv.MnBNE || insts[1].Imm != -4 {
+		t.Errorf("bnez = %v imm %d", insts[1], insts[1].Imm)
+	}
+	if insts[2].Mn != riscv.MnBEQ || insts[2].Imm != 8 {
+		t.Errorf("beq = %v imm %d", insts[2], insts[2].Imm)
+	}
+	if insts[3].Mn != riscv.MnJAL || insts[3].Rd != riscv.X0 || insts[3].Imm != -12 {
+		t.Errorf("j = %v imm %d", insts[3], insts[3].Imm)
+	}
+	if insts[4].Mn != riscv.MnJALR || insts[4].Rs1 != riscv.RegRA {
+		t.Errorf("ret = %v", insts[4])
+	}
+}
+
+func TestCompression(t *testing.T) {
+	src := `
+	.text
+_start:
+	addi sp, sp, -16
+	sd ra, 8(sp)
+	mv a0, a1
+	ld ra, 8(sp)
+	addi sp, sp, 16
+	ret
+`
+	f := mustAssemble(t, src, Options{})
+	insts := decodeText(t, f)
+	compressed := 0
+	for _, i := range insts {
+		if i.Compressed {
+			compressed++
+		}
+	}
+	if compressed != len(insts) {
+		t.Errorf("%d/%d compressed; want all", compressed, len(insts))
+	}
+	if f.Flags&elfrv.EFRiscVRVC == 0 {
+		t.Error("e_flags missing RVC")
+	}
+	// The same program without compression decodes identically but larger.
+	f2 := mustAssemble(t, src, Options{NoCompress: true})
+	insts2 := decodeText(t, f2)
+	if len(insts2) != len(insts) {
+		t.Fatalf("instruction count changed: %d vs %d", len(insts2), len(insts))
+	}
+	for i := range insts {
+		if insts[i].Mn != insts2[i].Mn {
+			t.Errorf("inst %d: %v vs %v", i, insts[i].Mn, insts2[i].Mn)
+		}
+		if insts2[i].Compressed {
+			t.Errorf("inst %d compressed despite NoCompress", i)
+		}
+	}
+	if f2.Flags&elfrv.EFRiscVRVC != 0 {
+		t.Error("NoCompress output still sets RVC flag")
+	}
+}
+
+func TestLiMaterialization(t *testing.T) {
+	// Check that li sequences compute the right value by interpreting the
+	// generated instructions symbolically.
+	cases := []int64{0, 1, -1, 42, 2047, -2048, 2048, 4096, 123456, -123456,
+		1 << 20, (1 << 31) - 1, -(1 << 31), 1 << 32, 0x123456789abcdef0,
+		-0x123456789abcdef0, 1<<63 - 1, -(1 << 62)}
+	for _, v := range cases {
+		src := "\t.text\n_start:\n\tli a0, " + itoa(v) + "\n"
+		f := mustAssemble(t, src, Options{})
+		insts := decodeText(t, f)
+		var reg int64
+		for _, in := range insts {
+			switch in.Mn {
+			case riscv.MnADDI:
+				if in.Rs1 == riscv.X0 {
+					reg = in.Imm
+				} else {
+					reg += in.Imm
+				}
+			case riscv.MnADDIW:
+				reg = int64(int32(reg + in.Imm))
+			case riscv.MnLUI:
+				reg = in.Imm << 12
+			case riscv.MnSLLI:
+				reg <<= uint(in.Imm)
+			default:
+				t.Fatalf("li %d: unexpected %v", v, in)
+			}
+		}
+		if reg != v {
+			t.Errorf("li %d materialized %d (insts %v)", v, reg, insts)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v >= 0 {
+		return ustr(uint64(v))
+	}
+	return "-" + ustr(uint64(-v))
+}
+
+func ustr(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestHiLoRelocation(t *testing.T) {
+	src := `
+	.data
+	.globl counter
+counter:
+	.dword 7
+	.text
+_start:
+	lui t0, %hi(counter)
+	ld t1, %lo(counter)(t0)
+	la t2, counter
+`
+	f := mustAssemble(t, src, Options{NoCompress: true})
+	sym, ok := f.Symbol("counter")
+	if !ok {
+		t.Fatal("no counter symbol")
+	}
+	insts := decodeText(t, f)
+	hi := insts[0].Imm << 12
+	lo := insts[1].Imm
+	if uint64(hi+lo) != sym.Value {
+		t.Errorf("%%hi+%%lo = %#x, symbol at %#x", hi+lo, sym.Value)
+	}
+	// la: lui+addi must also hit the symbol.
+	la := insts[2].Imm<<12 + insts[3].Imm
+	if uint64(la) != sym.Value {
+		t.Errorf("la = %#x, symbol at %#x", la, sym.Value)
+	}
+	// The .dword initializer.
+	b, err := f.ReadAt(sym.Value, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 7 {
+		t.Errorf("counter initial = %v", b)
+	}
+}
+
+func TestCallFarPair(t *testing.T) {
+	src := `
+	.text
+_start:
+	callfar target
+	tailfar target
+	.balign 4
+target:
+	ret
+`
+	f := mustAssemble(t, src, Options{NoCompress: true})
+	insts := decodeText(t, f)
+	sym, _ := f.Symbol("target")
+	// callfar: auipc ra + jalr ra.
+	if insts[0].Mn != riscv.MnAUIPC || insts[0].Rd != riscv.RegRA {
+		t.Fatalf("inst 0 = %v", insts[0])
+	}
+	if insts[1].Mn != riscv.MnJALR || insts[1].Rd != riscv.RegRA || insts[1].Rs1 != riscv.RegRA {
+		t.Fatalf("inst 1 = %v", insts[1])
+	}
+	got := uint64(int64(insts[0].Addr) + insts[0].Imm<<12 + insts[1].Imm)
+	if got != sym.Value {
+		t.Errorf("callfar resolves to %#x, want %#x", got, sym.Value)
+	}
+	// tailfar: auipc t1 + jalr x0.
+	if insts[2].Mn != riscv.MnAUIPC || insts[2].Rd != riscv.RegT1 {
+		t.Fatalf("inst 2 = %v", insts[2])
+	}
+	if insts[3].Mn != riscv.MnJALR || insts[3].Rd != riscv.X0 || insts[3].Rs1 != riscv.RegT1 {
+		t.Fatalf("inst 3 = %v", insts[3])
+	}
+	got = uint64(int64(insts[2].Addr) + insts[2].Imm<<12 + insts[3].Imm)
+	if got != sym.Value {
+		t.Errorf("tailfar resolves to %#x, want %#x", got, sym.Value)
+	}
+}
+
+func TestFunctionSymbols(t *testing.T) {
+	src := `
+	.text
+	.globl main
+	.type main, @function
+main:
+	call helper
+	ret
+	.size main, .-main
+
+	.type helper, @function
+helper:
+	addi a0, a0, 1
+	ret
+	.size helper, .-helper
+`
+	f := mustAssemble(t, src, Options{NoCompress: true})
+	m, ok := f.Symbol("main")
+	if !ok || m.Type != elfrv.STTFunc || m.Bind != elfrv.STBGlobal {
+		t.Fatalf("main = %+v ok=%v", m, ok)
+	}
+	if m.Size != 8 {
+		t.Errorf("main size = %d, want 8", m.Size)
+	}
+	h, ok := f.Symbol("helper")
+	if !ok || h.Type != elfrv.STTFunc {
+		t.Fatalf("helper = %+v ok=%v", h, ok)
+	}
+	if h.Bind != elfrv.STBLocal {
+		t.Errorf("helper bind = %d, want local", h.Bind)
+	}
+	if h.Size != 8 {
+		t.Errorf("helper size = %d", h.Size)
+	}
+}
+
+func TestAutoFunctionSize(t *testing.T) {
+	src := `
+	.text
+	.type f1, @function
+f1:
+	nop
+	nop
+	.type f2, @function
+f2:
+	ret
+`
+	f := mustAssemble(t, src, Options{NoCompress: true})
+	s1, _ := f.Symbol("f1")
+	if s1.Size != 8 {
+		t.Errorf("f1 auto size = %d, want 8", s1.Size)
+	}
+	s2, _ := f.Symbol("f2")
+	if s2.Size != 4 {
+		t.Errorf("f2 auto size = %d, want 4", s2.Size)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+	.data
+vals:
+	.byte 1, 2, 0xff
+	.half 0x1234
+	.word -1
+	.dword 0x123456789abcdef0
+	.zero 3
+	.asciz "hi"
+	.double 1.5
+	.text
+_start:
+	nop
+`
+	f := mustAssemble(t, src, Options{})
+	d := f.Section(".data")
+	if d == nil {
+		t.Fatal("no .data")
+	}
+	want := []byte{1, 2, 0xff, 0x34, 0x12, 0xff, 0xff, 0xff, 0xff,
+		0xf0, 0xde, 0xbc, 0x9a, 0x78, 0x56, 0x34, 0x12, 0, 0, 0,
+		'h', 'i', 0,
+		0, 0, 0, 0, 0, 0, 0xf8, 0x3f} // 1.5 = 0x3FF8000000000000
+	if len(d.Data) != len(want) {
+		t.Fatalf("data len %d, want %d: %v", len(d.Data), len(want), d.Data)
+	}
+	for i := range want {
+		if d.Data[i] != want[i] {
+			t.Errorf("data[%d] = %#x, want %#x", i, d.Data[i], want[i])
+		}
+	}
+}
+
+func TestBssSection(t *testing.T) {
+	src := `
+	.bss
+	.globl buf
+buf:
+	.zero 4096
+	.text
+_start:
+	la a0, buf
+`
+	f := mustAssemble(t, src, Options{})
+	b := f.Section(".bss")
+	if b == nil || b.Type != elfrv.SHTNobits || b.Size() != 4096 {
+		t.Fatalf("bss = %+v", b)
+	}
+	sym, _ := f.Symbol("buf")
+	if sym.Value != b.Addr {
+		t.Errorf("buf at %#x, bss at %#x", sym.Value, b.Addr)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	src := `
+	.text
+_start:
+	nop
+	.balign 16
+aligned:
+	nop
+`
+	f := mustAssemble(t, src, Options{})
+	sym, _ := f.Symbol("aligned")
+	if sym.Value%16 != 0 {
+		t.Errorf("aligned at %#x", sym.Value)
+	}
+	// Padding must decode as nops.
+	insts := decodeText(t, f)
+	for _, in := range insts[:len(insts)-1] {
+		if in.Mn != riscv.MnADDI {
+			t.Errorf("padding decoded as %v", in)
+		}
+	}
+}
+
+func TestEquConstants(t *testing.T) {
+	src := `
+	.equ SYS_EXIT, 93
+	.equ BUFSZ, 4*1024
+	.text
+_start:
+	li a7, SYS_EXIT
+	li a0, BUFSZ
+`
+	f := mustAssemble(t, src, Options{})
+	insts := decodeText(t, f)
+	if insts[0].Imm != 93 {
+		t.Errorf("SYS_EXIT = %d", insts[0].Imm)
+	}
+	if insts[1].Imm != 1024 || insts[2].Mn != riscv.MnSLLI {
+		// 4096 materializes as lui or addi/slli; just verify via symbolic exec
+		var reg int64
+		for _, in := range insts[1:] {
+			switch in.Mn {
+			case riscv.MnADDI:
+				if in.Rs1 == riscv.X0 {
+					reg = in.Imm
+				} else {
+					reg += in.Imm
+				}
+			case riscv.MnLUI:
+				reg = in.Imm << 12
+			case riscv.MnADDIW:
+				reg = int64(int32(reg + in.Imm))
+			case riscv.MnSLLI:
+				reg <<= uint(in.Imm)
+			}
+		}
+		if reg != 4096 {
+			t.Errorf("BUFSZ materialized %d", reg)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"undefined symbol", "\t.text\n_start:\n\tj nowhere\n"},
+		{"unknown mnemonic", "\t.text\n_start:\n\tbogus a0, a1\n"},
+		{"bad register", "\t.text\n_start:\n\taddi q0, a1, 0\n"},
+		{"imm out of range", "\t.text\n_start:\n\taddi a0, a1, 99999\n"},
+		{"redefined label", "\t.text\nx:\n\tnop\nx:\n\tnop\n"},
+		{"wrong operand count", "\t.text\n_start:\n\tadd a0, a1\n"},
+		{"ext not in arch", "\t.text\n_start:\n\tfadd.d ft0, ft1, ft2\n"},
+	}
+	for _, c := range cases {
+		opts := Options{}
+		if c.name == "ext not in arch" {
+			opts.Arch = riscv.ExtI | riscv.ExtM
+		}
+		if _, err := Assemble(c.src, opts); err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+		}
+	}
+}
+
+func TestArchOptionControlsAttributes(t *testing.T) {
+	src := "\t.text\n_start:\n\tnop\n"
+	f := mustAssemble(t, src, Options{Arch: riscv.ExtI | riscv.ExtM})
+	a, ok, err := f.RISCVAttributes()
+	if err != nil || !ok {
+		t.Fatalf("attrs: %v ok=%v", err, ok)
+	}
+	set, err := riscv.ParseArchString(a.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set != riscv.ExtI|riscv.ExtM {
+		t.Errorf("arch = %v", set)
+	}
+	// NoAttributes drops the section.
+	f2 := mustAssemble(t, src, Options{NoAttributes: true})
+	if _, ok, _ := f2.RISCVAttributes(); ok {
+		t.Error("attributes present despite NoAttributes")
+	}
+}
+
+func TestFloatProgram(t *testing.T) {
+	src := `
+	.text
+_start:
+	li t0, 3
+	fcvt.d.l ft0, t0
+	fadd.d ft1, ft0, ft0
+	fmul.d ft2, ft1, ft0
+	fmadd.d ft3, ft0, ft1, ft2
+	fsqrt.d ft4, ft3
+	fmv.d fa0, ft4
+	fcvt.l.d a0, fa0
+`
+	f := mustAssemble(t, src, Options{})
+	if f.Flags&elfrv.EFRiscVFloatABIMask != elfrv.EFRiscVFloatABIDouble {
+		t.Errorf("float ABI flags = %#x", f.Flags)
+	}
+	insts := decodeText(t, f)
+	var mns []riscv.Mnemonic
+	for _, in := range insts {
+		mns = append(mns, in.Mn)
+	}
+	want := []riscv.Mnemonic{riscv.MnADDI, riscv.MnFCVTDL, riscv.MnFADDD,
+		riscv.MnFMULD, riscv.MnFMADDD, riscv.MnFSQRTD, riscv.MnFSGNJD, riscv.MnFCVTLD}
+	if len(mns) != len(want) {
+		t.Fatalf("mnemonics = %v", mns)
+	}
+	for i := range want {
+		if mns[i] != want[i] {
+			t.Errorf("inst %d = %v, want %v", i, mns[i], want[i])
+		}
+	}
+}
+
+func TestAMOAndCSR(t *testing.T) {
+	src := `
+	.text
+_start:
+	lr.w t0, (a0)
+	sc.w t1, t0, (a0)
+	amoadd.d t2, t3, (a1)
+	csrr t4, cycle
+	csrrw t5, 0x300, t6
+	rdinstret s0
+	fence
+	fence.i
+`
+	f := mustAssemble(t, src, Options{})
+	insts := decodeText(t, f)
+	want := []riscv.Mnemonic{riscv.MnLRW, riscv.MnSCW, riscv.MnAMOADDD,
+		riscv.MnCSRRS, riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnFENCE, riscv.MnFENCEI}
+	for i, in := range insts {
+		if in.Mn != want[i] {
+			t.Errorf("inst %d = %v, want %v", i, in.Mn, want[i])
+		}
+	}
+	if insts[3].CSR != 0xC00 {
+		t.Errorf("cycle csr = %#x", insts[3].CSR)
+	}
+	if insts[5].CSR != 0xC02 {
+		t.Errorf("instret csr = %#x", insts[5].CSR)
+	}
+}
+
+func TestWholeFileRoundTrip(t *testing.T) {
+	src := `
+	.text
+	.globl _start
+_start:
+	la a0, msg
+	li a1, 6
+	call work
+	li a7, 93
+	ecall
+	.type work, @function
+work:
+	addi sp, sp, -16
+	sd ra, 8(sp)
+	ld ra, 8(sp)
+	addi sp, sp, 16
+	ret
+	.size work, .-work
+	.data
+msg:
+	.asciz "hello"
+`
+	f := mustAssemble(t, src, Options{})
+	raw, err := f.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := elfrv.Read(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Entry != f.Entry {
+		t.Errorf("entry %#x != %#x", g.Entry, f.Entry)
+	}
+	w, ok := g.Symbol("work")
+	if !ok || w.Type != elfrv.STTFunc {
+		t.Errorf("work symbol = %+v", w)
+	}
+	msg, err := g.ReadAt(mustSym(t, g, "msg"), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "hello\x00" {
+		t.Errorf("msg = %q", msg)
+	}
+}
+
+func mustSym(t *testing.T, f *elfrv.File, name string) uint64 {
+	t.Helper()
+	s, ok := f.Symbol(name)
+	if !ok {
+		t.Fatalf("no symbol %s", name)
+	}
+	return s.Value
+}
+
+func TestTwoByteFunction(t *testing.T) {
+	// A function consisting of a single compressed ret is 2 bytes long —
+	// the degenerate case from Section 3.1.2 that forces trap-based patching.
+	src := `
+	.text
+	.globl tiny
+	.type tiny, @function
+tiny:
+	ret
+	.size tiny, .-tiny
+	.globl _start
+_start:
+	call tiny
+`
+	f := mustAssemble(t, src, Options{})
+	sym, _ := f.Symbol("tiny")
+	if sym.Size != 2 {
+		t.Errorf("tiny size = %d, want 2", sym.Size)
+	}
+}

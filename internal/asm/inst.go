@@ -1,0 +1,754 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"rvdyn/internal/riscv"
+)
+
+// operand is a parsed instruction operand.
+type operand struct {
+	isReg bool
+	reg   riscv.Reg
+	val   int64
+	ref   *symRef // non-nil for symbolic immediates
+	isMem bool
+	base  riscv.Reg // for off(base)
+}
+
+func (a *assembler) parseReg(s string) (riscv.Reg, error) {
+	r, ok := riscv.LookupReg(strings.TrimSpace(s))
+	if !ok {
+		return riscv.RegNone, a.errf("bad register %q", s)
+	}
+	return r, nil
+}
+
+// parseOperand classifies one operand string.
+func (a *assembler) parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, a.errf("empty operand")
+	}
+	// off(base) memory form, including "(base)" and "%lo(sym)(base)".
+	if strings.HasSuffix(s, ")") {
+		if i := strings.LastIndexByte(s[:len(s)-1], '('); i >= 0 {
+			inner := s[i+1 : len(s)-1]
+			if r, ok := riscv.LookupReg(strings.TrimSpace(inner)); ok {
+				offStr := strings.TrimSpace(s[:i])
+				var op operand
+				op.isMem = true
+				op.base = r
+				if offStr == "" {
+					return op, nil
+				}
+				off, err := a.parseImm(offStr)
+				if err != nil {
+					return operand{}, err
+				}
+				op.val, op.ref = off.val, off.ref
+				return op, nil
+			}
+		}
+	}
+	if r, ok := riscv.LookupReg(s); ok {
+		return operand{isReg: true, reg: r}, nil
+	}
+	return a.parseImm(s)
+}
+
+// parseImm parses an immediate: %hi(sym), %lo(sym), sym(+addend), or a
+// constant expression.
+func (a *assembler) parseImm(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	for _, m := range []struct {
+		prefix string
+		mod    modKind
+	}{{"%hi(", modHi}, {"%lo(", modLo}} {
+		if strings.HasPrefix(s, m.prefix) && strings.HasSuffix(s, ")") {
+			inner := s[len(m.prefix) : len(s)-1]
+			sym, add, ok := a.symPlusAddend(inner)
+			if !ok {
+				return operand{}, a.errf("bad %s operand %q", m.prefix[:3], s)
+			}
+			return operand{ref: &symRef{sym: sym, addend: add, mod: m.mod}}, nil
+		}
+	}
+	if sym, add, ok := a.symPlusAddend(s); ok {
+		return operand{ref: &symRef{sym: sym, addend: add, mod: modNone}}, nil
+	}
+	v, err := a.constExpr(s)
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{val: v}, nil
+}
+
+// emit appends one instruction item, deciding compression.
+func (a *assembler) emit(inst riscv.Inst, ref *symRef) {
+	it := &item{kind: itemInst, inst: inst, ref: ref, size: 4, line: a.line}
+	if a.compress && ref == nil {
+		if _, ok := riscv.Compress(inst); ok {
+			it.inst.Compressed = true
+			it.size = 2
+		}
+	}
+	a.usedExt |= inst.Mn.Ext()
+	if it.inst.Compressed {
+		a.usedExt |= riscv.ExtC
+	}
+	a.cur.items = append(a.cur.items, it)
+}
+
+func (a *assembler) doInstruction(s string) error {
+	mnStr := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i > 0 {
+		mnStr, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	mnStr = strings.ToLower(mnStr)
+	opStrs := splitOperands(rest)
+
+	if done, err := a.tryPseudo(mnStr, opStrs); done || err != nil {
+		return err
+	}
+
+	mn, ok := riscv.LookupMnemonic(mnStr)
+	if !ok {
+		return a.errf("unknown instruction %q", mnStr)
+	}
+	if !a.opts.Arch.Has(mn.Ext()) {
+		return a.errf("instruction %s requires extension outside target %v", mnStr, a.opts.Arch)
+	}
+
+	// A trailing rounding-mode name on an FP instruction sets the rm field.
+	rm := riscv.RMDyn
+	if len(opStrs) > 0 && riscv.HasRoundingMode(mn) {
+		if v, ok := riscv.LookupRoundingMode(strings.ToLower(opStrs[len(opStrs)-1])); ok {
+			rm = v
+			opStrs = opStrs[:len(opStrs)-1]
+		}
+	}
+
+	ops := make([]operand, len(opStrs))
+	for i, os := range opStrs {
+		// The CSR operand position accepts CSR names.
+		if isCSRMn(mn) && i == 1 {
+			if num, ok := csrByName[strings.ToLower(os)]; ok {
+				ops[i] = operand{val: int64(num)}
+				continue
+			}
+		}
+		op, err := a.parseOperand(os)
+		if err != nil {
+			return err
+		}
+		ops[i] = op
+	}
+
+	inst := riscv.Inst{Mn: mn, Rd: riscv.RegNone, Rs1: riscv.RegNone,
+		Rs2: riscv.RegNone, Rs3: riscv.RegNone, RM: rm}
+	var ref *symRef
+
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s expects %d operands, got %d", mnStr, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (riscv.Reg, error) {
+		if !ops[i].isReg {
+			return riscv.RegNone, a.errf("%s operand %d must be a register", mnStr, i+1)
+		}
+		return ops[i].reg, nil
+	}
+
+	switch mn.Cat() {
+	case riscv.CatLoad:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if !ops[1].isMem {
+			return a.errf("%s expects off(base) operand", mnStr)
+		}
+		inst.Rd, inst.Rs1, inst.Imm, ref = rd, ops[1].base, ops[1].val, ops[1].ref
+	case riscv.CatStore:
+		if err := need(2); err != nil {
+			return err
+		}
+		rs2, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if !ops[1].isMem {
+			return a.errf("%s expects off(base) operand", mnStr)
+		}
+		inst.Rs2, inst.Rs1, inst.Imm, ref = rs2, ops[1].base, ops[1].val, ops[1].ref
+	case riscv.CatBranch:
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs2, err := reg(1)
+		if err != nil {
+			return err
+		}
+		inst.Rs1, inst.Rs2 = rs1, rs2
+		inst.Imm, ref = ops[2].val, branchRef(ops[2])
+	case riscv.CatJAL:
+		switch len(ops) {
+		case 1:
+			inst.Rd = riscv.RegRA
+			inst.Imm, ref = ops[0].val, branchRef(ops[0])
+		case 2:
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			inst.Rd = rd
+			inst.Imm, ref = ops[1].val, branchRef(ops[1])
+		default:
+			return a.errf("jal expects 1 or 2 operands")
+		}
+	case riscv.CatJALR:
+		switch len(ops) {
+		case 1:
+			if ops[0].isMem {
+				inst.Rd, inst.Rs1, inst.Imm = riscv.RegRA, ops[0].base, ops[0].val
+			} else {
+				rs1, err := reg(0)
+				if err != nil {
+					return err
+				}
+				inst.Rd, inst.Rs1 = riscv.RegRA, rs1
+			}
+		case 2:
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			inst.Rd = rd
+			if ops[1].isMem {
+				inst.Rs1, inst.Imm = ops[1].base, ops[1].val
+			} else if ops[1].isReg {
+				inst.Rs1 = ops[1].reg
+			} else {
+				return a.errf("jalr expects register or off(base)")
+			}
+		case 3:
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rs1, err := reg(1)
+			if err != nil {
+				return err
+			}
+			inst.Rd, inst.Rs1, inst.Imm = rd, rs1, ops[2].val
+		default:
+			return a.errf("jalr expects 1-3 operands")
+		}
+	case riscv.CatAMO:
+		if mn == riscv.MnLRW || mn == riscv.MnLRD {
+			if err := need(2); err != nil {
+				return err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			if !ops[1].isMem {
+				return a.errf("%s expects (base) operand", mnStr)
+			}
+			inst.Rd, inst.Rs1 = rd, ops[1].base
+		} else {
+			if err := need(3); err != nil {
+				return err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rs2, err := reg(1)
+			if err != nil {
+				return err
+			}
+			if !ops[2].isMem {
+				return a.errf("%s expects (base) operand", mnStr)
+			}
+			inst.Rd, inst.Rs2, inst.Rs1 = rd, rs2, ops[2].base
+		}
+	case riscv.CatFence:
+		// fence / fence.i; operand lists like "iorw, iorw" are accepted and
+		// mapped to the full-barrier encoding.
+		if mn == riscv.MnFENCE {
+			inst.Imm = 0x0ff
+		}
+	case riscv.CatSystem:
+		switch mn {
+		case riscv.MnECALL, riscv.MnEBREAK:
+			// no operands
+		case riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC:
+			if err := need(3); err != nil {
+				return err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rs1, err := reg(2)
+			if err != nil {
+				return err
+			}
+			if ops[1].val < 0 || ops[1].val > 0xfff {
+				return a.errf("CSR number %d out of range [0,0xfff]", ops[1].val)
+			}
+			inst.Rd, inst.Rs1, inst.CSR = rd, rs1, uint16(ops[1].val)
+		default: // csr immediate forms
+			if err := need(3); err != nil {
+				return err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			inst.Rd, inst.CSR, inst.Imm = rd, uint16(ops[1].val), ops[2].val
+		}
+	default: // CatArith
+		switch mn {
+		case riscv.MnLUI, riscv.MnAUIPC:
+			if err := need(2); err != nil {
+				return err
+			}
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			inst.Rd = rd
+			inst.Imm, ref = ops[1].val, ops[1].ref
+		default:
+			switch len(ops) {
+			case 2: // unary float forms: fsqrt, fcvt, fmv, fclass
+				if !riscv.UnaryRegForm(mn) {
+					return a.errf("%s expects 3 operands", mnStr)
+				}
+				rd, err := reg(0)
+				if err != nil {
+					return err
+				}
+				rs1, err := reg(1)
+				if err != nil {
+					return err
+				}
+				inst.Rd, inst.Rs1 = rd, rs1
+			case 3:
+				if riscv.IsFMA(mn) {
+					return a.errf("%s expects 4 operands", mnStr)
+				}
+				rd, err := reg(0)
+				if err != nil {
+					return err
+				}
+				rs1, err := reg(1)
+				if err != nil {
+					return err
+				}
+				inst.Rd, inst.Rs1 = rd, rs1
+				if ops[2].isReg {
+					inst.Rs2 = ops[2].reg
+				} else {
+					inst.Imm, ref = ops[2].val, ops[2].ref
+				}
+			case 4: // fused multiply-add
+				var regs [4]riscv.Reg
+				for i := 0; i < 4; i++ {
+					r, err := reg(i)
+					if err != nil {
+						return err
+					}
+					regs[i] = r
+				}
+				inst.Rd, inst.Rs1, inst.Rs2, inst.Rs3 = regs[0], regs[1], regs[2], regs[3]
+			default:
+				return a.errf("%s: unsupported operand count %d", mnStr, len(ops))
+			}
+		}
+	}
+	a.emit(inst, ref)
+	return nil
+}
+
+// branchRef turns an operand into a pc-relative symbol reference when the
+// operand was symbolic; literal operands are raw byte offsets.
+func branchRef(op operand) *symRef {
+	if op.ref == nil {
+		return nil
+	}
+	r := *op.ref
+	r.mod = modPCRel
+	return &r
+}
+
+func isCSRMn(mn riscv.Mnemonic) bool {
+	switch mn {
+	case riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC,
+		riscv.MnCSRRWI, riscv.MnCSRRSI, riscv.MnCSRRCI:
+		return true
+	}
+	return false
+}
+
+var csrByName = map[string]uint16{
+	"cycle": 0xC00, "time": 0xC01, "instret": 0xC02,
+	"fflags": 0x001, "frm": 0x002, "fcsr": 0x003,
+}
+
+// tryPseudo expands the standard pseudo-instructions. It reports whether the
+// mnemonic was handled.
+func (a *assembler) tryPseudo(mn string, ops []string) (bool, error) {
+	R := riscv.RegNone
+	_ = R
+	regOp := func(i int) (riscv.Reg, error) { return a.parseReg(ops[i]) }
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s expects %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+	ji := func(m riscv.Mnemonic, rd, rs1, rs2 riscv.Reg, imm int64, ref *symRef) {
+		a.emit(riscv.Inst{Mn: m, Rd: rd, Rs1: rs1, Rs2: rs2, Rs3: riscv.RegNone,
+			Imm: imm, RM: riscv.RMDyn}, ref)
+	}
+
+	switch mn {
+	case "nop":
+		ji(riscv.MnADDI, riscv.X0, riscv.X0, riscv.RegNone, 0, nil)
+	case "li":
+		if err := need(2); err != nil {
+			return true, err
+		}
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		v, err := a.constExpr(ops[1])
+		if err != nil {
+			return true, err
+		}
+		a.materialize(rd, v)
+	case "la", "lla":
+		if err := need(2); err != nil {
+			return true, err
+		}
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		sym, add, ok := a.symPlusAddend(ops[1])
+		if !ok {
+			return true, a.errf("la expects a symbol, got %q", ops[1])
+		}
+		ji(riscv.MnLUI, rd, riscv.RegNone, riscv.RegNone, 0, &symRef{sym: sym, addend: add, mod: modHi})
+		ji(riscv.MnADDI, rd, rd, riscv.RegNone, 0, &symRef{sym: sym, addend: add, mod: modLo})
+	case "mv":
+		if err := need(2); err != nil {
+			return true, err
+		}
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		rs, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		// mv expands to "add rd, x0, rs" (the c.mv form), matching what gcc
+		// emits so the result stays compressible.
+		ji(riscv.MnADD, rd, riscv.X0, rs, 0, nil)
+	case "not":
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		rs, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnXORI, rd, rs, riscv.RegNone, -1, nil)
+	case "neg":
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		rs, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnSUB, rd, riscv.X0, rs, 0, nil)
+	case "negw":
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		rs, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnSUBW, rd, riscv.X0, rs, 0, nil)
+	case "sext.w":
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		rs, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnADDIW, rd, rs, riscv.RegNone, 0, nil)
+	case "seqz":
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		rs, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnSLTIU, rd, rs, riscv.RegNone, 1, nil)
+	case "snez":
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		rs, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnSLTU, rd, riscv.X0, rs, 0, nil)
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := need(2); err != nil {
+			return true, err
+		}
+		rs, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		t, err := a.parseImm(ops[1])
+		if err != nil {
+			return true, err
+		}
+		ref := branchRef(t)
+		switch mn {
+		case "beqz":
+			ji(riscv.MnBEQ, riscv.RegNone, rs, riscv.X0, t.val, ref)
+		case "bnez":
+			ji(riscv.MnBNE, riscv.RegNone, rs, riscv.X0, t.val, ref)
+		case "blez":
+			ji(riscv.MnBGE, riscv.RegNone, riscv.X0, rs, t.val, ref)
+		case "bgez":
+			ji(riscv.MnBGE, riscv.RegNone, rs, riscv.X0, t.val, ref)
+		case "bltz":
+			ji(riscv.MnBLT, riscv.RegNone, rs, riscv.X0, t.val, ref)
+		case "bgtz":
+			ji(riscv.MnBLT, riscv.RegNone, riscv.X0, rs, t.val, ref)
+		}
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := need(3); err != nil {
+			return true, err
+		}
+		r1, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		r2, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		t, err := a.parseImm(ops[2])
+		if err != nil {
+			return true, err
+		}
+		ref := branchRef(t)
+		switch mn {
+		case "bgt":
+			ji(riscv.MnBLT, riscv.RegNone, r2, r1, t.val, ref)
+		case "ble":
+			ji(riscv.MnBGE, riscv.RegNone, r2, r1, t.val, ref)
+		case "bgtu":
+			ji(riscv.MnBLTU, riscv.RegNone, r2, r1, t.val, ref)
+		case "bleu":
+			ji(riscv.MnBGEU, riscv.RegNone, r2, r1, t.val, ref)
+		}
+	case "j":
+		if err := need(1); err != nil {
+			return true, err
+		}
+		t, err := a.parseImm(ops[0])
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnJAL, riscv.X0, riscv.RegNone, riscv.RegNone, t.val, branchRef(t))
+	case "jr":
+		if err := need(1); err != nil {
+			return true, err
+		}
+		rs, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnJALR, riscv.X0, rs, riscv.RegNone, 0, nil)
+	case "ret":
+		ji(riscv.MnJALR, riscv.X0, riscv.RegRA, riscv.RegNone, 0, nil)
+	case "call":
+		if err := need(1); err != nil {
+			return true, err
+		}
+		t, err := a.parseImm(ops[0])
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnJAL, riscv.RegRA, riscv.RegNone, riscv.RegNone, t.val, branchRef(t))
+	case "tail":
+		if err := need(1); err != nil {
+			return true, err
+		}
+		t, err := a.parseImm(ops[0])
+		if err != nil {
+			return true, err
+		}
+		ji(riscv.MnJAL, riscv.X0, riscv.RegNone, riscv.RegNone, t.val, branchRef(t))
+	case "callfar", "tailfar":
+		// The multi-instruction auipc+jalr sequences from Section 3.2.3:
+		// callfar links through ra; tailfar clobbers t1 and does not link.
+		if err := need(1); err != nil {
+			return true, err
+		}
+		sym, add, ok := a.symPlusAddend(ops[0])
+		if !ok {
+			return true, a.errf("%s expects a symbol", mn)
+		}
+		scratch, link := riscv.RegRA, riscv.RegRA
+		if mn == "tailfar" {
+			scratch, link = riscv.RegT1, riscv.X0
+		}
+		hi := &symRef{sym: sym, addend: add, mod: modPCRelHi}
+		a.emit(riscv.Inst{Mn: riscv.MnAUIPC, Rd: scratch, Rs1: riscv.RegNone,
+			Rs2: riscv.RegNone, Rs3: riscv.RegNone}, hi)
+		hiItem := a.cur.items[len(a.cur.items)-1]
+		lo := &symRef{sym: sym, addend: add, mod: modPCRelLo, pair: hiItem}
+		a.emit(riscv.Inst{Mn: riscv.MnJALR, Rd: link, Rs1: scratch,
+			Rs2: riscv.RegNone, Rs3: riscv.RegNone}, lo)
+	case "fmv.d", "fabs.d", "fneg.d", "fmv.s", "fabs.s", "fneg.s":
+		if err := need(2); err != nil {
+			return true, err
+		}
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		rs, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		m := map[string]riscv.Mnemonic{
+			"fmv.d": riscv.MnFSGNJD, "fabs.d": riscv.MnFSGNJXD, "fneg.d": riscv.MnFSGNJND,
+			"fmv.s": riscv.MnFSGNJS, "fabs.s": riscv.MnFSGNJXS, "fneg.s": riscv.MnFSGNJNS,
+		}[mn]
+		ji(m, rd, rs, rs, 0, nil)
+	case "csrr":
+		if err := need(2); err != nil {
+			return true, err
+		}
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		csr, err := a.csrNum(ops[1])
+		if err != nil {
+			return true, err
+		}
+		a.emit(riscv.Inst{Mn: riscv.MnCSRRS, Rd: rd, Rs1: riscv.X0,
+			Rs2: riscv.RegNone, Rs3: riscv.RegNone, CSR: csr}, nil)
+	case "csrw":
+		if err := need(2); err != nil {
+			return true, err
+		}
+		csr, err := a.csrNum(ops[0])
+		if err != nil {
+			return true, err
+		}
+		rs, err := regOp(1)
+		if err != nil {
+			return true, err
+		}
+		a.emit(riscv.Inst{Mn: riscv.MnCSRRW, Rd: riscv.X0, Rs1: rs,
+			Rs2: riscv.RegNone, Rs3: riscv.RegNone, CSR: csr}, nil)
+	case "rdcycle", "rdtime", "rdinstret":
+		if err := need(1); err != nil {
+			return true, err
+		}
+		rd, err := regOp(0)
+		if err != nil {
+			return true, err
+		}
+		csr := map[string]uint16{"rdcycle": 0xC00, "rdtime": 0xC01, "rdinstret": 0xC02}[mn]
+		a.emit(riscv.Inst{Mn: riscv.MnCSRRS, Rd: rd, Rs1: riscv.X0,
+			Rs2: riscv.RegNone, Rs3: riscv.RegNone, CSR: csr}, nil)
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+func (a *assembler) csrNum(s string) (uint16, error) {
+	if n, ok := csrByName[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return n, nil
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 32)
+	if err != nil || v < 0 || v > 0xfff {
+		return 0, a.errf("bad CSR %q", s)
+	}
+	return uint16(v), nil
+}
+
+// materialize emits the li expansion: the lui/addi(w)/slli sequence the
+// paper's CodeGenAPI section describes for loading immediates that have no
+// single-instruction form.
+func (a *assembler) materialize(rd riscv.Reg, v int64) {
+	ji := func(m riscv.Mnemonic, rd, rs1 riscv.Reg, imm int64) {
+		a.emit(riscv.Inst{Mn: m, Rd: rd, Rs1: rs1, Rs2: riscv.RegNone,
+			Rs3: riscv.RegNone, Imm: imm}, nil)
+	}
+	if v >= -2048 && v <= 2047 {
+		ji(riscv.MnADDI, rd, riscv.X0, v)
+		return
+	}
+	if v >= -(1<<31) && v < 1<<31 {
+		hi := (v + 0x800) >> 12
+		lo := v - hi<<12
+		// Sign-extend hi to the 20-bit U-type immediate domain.
+		hi = hi << 44 >> 44
+		ji(riscv.MnLUI, rd, riscv.RegNone, hi)
+		if lo != 0 {
+			ji(riscv.MnADDIW, rd, rd, lo)
+		}
+		return
+	}
+	// Wide constant: build the upper part recursively, then shift in 11-bit
+	// chunks (11 keeps every addi immediate positive-safe after shifts).
+	lo12 := v << 52 >> 52
+	upper := (v - lo12) >> 12
+	a.materialize(rd, upper)
+	ji(riscv.MnSLLI, rd, rd, 12)
+	if lo12 != 0 {
+		ji(riscv.MnADDI, rd, rd, lo12)
+	}
+}

@@ -1,0 +1,122 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"rvdyn/internal/emu"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/snippet"
+)
+
+func TestModeStrings(t *testing.T) {
+	if ModeDeadRegister.String() != "dead-register" || ModeSpillAlways.String() != "spill-always" {
+		t.Errorf("mode strings: %q %q", ModeDeadRegister, ModeSpillAlways)
+	}
+}
+
+func TestNestedIfLowering(t *testing.T) {
+	a := &snippet.Var{Name: "a", Width: 8, Addr: 0x20000}
+	out := &snippet.Var{Name: "out", Width: 8, Addr: 0x20008}
+	sn := snippet.If{
+		Cond: snippet.BinOp{Op: snippet.OpGt, L: a, R: snippet.ConstInt{Val: 10}},
+		Then: snippet.If{
+			Cond: snippet.BinOp{Op: snippet.OpLt, L: a, R: snippet.ConstInt{Val: 20}},
+			Then: snippet.Assign{Dst: out, Src: snippet.ConstInt{Val: 1}},
+			Else: snippet.Assign{Dst: out, Src: snippet.ConstInt{Val: 2}},
+		},
+		Else: snippet.Assign{Dst: out, Src: snippet.ConstInt{Val: 3}},
+	}
+	res, err := Generate(sn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, av := range []int64{15, 25, 5} {
+		c := execSnippet(t, res, func(c *emu.CPU) { c.Mem.Write64(0x20000, uint64(av)) })
+		got, _ := c.Mem.Read64(0x20008)
+		var want uint64
+		switch {
+		case av > 10 && av < 20:
+			want = 1
+		case av > 10:
+			want = 2
+		default:
+			want = 3
+		}
+		if got != want {
+			t.Errorf("a=%d: out=%d, want %d", av, got, want)
+		}
+	}
+}
+
+func TestExpressionTooDeep(t *testing.T) {
+	// Build a right-leaning expression needing more than 8 registers.
+	var e snippet.Snippet = snippet.ConstInt{Val: 1}
+	for i := 0; i < 12; i++ {
+		e = snippet.BinOp{Op: snippet.OpAdd, L: snippet.ConstInt{Val: 1}, R: e}
+	}
+	dst := &snippet.Var{Name: "d", Width: 8, Addr: 0x20000}
+	if _, err := Generate(snippet.Assign{Dst: dst, Src: e}, Options{}); err == nil {
+		t.Error("over-deep expression generated without error")
+	} else if !strings.Contains(err.Error(), "scratch") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestCallTooManyArgs(t *testing.T) {
+	sn := snippet.CallFunc{Entry: 0x1000, Args: []snippet.Snippet{
+		snippet.ConstInt{Val: 1}, snippet.ConstInt{Val: 2}, snippet.ConstInt{Val: 3}}}
+	if _, err := Generate(sn, Options{}); err == nil {
+		t.Error("3-arg call snippet accepted")
+	}
+}
+
+func TestDivWithoutMRejected(t *testing.T) {
+	// There is no software-division fallback: unsupported operator for the
+	// target must error rather than emit a forbidden instruction.
+	dst := &snippet.Var{Name: "d", Width: 8, Addr: 0x20000}
+	sn := snippet.Assign{Dst: dst, Src: snippet.BinOp{
+		Op: snippet.BinOpKind(99), L: snippet.ConstInt{Val: 1}, R: snippet.ConstInt{Val: 2}}}
+	if _, err := Generate(sn, Options{}); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}
+
+func TestGeneratedCodeStaysInArch(t *testing.T) {
+	// Every generated instruction must belong to the declared target set.
+	counter := &snippet.Var{Name: "c", Width: 8, Addr: 0x20000}
+	sn := snippet.Sequence{List: []snippet.Snippet{
+		snippet.Increment(counter),
+		snippet.If{
+			Cond: snippet.BinOp{Op: snippet.OpMul, L: counter, R: snippet.ConstInt{Val: 3}},
+			Then: snippet.Increment(counter),
+		},
+	}}
+	for _, arch := range []riscv.ExtSet{riscv.ExtI, riscv.ExtI | riscv.ExtM, riscv.RV64GC} {
+		res, err := Generate(sn, Options{Arch: arch, Mode: ModeSpillAlways})
+		if err != nil {
+			t.Fatalf("arch %v: %v", arch, err)
+		}
+		for _, in := range res.Insts {
+			if !arch.Has(in.Mn.Ext()) {
+				t.Errorf("arch %v: generated %v (needs %v)", arch, in.Mn, in.Mn.Ext())
+			}
+		}
+	}
+}
+
+func TestScratchNeverIncludesReservedRegs(t *testing.T) {
+	counter := &snippet.Var{Name: "c", Width: 8, Addr: 0x20000}
+	res, err := Generate(snippet.Increment(counter), Options{
+		Mode:     ModeDeadRegister,
+		DeadRegs: []riscv.Reg{riscv.RegSP, riscv.RegRA, riscv.X0, riscv.RegT0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Scratch {
+		if r == riscv.RegSP || r == riscv.RegRA || r == riscv.X0 {
+			t.Errorf("reserved register %v used as scratch", r)
+		}
+	}
+}

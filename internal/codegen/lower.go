@@ -1,0 +1,306 @@
+package codegen
+
+import (
+	"fmt"
+
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/snippet"
+)
+
+// stmt lowers a statement-position snippet.
+func (g *gen) stmt(sn snippet.Snippet) error {
+	switch s := sn.(type) {
+	case snippet.Sequence:
+		for _, c := range s.List {
+			if err := g.stmt(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case snippet.Assign:
+		return g.assign(s)
+	case snippet.If:
+		return g.ifStmt(s)
+	case snippet.CallFunc:
+		return g.call(s)
+	case snippet.ConstInt, *snippet.Var, snippet.ParamReg, snippet.BinOp:
+		// An expression in statement position: evaluate for effect.
+		_, err := g.expr(sn, g.pool)
+		return err
+	}
+	return fmt.Errorf("codegen: unsupported snippet node %T", sn)
+}
+
+// assign lowers Dst = Src, with the read-modify-write fast path for the
+// counter-update pattern v = v op expr (one address materialization, as the
+// paper's counter benchmarks rely on).
+func (g *gen) assign(s snippet.Assign) error {
+	if s.Dst == nil {
+		return fmt.Errorf("codegen: assignment with nil destination")
+	}
+	if s.Dst.Addr == 0 {
+		return fmt.Errorf("codegen: variable %q has no allocated address", s.Dst.Name)
+	}
+	if len(g.pool) < 2 {
+		return fmt.Errorf("codegen: assignment needs 2 scratch registers")
+	}
+	addr, val := g.pool[0], g.pool[1]
+
+	// Fast path: v = v + const.
+	if b, ok := s.Src.(snippet.BinOp); ok && b.Op == snippet.OpAdd {
+		if v2, ok := b.L.(*snippet.Var); ok && v2 == s.Dst {
+			if c, ok := b.R.(snippet.ConstInt); ok && c.Val >= -2048 && c.Val <= 2047 {
+				g.materialize(addr, int64(s.Dst.Addr))
+				g.emitLoad(val, addr, s.Dst.Width)
+				g.emit(riscv.MnADDI, val, val, riscv.RegNone, c.Val)
+				g.emitStore(val, addr, s.Dst.Width)
+				return nil
+			}
+		}
+	}
+
+	if _, err := g.exprInto(s.Src, val, g.pool[2:]); err != nil {
+		return err
+	}
+	g.materialize(addr, int64(s.Dst.Addr))
+	g.emitStore(val, addr, s.Dst.Width)
+	return nil
+}
+
+func (g *gen) ifStmt(s snippet.If) error {
+	cond, err := g.expr(s.Cond, g.pool)
+	if err != nil {
+		return err
+	}
+	elseLbl := g.newLabel()
+	endLbl := g.newLabel()
+	g.branchTo(riscv.MnBEQ, cond, riscv.X0, elseLbl)
+	if s.Then != nil {
+		if err := g.stmt(s.Then); err != nil {
+			return err
+		}
+	}
+	if s.Else != nil {
+		g.branchTo(riscv.MnJAL, riscv.RegNone, riscv.RegNone, endLbl)
+		g.place(elseLbl)
+		if err := g.stmt(s.Else); err != nil {
+			return err
+		}
+		g.place(endLbl)
+	} else {
+		g.place(elseLbl)
+		g.place(endLbl)
+	}
+	return nil
+}
+
+// callSaved is the integer state a snippet-inserted call must preserve.
+var callSavedX = []riscv.Reg{
+	riscv.RegRA, riscv.RegT0, riscv.RegT1, riscv.RegT2,
+	riscv.RegA0, riscv.RegA1, riscv.RegA2, riscv.RegA3,
+	riscv.RegA4, riscv.RegA5, riscv.RegA6, riscv.RegA7,
+	riscv.RegT3, riscv.RegT4, riscv.RegT5, riscv.RegT6,
+}
+
+var callSavedF = []riscv.Reg{
+	riscv.F0, riscv.F1, riscv.F2, riscv.F3, riscv.F4, riscv.F5, riscv.F6,
+	riscv.F7, riscv.F10, riscv.F11, riscv.F12, riscv.F13, riscv.F14,
+	riscv.F15, riscv.F16, riscv.F17, riscv.F28, riscv.F29, riscv.F30, riscv.F31,
+}
+
+// call lowers a function-call snippet: save the full caller-saved ABI state
+// (the callee is an arbitrary mutatee function), marshal up to two
+// arguments, call through a scratch register, and restore.
+func (g *gen) call(s snippet.CallFunc) error {
+	if len(s.Args) > 2 {
+		return fmt.Errorf("codegen: call snippets support at most 2 arguments, got %d", len(s.Args))
+	}
+	// Evaluate arguments into scratch before saving (scratch survives the
+	// saves; the argument registers themselves get overwritten after).
+	argRegs := make([]riscv.Reg, len(s.Args))
+	for i, a := range s.Args {
+		if len(g.pool) < i+2 {
+			return fmt.Errorf("codegen: not enough scratch for call arguments")
+		}
+		dst := g.pool[i]
+		if _, err := g.exprInto(a, dst, g.pool[i+1:]); err != nil {
+			return err
+		}
+		argRegs[i] = dst
+	}
+
+	saved := append([]riscv.Reg(nil), callSavedX...)
+	var savedF []riscv.Reg
+	if g.opts.Arch.Has(riscv.ExtD) {
+		savedF = callSavedF
+	}
+	frame := int64((len(saved)*8 + len(savedF)*8 + 15) &^ 15)
+	g.emit(riscv.MnADDI, riscv.RegSP, riscv.RegSP, riscv.RegNone, -frame)
+	off := int64(0)
+	for _, r := range saved {
+		g.emit(riscv.MnSD, riscv.RegNone, riscv.RegSP, r, off)
+		off += 8
+	}
+	for _, r := range savedF {
+		g.emit(riscv.MnFSD, riscv.RegNone, riscv.RegSP, r, off)
+		off += 8
+	}
+	for i, r := range argRegs {
+		g.emit(riscv.MnADDI, riscv.XReg(uint32(10+i)), r, riscv.RegNone, 0)
+	}
+	// The target address goes through a scratch register so placement of
+	// the snippet code is position-independent.
+	tgt := g.pool[len(g.pool)-1]
+	g.materialize(tgt, int64(s.Entry))
+	g.emit(riscv.MnJALR, riscv.RegRA, tgt, riscv.RegNone, 0)
+	off = 0
+	for _, r := range saved {
+		g.emit(riscv.MnLD, r, riscv.RegSP, riscv.RegNone, off)
+		off += 8
+	}
+	for _, r := range savedF {
+		g.emit(riscv.MnFLD, r, riscv.RegSP, riscv.RegNone, off)
+		off += 8
+	}
+	g.emit(riscv.MnADDI, riscv.RegSP, riscv.RegSP, riscv.RegNone, frame)
+	return nil
+}
+
+// expr evaluates into the first register of avail.
+func (g *gen) expr(sn snippet.Snippet, avail []riscv.Reg) (riscv.Reg, error) {
+	if len(avail) == 0 {
+		return riscv.RegNone, fmt.Errorf("codegen: out of scratch registers")
+	}
+	return g.exprInto(sn, avail[0], avail[1:])
+}
+
+// exprInto evaluates sn into dst using rest as temporaries.
+func (g *gen) exprInto(sn snippet.Snippet, dst riscv.Reg, rest []riscv.Reg) (riscv.Reg, error) {
+	switch e := sn.(type) {
+	case snippet.ConstInt:
+		g.materialize(dst, e.Val)
+		return dst, nil
+	case *snippet.Var:
+		if e.Addr == 0 {
+			return dst, fmt.Errorf("codegen: variable %q has no allocated address", e.Name)
+		}
+		g.materialize(dst, int64(e.Addr))
+		g.emitLoad(dst, dst, e.Width)
+		return dst, nil
+	case snippet.ParamReg:
+		if e.Index < 0 || e.Index > 7 {
+			return dst, fmt.Errorf("codegen: argument index %d out of range", e.Index)
+		}
+		g.emit(riscv.MnADDI, dst, riscv.XReg(uint32(10+e.Index)), riscv.RegNone, 0)
+		return dst, nil
+	case snippet.BinOp:
+		if _, err := g.exprInto(e.L, dst, rest); err != nil {
+			return dst, err
+		}
+		if len(rest) == 0 {
+			return dst, fmt.Errorf("codegen: expression too deep for scratch pool")
+		}
+		r := rest[0]
+		if _, err := g.exprInto(e.R, r, rest[1:]); err != nil {
+			return dst, err
+		}
+		return dst, g.binop(e.Op, dst, r, rest[1:])
+	}
+	return dst, fmt.Errorf("codegen: %T is not an expression", sn)
+}
+
+func (g *gen) binop(op snippet.BinOpKind, dst, r riscv.Reg, rest []riscv.Reg) error {
+	switch op {
+	case snippet.OpAdd:
+		g.emit(riscv.MnADD, dst, dst, r, 0)
+	case snippet.OpSub:
+		g.emit(riscv.MnSUB, dst, dst, r, 0)
+	case snippet.OpAnd:
+		g.emit(riscv.MnAND, dst, dst, r, 0)
+	case snippet.OpOr:
+		g.emit(riscv.MnOR, dst, dst, r, 0)
+	case snippet.OpXor:
+		g.emit(riscv.MnXOR, dst, dst, r, 0)
+	case snippet.OpShl:
+		g.emit(riscv.MnSLL, dst, dst, r, 0)
+	case snippet.OpShr:
+		g.emit(riscv.MnSRL, dst, dst, r, 0)
+	case snippet.OpEq:
+		g.emit(riscv.MnXOR, dst, dst, r, 0)
+		g.emit(riscv.MnSLTIU, dst, dst, riscv.RegNone, 1)
+	case snippet.OpNe:
+		g.emit(riscv.MnXOR, dst, dst, r, 0)
+		g.emit(riscv.MnSLTU, dst, riscv.X0, dst, 0)
+	case snippet.OpLt:
+		g.emit(riscv.MnSLT, dst, dst, r, 0)
+	case snippet.OpGe:
+		g.emit(riscv.MnSLT, dst, dst, r, 0)
+		g.emit(riscv.MnXORI, dst, dst, riscv.RegNone, 1)
+	case snippet.OpGt:
+		g.emit(riscv.MnSLT, dst, r, dst, 0)
+	case snippet.OpLe:
+		g.emit(riscv.MnSLT, dst, r, dst, 0)
+		g.emit(riscv.MnXORI, dst, dst, riscv.RegNone, 1)
+	case snippet.OpMul:
+		if g.opts.Arch.Has(riscv.ExtM) {
+			g.emit(riscv.MnMUL, dst, dst, r, 0)
+			return nil
+		}
+		return g.softMul(dst, r, rest)
+	default:
+		return fmt.Errorf("codegen: unsupported operator %v", op)
+	}
+	return nil
+}
+
+// softMul lowers dst = dst * r by shift-and-add for targets without the M
+// extension — extension-aware generation in action.
+func (g *gen) softMul(dst, r riscv.Reg, rest []riscv.Reg) error {
+	if len(rest) < 2 {
+		return fmt.Errorf("codegen: software multiply needs 2 extra scratch registers")
+	}
+	acc, bit := rest[0], rest[1]
+	loop := g.newLabel()
+	skip := g.newLabel()
+	done := g.newLabel()
+	// acc = dst; dst = 0
+	g.emit(riscv.MnADDI, acc, dst, riscv.RegNone, 0)
+	g.emit(riscv.MnADDI, dst, riscv.X0, riscv.RegNone, 0)
+	g.place(loop)
+	g.branchTo(riscv.MnBEQ, r, riscv.X0, done)
+	g.emit(riscv.MnANDI, bit, r, riscv.RegNone, 1)
+	g.branchTo(riscv.MnBEQ, bit, riscv.X0, skip)
+	g.emit(riscv.MnADD, dst, dst, acc, 0)
+	g.place(skip)
+	g.emit(riscv.MnSLLI, acc, acc, riscv.RegNone, 1)
+	g.emit(riscv.MnSRLI, r, r, riscv.RegNone, 1)
+	g.branchTo(riscv.MnJAL, riscv.RegNone, riscv.RegNone, loop)
+	g.place(done)
+	return nil
+}
+
+func (g *gen) emitLoad(dst, addr riscv.Reg, width int) {
+	switch width {
+	case 1:
+		g.emit(riscv.MnLBU, dst, addr, riscv.RegNone, 0)
+	case 2:
+		g.emit(riscv.MnLHU, dst, addr, riscv.RegNone, 0)
+	case 4:
+		g.emit(riscv.MnLWU, dst, addr, riscv.RegNone, 0)
+	default:
+		g.emit(riscv.MnLD, dst, addr, riscv.RegNone, 0)
+	}
+}
+
+func (g *gen) emitStore(src, addr riscv.Reg, width int) {
+	switch width {
+	case 1:
+		g.emit(riscv.MnSB, riscv.RegNone, addr, src, 0)
+	case 2:
+		g.emit(riscv.MnSH, riscv.RegNone, addr, src, 0)
+	case 4:
+		g.emit(riscv.MnSW, riscv.RegNone, addr, src, 0)
+	default:
+		g.emit(riscv.MnSD, riscv.RegNone, addr, src, 0)
+	}
+}

@@ -1,0 +1,154 @@
+// Package core is the top of the toolkit stack: the mutator-facing facade
+// that ties analysis (symtab, parse, dataflow) to instrumentation (snippet,
+// codegen, patch) and process control (proc, stackwalk), in the way
+// Dyninst's BPatch layer ties its component toolkits together (paper
+// Section 2, Figure 2).
+//
+// Typical static-rewriting use:
+//
+//	bin, _ := core.Open(elfBytes)
+//	fn, _ := bin.FindFunction("multiply")
+//	m := bin.NewMutator(codegen.ModeDeadRegister)
+//	counter := m.NewVar("calls", 8)
+//	m.AtFuncEntry(fn, snippet.Increment(counter))
+//	out, _ := m.Rewrite()            // out is a new, instrumented ELF image
+//
+// Typical dynamic use:
+//
+//	p, _ := bin.Launch(emu.P550())
+//	p.InstrumentFunction(fn, points, snippet.Increment(counter), mode)
+//	p.Continue()
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/dataflow"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/parse"
+	"rvdyn/internal/patch"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/symtab"
+)
+
+// Binary is one analyzed mutatee.
+type Binary struct {
+	File   *elfrv.File
+	Symtab *symtab.Symtab
+	CFG    *parse.CFG
+}
+
+// Open parses and analyzes raw ELF bytes.
+func Open(data []byte) (*Binary, error) {
+	f, err := elfrv.Read(data)
+	if err != nil {
+		return nil, err
+	}
+	return FromFile(f)
+}
+
+// OpenPath reads and analyzes an ELF file on disk.
+func OpenPath(path string) (*Binary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(data)
+}
+
+// FromFile analyzes an in-memory file object.
+func FromFile(f *elfrv.File) (*Binary, error) {
+	st, err := symtab.FromFile(f)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := parse.Parse(st, parse.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{File: f, Symtab: st, CFG: cfg}, nil
+}
+
+// Functions lists the parsed functions.
+func (b *Binary) Functions() []*parse.Function { return b.CFG.Funcs }
+
+// FindFunction looks a function up by name.
+func (b *Binary) FindFunction(name string) (*parse.Function, error) {
+	fn, ok := b.CFG.FuncByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: no function %q", name)
+	}
+	return fn, nil
+}
+
+// Liveness runs (and the caller may cache) the register liveness analysis.
+func (b *Binary) Liveness(fn *parse.Function) *dataflow.LivenessResult {
+	return dataflow.Liveness(fn)
+}
+
+// Mutator wraps the static rewriter with point helpers.
+type Mutator struct {
+	*patch.Rewriter
+}
+
+// NewMutator prepares static rewriting in the given codegen mode.
+func (b *Binary) NewMutator(mode codegen.Mode) *Mutator {
+	return &Mutator{Rewriter: patch.NewRewriter(b.Symtab, b.CFG, mode)}
+}
+
+// AtFuncEntry inserts sn at the function entry point.
+func (m *Mutator) AtFuncEntry(fn *parse.Function, sn snippet.Snippet) error {
+	return m.InsertSnippet(snippet.FuncEntry(fn), sn)
+}
+
+// AtFuncExits inserts sn at every exit point.
+func (m *Mutator) AtFuncExits(fn *parse.Function, sn snippet.Snippet) error {
+	for _, pt := range snippet.FuncExits(fn) {
+		if err := m.InsertSnippet(pt, sn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AtBlockEntries inserts sn at the start of every basic block.
+func (m *Mutator) AtBlockEntries(fn *parse.Function, sn snippet.Snippet) error {
+	for _, pt := range snippet.BlockEntries(fn) {
+		if err := m.InsertSnippet(pt, sn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AtCallSites inserts sn before every call instruction in the function.
+func (m *Mutator) AtCallSites(fn *parse.Function, sn snippet.Snippet) error {
+	for _, pt := range snippet.CallSites(fn) {
+		if err := m.InsertSnippet(pt, sn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AtLoopBegins inserts sn at every loop head (once per iteration).
+func (m *Mutator) AtLoopBegins(fn *parse.Function, sn snippet.Snippet) error {
+	for _, pt := range snippet.LoopBegins(fn) {
+		if err := m.InsertSnippet(pt, sn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AtLoopBackEdges inserts sn on every loop back edge of the function.
+func (m *Mutator) AtLoopBackEdges(fn *parse.Function, sn snippet.Snippet) error {
+	for _, pt := range snippet.LoopBackEdges(fn) {
+		if err := m.InsertEdgeSnippet(pt, sn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

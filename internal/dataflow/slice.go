@@ -1,0 +1,157 @@
+package dataflow
+
+import (
+	"sort"
+
+	"rvdyn/internal/parse"
+	"rvdyn/internal/riscv"
+)
+
+// Slicing (paper Section 3.2.4): backward slices collect the instructions
+// that affected a value; forward slices collect the instructions a value
+// affects. Slices here follow register def-use chains across the
+// intraprocedural CFG; memory is treated as opaque (a def through a store
+// does not reach a load), which matches how the parser's target resolution
+// uses slicing and keeps the analysis sound for its consumers.
+
+// SliceNode identifies one instruction in a slice.
+type SliceNode struct {
+	Block *parse.Block
+	Index int
+}
+
+// Inst returns the instruction at the node.
+func (n SliceNode) Inst() riscv.Inst { return n.Block.Insts[n.Index] }
+
+type sliceKey struct {
+	b   *parse.Block
+	i   int
+	reg riscv.Reg
+}
+
+// BackwardSlice returns the instructions that may have produced the value
+// of reg as read by the instruction at addr (the criterion instruction is
+// not included). Results are sorted by address.
+func BackwardSlice(fn *parse.Function, addr uint64, reg riscv.Reg) []SliceNode {
+	b, ok := fn.BlockContaining(addr)
+	if !ok {
+		return nil
+	}
+	start := -1
+	for i, inst := range b.Insts {
+		if inst.Addr == addr {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+
+	visited := map[sliceKey]bool{}
+	inSlice := map[SliceNode]bool{}
+	var walk func(b *parse.Block, idx int, reg riscv.Reg)
+	walk = func(b *parse.Block, idx int, reg riscv.Reg) {
+		if reg == riscv.X0 || reg == riscv.RegNone || reg == riscv.RegPC {
+			return
+		}
+		key := sliceKey{b, idx, reg}
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		for i := idx - 1; i >= 0; i-- {
+			inst := b.Insts[i]
+			if !inst.RegsWritten().Contains(reg) {
+				continue
+			}
+			node := SliceNode{b, i}
+			if !inSlice[node] {
+				inSlice[node] = true
+				for _, src := range inst.RegsRead().Regs() {
+					walk(b, i, src)
+				}
+			}
+			return // nearest def in this block kills the search upward
+		}
+		for _, e := range b.In {
+			if e.Kind.Interprocedural() || e.From == nil {
+				continue
+			}
+			walk(e.From, len(e.From.Insts), reg)
+		}
+	}
+	walk(b, start, reg)
+
+	out := make([]SliceNode, 0, len(inSlice))
+	for n := range inSlice {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Inst().Addr < out[j].Inst().Addr })
+	return out
+}
+
+// ForwardSlice returns the instructions whose values may be affected by the
+// registers written at addr. The criterion instruction is not included.
+func ForwardSlice(fn *parse.Function, addr uint64) []SliceNode {
+	b, ok := fn.BlockContaining(addr)
+	if !ok {
+		return nil
+	}
+	start := -1
+	for i, inst := range b.Insts {
+		if inst.Addr == addr {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+
+	visited := map[sliceKey]bool{}
+	inSlice := map[SliceNode]bool{}
+	var walk func(b *parse.Block, idx int, reg riscv.Reg)
+	walk = func(b *parse.Block, idx int, reg riscv.Reg) {
+		if reg == riscv.X0 || reg == riscv.RegNone || reg == riscv.RegPC {
+			return
+		}
+		key := sliceKey{b, idx, reg}
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		for i := idx; i < len(b.Insts); i++ {
+			inst := b.Insts[i]
+			if inst.RegsRead().Contains(reg) {
+				node := SliceNode{b, i}
+				if !inSlice[node] {
+					inSlice[node] = true
+					for _, d := range inst.RegsWritten().Regs() {
+						walk(b, i+1, d)
+					}
+				}
+			}
+			if inst.RegsWritten().Contains(reg) {
+				return // killed
+			}
+		}
+		for _, e := range b.Out {
+			if e.Kind.Interprocedural() || e.To == nil {
+				continue
+			}
+			walk(e.To, 0, reg)
+		}
+	}
+	crit := b.Insts[start]
+	for _, d := range crit.RegsWritten().Regs() {
+		walk(b, start+1, d)
+	}
+
+	out := make([]SliceNode, 0, len(inSlice))
+	for n := range inSlice {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Inst().Addr < out[j].Inst().Addr })
+	return out
+}

@@ -1,0 +1,192 @@
+package dataflow
+
+import (
+	"rvdyn/internal/parse"
+	"rvdyn/internal/riscv"
+)
+
+// Stack-height analysis (paper Section 3.2.4, consumed by Section 3.2.7's
+// SP-only frame stepper): a forward dataflow that tracks, at every point,
+// the offset of the stack pointer from its value at function entry, plus
+// where the return address currently lives (still in ra, or spilled to a
+// known stack slot). Heights are negative once a frame is allocated.
+
+// HeightUnknown marks join mismatches or sp writes the analysis cannot
+// model.
+const HeightUnknown = int64(-1) << 62
+
+// RALoc describes where the return address is at a program point.
+type RALoc struct {
+	// InReg is true while the return address is still in ra.
+	InReg bool
+	// Slot is the entry-sp-relative offset of the spilled return address
+	// when InReg is false and Known is true.
+	Slot  int64
+	Known bool
+}
+
+type stackState struct {
+	height int64
+	ra     RALoc
+	valid  bool
+}
+
+func (s stackState) merge(t stackState) stackState {
+	if !s.valid {
+		return t
+	}
+	if !t.valid {
+		return s
+	}
+	out := s
+	if s.height != t.height {
+		out.height = HeightUnknown
+	}
+	if s.ra != t.ra {
+		out.ra = RALoc{Known: false}
+	}
+	return out
+}
+
+// StackResult holds the analysis output.
+type StackResult struct {
+	Fn      *parse.Function
+	entryIn map[*parse.Block]stackState
+}
+
+// StackHeights runs the forward analysis over the function.
+func StackHeights(fn *parse.Function) *StackResult {
+	res := &StackResult{Fn: fn, entryIn: map[*parse.Block]stackState{}}
+	entry := fn.EntryBlock()
+	if entry == nil {
+		return res
+	}
+	res.entryIn[entry] = stackState{height: 0, ra: RALoc{InReg: true, Known: true}, valid: true}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range fn.Blocks {
+			in, ok := res.entryIn[b]
+			if !ok || !in.valid {
+				continue
+			}
+			out := stepBlockForward(b, in)
+			for _, e := range b.Out {
+				if e.Kind.Interprocedural() || e.To == nil {
+					continue
+				}
+				prev, seen := res.entryIn[e.To]
+				var next stackState
+				if seen {
+					next = prev.merge(out)
+				} else {
+					next = out
+				}
+				if !seen || next != prev {
+					res.entryIn[e.To] = next
+					changed = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+func stepBlockForward(b *parse.Block, st stackState) stackState {
+	for i := range b.Insts {
+		st = stepInstForward(b, i, st)
+	}
+	return st
+}
+
+func stepInstForward(b *parse.Block, i int, st stackState) stackState {
+	inst := b.Insts[i]
+	isCallSite := i == len(b.Insts)-1 && b.Purpose == parse.PurposeCall
+	if isCallSite {
+		// The callee rewrites ra; after the call returns, the return address
+		// of *this* frame is wherever the prologue put it. If it was still
+		// in ra, the function made a call without saving ra — after the call
+		// its own return address is lost to the analysis.
+		if st.ra.InReg {
+			st.ra = RALoc{Known: false}
+		}
+		return st
+	}
+	switch {
+	case inst.Mn == riscv.MnADDI && inst.Rd == riscv.RegSP && inst.Rs1 == riscv.RegSP:
+		if st.height != HeightUnknown {
+			st.height += inst.Imm
+		}
+	case inst.RegsWritten().Contains(riscv.RegSP):
+		st.height = HeightUnknown
+	case inst.Mn == riscv.MnSD && inst.Rs2 == riscv.RegRA && inst.Rs1 == riscv.RegSP:
+		if st.ra.InReg && st.height != HeightUnknown {
+			st.ra = RALoc{InReg: false, Slot: st.height + inst.Imm, Known: true}
+		} else if st.ra.InReg {
+			st.ra = RALoc{Known: false}
+		}
+	case inst.Mn == riscv.MnLD && inst.Rd == riscv.RegRA && inst.Rs1 == riscv.RegSP:
+		// Epilogue reload: ra holds the return address again.
+		if st.ra.Known && !st.ra.InReg && st.height != HeightUnknown &&
+			st.height+inst.Imm == st.ra.Slot {
+			st.ra = RALoc{InReg: true, Known: true}
+		} else {
+			st.ra = RALoc{InReg: true, Known: true}
+		}
+	case inst.RegsWritten().Contains(riscv.RegRA):
+		if st.ra.InReg {
+			st.ra = RALoc{Known: false}
+		}
+	}
+	return st
+}
+
+// stateBefore computes the state immediately before the instruction at addr.
+func (res *StackResult) stateBefore(addr uint64) (stackState, bool) {
+	b, ok := res.Fn.BlockContaining(addr)
+	if !ok {
+		return stackState{}, false
+	}
+	st, ok := res.entryIn[b]
+	if !ok || !st.valid {
+		return stackState{}, false
+	}
+	for i := range b.Insts {
+		if b.Insts[i].Addr >= addr {
+			break
+		}
+		st = stepInstForward(b, i, st)
+	}
+	return st, true
+}
+
+// HeightAt returns the sp-minus-entry-sp offset immediately before the
+// instruction at addr (0 at function entry, typically negative inside a
+// frame). ok is false when the height is unknown at that point.
+func (res *StackResult) HeightAt(addr uint64) (int64, bool) {
+	st, ok := res.stateBefore(addr)
+	if !ok || st.height == HeightUnknown {
+		return 0, false
+	}
+	return st.height, true
+}
+
+// RALocAt describes where the return address lives immediately before the
+// instruction at addr.
+func (res *StackResult) RALocAt(addr uint64) (RALoc, bool) {
+	st, ok := res.stateBefore(addr)
+	if !ok {
+		return RALoc{}, false
+	}
+	return st.ra, st.ra.Known
+}
+
+// FrameSizeAt returns the current frame size (a non-negative byte count)
+// when known.
+func (res *StackResult) FrameSizeAt(addr uint64) (uint64, bool) {
+	h, ok := res.HeightAt(addr)
+	if !ok || h > 0 {
+		return 0, false
+	}
+	return uint64(-h), true
+}

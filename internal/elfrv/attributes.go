@@ -1,0 +1,199 @@
+package elfrv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the .riscv.attributes section (RISC-V ELF psABI
+// build-attributes format). Per Section 3.2.1 of the paper, the section
+// carries the target architecture string (Tag_RISCV_arch) from which the
+// instrumenter learns exactly which extensions the mutatee may use. The
+// format is:
+//
+//	byte    'A'                         format version
+//	-- one vendor subsection --
+//	uint32  subsection length           (including this length field)
+//	NTBS    vendor name ("riscv")
+//	-- one or more sub-subsections --
+//	uleb128 tag                         (1 = whole-file attributes)
+//	uint32  sub-subsection length       (including tag and length)
+//	-- attribute records --
+//	uleb128 tag; then uleb128 value (even tags) or NTBS value (odd tags)
+//
+// Following the psABI convention, odd-numbered tags take NTBS values and
+// even-numbered tags take uleb128 values.
+
+// Attributes carries the decoded riscv vendor attributes.
+type Attributes struct {
+	Arch        string // Tag_RISCV_arch
+	StackAlign  uint64 // Tag_RISCV_stack_align
+	UnalignedOK uint64 // Tag_RISCV_unaligned_access
+}
+
+func putUleb(buf *bytes.Buffer, v uint64) {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			b |= 0x80
+		}
+		buf.WriteByte(b)
+		if v == 0 {
+			return
+		}
+	}
+}
+
+func getUleb(b []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < len(b); i++ {
+		v |= uint64(b[i]&0x7f) << shift
+		if b[i]&0x80 == 0 {
+			return v, i + 1, nil
+		}
+		shift += 7
+		if shift > 63 {
+			break
+		}
+	}
+	return 0, 0, fmt.Errorf("elfrv: malformed uleb128 in attributes")
+}
+
+// EncodeAttributes serializes the attributes into the .riscv.attributes
+// section byte format.
+func EncodeAttributes(a Attributes) []byte {
+	var attrs bytes.Buffer
+	if a.StackAlign != 0 {
+		putUleb(&attrs, TagRISCVStackAlign)
+		putUleb(&attrs, a.StackAlign)
+	}
+	if a.Arch != "" {
+		putUleb(&attrs, TagRISCVArch)
+		attrs.WriteString(a.Arch)
+		attrs.WriteByte(0)
+	}
+	if a.UnalignedOK != 0 {
+		putUleb(&attrs, TagRISCVUnalignedOK)
+		putUleb(&attrs, a.UnalignedOK)
+	}
+
+	// File sub-subsection: tag(1) + uint32 length + records.
+	var sub bytes.Buffer
+	sub.WriteByte(attrFileSubsection)
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(1+4+attrs.Len()))
+	sub.Write(lenb[:])
+	sub.Write(attrs.Bytes())
+
+	// Vendor subsection: uint32 length + "riscv\0" + sub-subsections.
+	vendor := "riscv"
+	var out bytes.Buffer
+	out.WriteByte(attrFormatVersion)
+	binary.LittleEndian.PutUint32(lenb[:], uint32(4+len(vendor)+1+sub.Len()))
+	out.Write(lenb[:])
+	out.WriteString(vendor)
+	out.WriteByte(0)
+	out.Write(sub.Bytes())
+	return out.Bytes()
+}
+
+// DecodeAttributes parses a .riscv.attributes section body.
+func DecodeAttributes(data []byte) (Attributes, error) {
+	var a Attributes
+	if len(data) < 1 || data[0] != attrFormatVersion {
+		return a, fmt.Errorf("elfrv: bad attributes format version")
+	}
+	p := data[1:]
+	for len(p) >= 4 {
+		sublen := binary.LittleEndian.Uint32(p)
+		if sublen < 4 || uint64(sublen) > uint64(len(p)) {
+			return a, fmt.Errorf("elfrv: bad attributes subsection length %d", sublen)
+		}
+		sub := p[4:sublen]
+		p = p[sublen:]
+		// Vendor name.
+		nul := bytes.IndexByte(sub, 0)
+		if nul < 0 {
+			return a, fmt.Errorf("elfrv: unterminated vendor name")
+		}
+		vendor := string(sub[:nul])
+		body := sub[nul+1:]
+		if vendor != "riscv" {
+			continue
+		}
+		for len(body) >= 5 {
+			tag := body[0]
+			sslen := binary.LittleEndian.Uint32(body[1:])
+			if sslen < 5 || uint64(sslen) > uint64(len(body)) {
+				return a, fmt.Errorf("elfrv: bad sub-subsection length %d", sslen)
+			}
+			records := body[5:sslen]
+			body = body[sslen:]
+			if tag != attrFileSubsection {
+				continue // we only consume whole-file attributes
+			}
+			for len(records) > 0 {
+				t, n, err := getUleb(records)
+				if err != nil {
+					return a, err
+				}
+				records = records[n:]
+				if t%2 == 1 {
+					// NTBS value.
+					nul := bytes.IndexByte(records, 0)
+					if nul < 0 {
+						return a, fmt.Errorf("elfrv: unterminated attribute string (tag %d)", t)
+					}
+					val := string(records[:nul])
+					records = records[nul+1:]
+					if t == TagRISCVArch {
+						a.Arch = val
+					}
+				} else {
+					v, n, err := getUleb(records)
+					if err != nil {
+						return a, err
+					}
+					records = records[n:]
+					switch t {
+					case TagRISCVStackAlign:
+						a.StackAlign = v
+					case TagRISCVUnalignedOK:
+						a.UnalignedOK = v
+					}
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// RISCVAttributes decodes the file's .riscv.attributes section. The boolean
+// reports whether the section is present; per the paper, when it is absent
+// the consumer must fall back to e_flags (which every ELF file carries).
+func (f *File) RISCVAttributes() (Attributes, bool, error) {
+	s := f.Section(".riscv.attributes")
+	if s == nil {
+		return Attributes{}, false, nil
+	}
+	a, err := DecodeAttributes(s.Data)
+	return a, true, err
+}
+
+// SetRISCVAttributes installs (or replaces) the .riscv.attributes section.
+func (f *File) SetRISCVAttributes(a Attributes) {
+	data := EncodeAttributes(a)
+	if s := f.Section(".riscv.attributes"); s != nil {
+		s.Data = data
+		return
+	}
+	f.Sections = append(f.Sections, &Section{
+		Name:  ".riscv.attributes",
+		Type:  SHTRISCVAttributes,
+		Data:  data,
+		Align: 1,
+	})
+}

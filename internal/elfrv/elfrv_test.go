@@ -1,0 +1,299 @@
+package elfrv
+
+import (
+	"bytes"
+	"debug/elf"
+	"testing"
+	"testing/quick"
+)
+
+// buildTestFile assembles a small executable image with text, data, and bss.
+func buildTestFile() *File {
+	f := &File{
+		Entry: 0x10000,
+		Flags: EFRiscVRVC | EFRiscVFloatABIDouble,
+	}
+	text := make([]byte, 64)
+	for i := range text {
+		text[i] = byte(i)
+	}
+	f.Sections = []*Section{
+		{Name: ".text", Type: SHTProgbits, Flags: SHFAlloc | SHFExecinstr, Addr: 0x10000, Data: text, Align: 4},
+		{Name: ".data", Type: SHTProgbits, Flags: SHFAlloc | SHFWrite, Addr: 0x20000, Data: []byte{1, 2, 3, 4}, Align: 8},
+		{Name: ".bss", Type: SHTNobits, Flags: SHFAlloc | SHFWrite, Addr: 0x21000, MemSize: 128, Align: 8},
+	}
+	f.Symbols = []Symbol{
+		{Name: "main", Value: 0x10000, Size: 32, Bind: STBGlobal, Type: STTFunc, Section: ".text"},
+		{Name: "helper", Value: 0x10020, Size: 32, Bind: STBLocal, Type: STTFunc, Section: ".text"},
+		{Name: "counter", Value: 0x21000, Size: 8, Bind: STBGlobal, Type: STTObject, Section: ".bss"},
+	}
+	f.SetRISCVAttributes(Attributes{Arch: "rv64imafdc_zicsr_zifencei", StackAlign: 16})
+	return f
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := buildTestFile()
+	data, err := f.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Entry != f.Entry {
+		t.Errorf("entry %#x != %#x", g.Entry, f.Entry)
+	}
+	if g.Flags != f.Flags {
+		t.Errorf("flags %#x != %#x", g.Flags, f.Flags)
+	}
+	for _, name := range []string{".text", ".data", ".bss", ".riscv.attributes", ".symtab", ".strtab"} {
+		if g.Section(name) == nil {
+			t.Errorf("missing section %s", name)
+		}
+	}
+	ot, gt := f.Section(".text"), g.Section(".text")
+	if !bytes.Equal(ot.Data, gt.Data) {
+		t.Error(".text content mismatch")
+	}
+	if gt.Addr != 0x10000 || gt.Flags&SHFExecinstr == 0 {
+		t.Errorf(".text addr/flags: %#x %#x", gt.Addr, gt.Flags)
+	}
+	if gb := g.Section(".bss"); gb.Size() != 128 || gb.Type != SHTNobits {
+		t.Errorf(".bss size %d type %d", gb.Size(), gb.Type)
+	}
+	for _, want := range f.Symbols {
+		got, ok := g.Symbol(want.Name)
+		if !ok {
+			t.Errorf("missing symbol %s", want.Name)
+			continue
+		}
+		if got.Value != want.Value || got.Size != want.Size || got.Type != want.Type ||
+			got.Bind != want.Bind || got.Section != want.Section {
+			t.Errorf("symbol %s = %+v, want %+v", want.Name, got, want)
+		}
+	}
+}
+
+// TestCrossValidateWithDebugElf checks our writer output against the Go
+// standard library ELF reader: an independent implementation of the format.
+func TestCrossValidateWithDebugElf(t *testing.T) {
+	f := buildTestFile()
+	data, err := f.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := elf.NewFile(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("debug/elf rejects our output: %v", err)
+	}
+	defer ef.Close()
+	if ef.Machine != elf.EM_RISCV {
+		t.Errorf("machine = %v", ef.Machine)
+	}
+	if ef.Entry != 0x10000 {
+		t.Errorf("entry = %#x", ef.Entry)
+	}
+	if ef.Class != elf.ELFCLASS64 || ef.ByteOrder.String() != "LittleEndian" {
+		t.Errorf("class %v order %v", ef.Class, ef.ByteOrder)
+	}
+	sec := ef.Section(".text")
+	if sec == nil {
+		t.Fatal("debug/elf cannot find .text")
+	}
+	got, err := sec.Data()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, f.Section(".text").Data) {
+		t.Error(".text data mismatch via debug/elf")
+	}
+	syms, err := ef.Symbols()
+	if err != nil {
+		t.Fatalf("debug/elf symbols: %v", err)
+	}
+	found := map[string]bool{}
+	for _, s := range syms {
+		found[s.Name] = true
+	}
+	for _, name := range []string{"main", "helper", "counter"} {
+		if !found[name] {
+			t.Errorf("debug/elf missing symbol %q", name)
+		}
+	}
+	// Program headers: every PT_LOAD must have off ≡ vaddr (mod page).
+	loads := 0
+	for _, p := range ef.Progs {
+		if p.Type != elf.PT_LOAD {
+			continue
+		}
+		loads++
+		if p.Off%0x1000 != p.Vaddr%0x1000 {
+			t.Errorf("PT_LOAD off %#x !≡ vaddr %#x (mod 4096)", p.Off, p.Vaddr)
+		}
+	}
+	if loads != 3 {
+		t.Errorf("PT_LOAD count = %d, want 3", loads)
+	}
+}
+
+func TestAttributesRoundTrip(t *testing.T) {
+	in := Attributes{Arch: "rv64imac_zicsr", StackAlign: 16, UnalignedOK: 1}
+	out, err := DecodeAttributes(EncodeAttributes(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestAttributesQuick(t *testing.T) {
+	f := func(arch string, align uint64) bool {
+		// NTBS cannot contain NUL.
+		clean := make([]byte, 0, len(arch))
+		for i := 0; i < len(arch); i++ {
+			if arch[i] != 0 {
+				clean = append(clean, arch[i])
+			}
+		}
+		in := Attributes{Arch: string(clean), StackAlign: align % 4096}
+		out, err := DecodeAttributes(EncodeAttributes(in))
+		if err != nil {
+			t.Logf("decode(%+v): %v", in, err)
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttributesViaFile(t *testing.T) {
+	f := buildTestFile()
+	data, err := f.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok, err := g.RISCVAttributes()
+	if err != nil || !ok {
+		t.Fatalf("attributes: ok=%v err=%v", ok, err)
+	}
+	if a.Arch != "rv64imafdc_zicsr_zifencei" || a.StackAlign != 16 {
+		t.Errorf("attributes = %+v", a)
+	}
+}
+
+func TestAttributesAbsent(t *testing.T) {
+	f := &File{Entry: 0x10000, Flags: EFRiscVRVC}
+	f.Sections = []*Section{
+		{Name: ".text", Type: SHTProgbits, Flags: SHFAlloc | SHFExecinstr, Addr: 0x10000, Data: make([]byte, 8), Align: 4},
+	}
+	data, err := f.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := g.RISCVAttributes(); ok {
+		t.Error("attributes reported present on a file without the section")
+	}
+	// The e_flags fallback still reports RVC.
+	if g.Flags&EFRiscVRVC == 0 {
+		t.Error("e_flags lost RVC bit")
+	}
+}
+
+func TestSectionAtAndReadAt(t *testing.T) {
+	f := buildTestFile()
+	if s := f.SectionAt(0x10010); s == nil || s.Name != ".text" {
+		t.Errorf("SectionAt(0x10010) = %v", s)
+	}
+	if s := f.SectionAt(0x21040); s == nil || s.Name != ".bss" {
+		t.Errorf("SectionAt(0x21040) = %v", s)
+	}
+	if s := f.SectionAt(0x999999); s != nil {
+		t.Errorf("SectionAt(unmapped) = %v", s)
+	}
+	b, err := f.ReadAt(0x10002, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, []byte{2, 3, 4, 5}) {
+		t.Errorf("ReadAt = %v", b)
+	}
+	// Reads from NOBITS come back zeroed.
+	b, err = f.ReadAt(0x21000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Errorf("bss read = %v", b)
+			break
+		}
+	}
+	if _, err := f.ReadAt(0x1003e, 8); err == nil {
+		t.Error("ReadAt crossing section end succeeded")
+	}
+}
+
+func TestFuncSymbolsSorted(t *testing.T) {
+	f := buildTestFile()
+	fs := f.FuncSymbols()
+	if len(fs) != 2 || fs[0].Name != "main" || fs[1].Name != "helper" {
+		t.Errorf("FuncSymbols = %+v", fs)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("hello"),
+		append([]byte{0x7f, 'E', 'L', 'F', 1 /*32-bit*/, 1, 1}, make([]byte, 64)...),
+	}
+	for i, c := range cases {
+		if _, err := Read(c); err == nil {
+			t.Errorf("case %d: Read accepted garbage", i)
+		}
+	}
+	// Wrong machine.
+	f := buildTestFile()
+	data, _ := f.Write()
+	data[18] = 0x3e // EM_X86_64
+	if _, err := Read(data); err == nil {
+		t.Error("Read accepted x86-64 file")
+	}
+}
+
+func TestFloatABIFlags(t *testing.T) {
+	f := buildTestFile()
+	if f.Flags&EFRiscVFloatABIMask != EFRiscVFloatABIDouble {
+		t.Errorf("float ABI = %#x", f.Flags&EFRiscVFloatABIMask)
+	}
+}
+
+func TestSetAttributesReplaces(t *testing.T) {
+	f := buildTestFile()
+	f.SetRISCVAttributes(Attributes{Arch: "rv64i"})
+	count := 0
+	for _, s := range f.Sections {
+		if s.Name == ".riscv.attributes" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("%d .riscv.attributes sections", count)
+	}
+	a, ok, err := f.RISCVAttributes()
+	if err != nil || !ok || a.Arch != "rv64i" {
+		t.Errorf("after replace: %+v ok=%v err=%v", a, ok, err)
+	}
+}

@@ -1,0 +1,95 @@
+package elfrv
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReadNeverPanics: Read must reject or tolerate — never panic on —
+// corrupted inputs. Binary analysis tools are routinely pointed at
+// malformed files; Dyninst treats robustness here as a requirement, and so
+// does this reproduction. The fuzz mutates a valid image (truncations,
+// byte flips, length-field scrambles) and calls Read on each variant.
+func TestReadNeverPanics(t *testing.T) {
+	base, err := buildTestFile().Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Read panicked on %d-byte corrupted input: %v", len(data), r)
+			}
+		}()
+		f, err := Read(data)
+		if err == nil && f != nil {
+			// Accepted: exercising the accessors must also be safe.
+			for _, s := range f.Sections {
+				_ = s.Size()
+			}
+			_, _, _ = f.RISCVAttributes()
+			_ = f.FuncSymbols()
+			f.ReadAt(f.Entry, 4)
+		}
+	}
+
+	// Truncations at every length up to the header, then sparse beyond.
+	for n := 0; n <= 64 && n <= len(base); n++ {
+		check(base[:n])
+	}
+	for n := 65; n < len(base); n += 37 {
+		check(base[:n])
+	}
+
+	// Random single- and multi-byte flips.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 3000; trial++ {
+		m := append([]byte(nil), base...)
+		flips := 1 + rng.Intn(8)
+		for i := 0; i < flips; i++ {
+			m[rng.Intn(len(m))] ^= byte(1 + rng.Intn(255))
+		}
+		check(m)
+	}
+
+	// Length-field scrambles: overwrite the section-header metadata with
+	// extreme values.
+	for trial := 0; trial < 500; trial++ {
+		m := append([]byte(nil), base...)
+		off := 40 + rng.Intn(24) // shoff / e_flags / sizes region
+		for i := 0; i < 8 && off+i < len(m); i++ {
+			m[off+i] = 0xff
+		}
+		check(m)
+	}
+}
+
+// TestAttributesDecodeNeverPanics fuzzes the uleb/NTBS attribute parser.
+func TestAttributesDecodeNeverPanics(t *testing.T) {
+	base := EncodeAttributes(Attributes{Arch: "rv64imafdc_zicsr", StackAlign: 16})
+	rng := rand.New(rand.NewSource(7))
+	check := func(data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("DecodeAttributes panicked: %v (input % x)", r, data)
+			}
+		}()
+		DecodeAttributes(data)
+	}
+	for n := 0; n <= len(base); n++ {
+		check(base[:n])
+	}
+	for trial := 0; trial < 5000; trial++ {
+		m := append([]byte(nil), base...)
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			m[rng.Intn(len(m))] ^= byte(1 + rng.Intn(255))
+		}
+		check(m)
+	}
+	// Pure garbage.
+	for trial := 0; trial < 1000; trial++ {
+		g := make([]byte, rng.Intn(64))
+		rng.Read(g)
+		check(g)
+	}
+}

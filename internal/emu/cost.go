@@ -1,0 +1,100 @@
+package emu
+
+import "rvdyn/internal/riscv"
+
+// CostModel assigns a deterministic cycle cost to every instruction and
+// fixes the core clock, from which the emulator derives virtual wall time.
+//
+// Two models reproduce the two columns of the paper's results table:
+//
+//   - P550: an in-order core at 1.4 GHz with latencies typical of the
+//     SiFive P550 class (multi-cycle loads, long divides, pipelined FP).
+//   - X86Comparator: the stand-in for the paper's Intel i5-14600T column.
+//     We do not emulate x86; the comparator executes the same RISC-V
+//     workload on a flat one-cycle cost model with an effective clock
+//     calibrated so the *base* run lands near the paper's x86/RISC-V base
+//     ratio (0.1606 s vs 1.2923 s ≈ 8×). What distinguishes the two columns
+//     scientifically is not this calibration but the code-generation mode:
+//     the x86 column is measured with spill-always snippets (the paper's
+//     "current x86 implementation"), the RISC-V column with dead-register
+//     allocation (the optimization the port introduced). See the codegen
+//     and bench packages.
+type CostModel struct {
+	Name string
+	// MHz is the core clock in megahertz; virtual nanoseconds are
+	// cycles*1000/MHz.
+	MHz uint64
+	// BranchTakenPenalty is added to a conditional branch when taken.
+	BranchTakenPenalty uint64
+
+	costs []uint64 // indexed by riscv.Mnemonic
+}
+
+// Cost returns the cycle cost of one instruction.
+func (c *CostModel) Cost(mn riscv.Mnemonic) uint64 {
+	if int(mn) < len(c.costs) {
+		return c.costs[mn]
+	}
+	return 1
+}
+
+// Nanos converts a cycle count to virtual nanoseconds.
+func (c *CostModel) Nanos(cycles uint64) uint64 {
+	return cycles * 1000 / c.MHz
+}
+
+func newModel(name string, mhz, taken uint64, base uint64) *CostModel {
+	m := &CostModel{Name: name, MHz: mhz, BranchTakenPenalty: taken,
+		costs: make([]uint64, riscv.NumMnemonics())}
+	for i := range m.costs {
+		m.costs[i] = base
+	}
+	return m
+}
+
+func (c *CostModel) set(cost uint64, mns ...riscv.Mnemonic) {
+	for _, mn := range mns {
+		c.costs[mn] = cost
+	}
+}
+
+// P550 models the paper's RISC-V platform: a 1.4 GHz SiFive P550.
+func P550() *CostModel {
+	m := newModel("sifive-p550", 1400, 1, 1)
+	m.set(3, riscv.MnLB, riscv.MnLH, riscv.MnLW, riscv.MnLD,
+		riscv.MnLBU, riscv.MnLHU, riscv.MnLWU, riscv.MnFLW, riscv.MnFLD)
+	m.set(1, riscv.MnSB, riscv.MnSH, riscv.MnSW, riscv.MnSD, riscv.MnFSW, riscv.MnFSD)
+	m.set(3, riscv.MnMUL, riscv.MnMULH, riscv.MnMULHSU, riscv.MnMULHU, riscv.MnMULW)
+	m.set(20, riscv.MnDIV, riscv.MnDIVU, riscv.MnREM, riscv.MnREMU,
+		riscv.MnDIVW, riscv.MnDIVUW, riscv.MnREMW, riscv.MnREMUW)
+	m.set(2, riscv.MnJALR)
+	m.set(4, riscv.MnFADDS, riscv.MnFSUBS, riscv.MnFMULS,
+		riscv.MnFADDD, riscv.MnFSUBD, riscv.MnFMULD)
+	m.set(5, riscv.MnFMADDS, riscv.MnFMSUBS, riscv.MnFNMSUBS, riscv.MnFNMADDS,
+		riscv.MnFMADDD, riscv.MnFMSUBD, riscv.MnFNMSUBD, riscv.MnFNMADDD)
+	m.set(25, riscv.MnFDIVS, riscv.MnFDIVD)
+	m.set(30, riscv.MnFSQRTS, riscv.MnFSQRTD)
+	m.set(2, riscv.MnFCVTWS, riscv.MnFCVTWUS, riscv.MnFCVTLS, riscv.MnFCVTLUS,
+		riscv.MnFCVTSW, riscv.MnFCVTSWU, riscv.MnFCVTSL, riscv.MnFCVTSLU,
+		riscv.MnFCVTWD, riscv.MnFCVTWUD, riscv.MnFCVTLD, riscv.MnFCVTLUD,
+		riscv.MnFCVTDW, riscv.MnFCVTDWU, riscv.MnFCVTDL, riscv.MnFCVTDLU,
+		riscv.MnFCVTSD, riscv.MnFCVTDS)
+	m.set(5, riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC,
+		riscv.MnCSRRWI, riscv.MnCSRRSI, riscv.MnCSRRCI)
+	m.set(10, riscv.MnFENCE, riscv.MnFENCEI)
+	m.set(8, riscv.MnLRW, riscv.MnLRD, riscv.MnSCW, riscv.MnSCD,
+		riscv.MnAMOSWAPW, riscv.MnAMOADDW, riscv.MnAMOXORW, riscv.MnAMOANDW,
+		riscv.MnAMOORW, riscv.MnAMOMINW, riscv.MnAMOMAXW, riscv.MnAMOMINUW,
+		riscv.MnAMOMAXUW, riscv.MnAMOSWAPD, riscv.MnAMOADDD, riscv.MnAMOXORD,
+		riscv.MnAMOANDD, riscv.MnAMOORD, riscv.MnAMOMIND, riscv.MnAMOMAXD,
+		riscv.MnAMOMINUD, riscv.MnAMOMAXUD)
+	m.set(150, riscv.MnECALL)
+	return m
+}
+
+// X86Comparator is the stand-in for the paper's x86 column: a flat
+// superscalar-ish cost model with an effective clock calibrated to land the
+// base run near the paper's 8× base-time ratio.
+func X86Comparator() *CostModel {
+	return newModel("x86-comparator", 11200, 0, 1)
+}

@@ -1,0 +1,807 @@
+package emu
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/riscv"
+)
+
+// Stack and heap placement for emulated processes.
+const (
+	StackTop  = 0x7fff_f000
+	StackSize = 1 << 20
+	mmapBase  = 0x4000_0000
+)
+
+// StopReason reports why Run returned.
+type StopReason int
+
+const (
+	StopExit       StopReason = iota // the program called exit
+	StopBreakpoint                   // an ebreak was executed (PC at the ebreak)
+	StopMaxInst                      // the instruction budget was exhausted
+	StopTrap                         // illegal instruction or memory fault
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopExit:
+		return "exit"
+	case StopBreakpoint:
+		return "breakpoint"
+	case StopMaxInst:
+		return "max-instructions"
+	case StopTrap:
+		return "trap"
+	}
+	return "unknown"
+}
+
+// CPU is one emulated RV64GC hart plus its process state.
+type CPU struct {
+	X  [32]uint64 // integer registers; X[0] stays zero
+	F  [32]uint64 // float registers (raw IEEE bits, NaN-boxed for .s)
+	PC uint64
+
+	FCSR uint32 // fflags [4:0], frm [7:5]
+
+	Mem   *Memory
+	Model *CostModel
+
+	Cycles  uint64 // accumulated cost-model cycles
+	Instret uint64 // retired instructions
+
+	Exited   bool
+	ExitCode int
+
+	Stdout io.Writer
+
+	// Trace, when non-nil, runs before each instruction executes. Tools
+	// (and the trap-based instrumentation mode) hook here.
+	Trace func(c *CPU, inst riscv.Inst)
+
+	resValid bool
+	resAddr  uint64
+
+	brk      uint64
+	mmapNext uint64
+
+	// Decoded-instruction cache: a direct-mapped slice over the executable
+	// window present at load time (slot index (pc-base)/2; Len==0 means
+	// empty), plus an overflow map for code outside it (e.g. trampolines
+	// mapped by dynamic instrumentation).
+	icBase, icEnd uint64
+	icSlots       []riscv.Inst
+	icOverflow    map[uint64]riscv.Inst
+	// icLo/icHi bound every cached address for cheap invalidation checks.
+	icLo, icHi uint64
+
+	lastTrap error
+}
+
+// New creates a CPU with the ELF image loaded, the stack mapped, and the
+// machine state at the ABI entry conditions.
+func New(f *elfrv.File, model *CostModel) (*CPU, error) {
+	if model == nil {
+		model = P550()
+	}
+	c := &CPU{
+		Mem:        NewMemory(),
+		Model:      model,
+		Stdout:     io.Discard,
+		mmapNext:   mmapBase,
+		icOverflow: make(map[uint64]riscv.Inst),
+		icLo:       ^uint64(0),
+	}
+	if err := c.Mem.LoadELF(f); err != nil {
+		return nil, err
+	}
+	// Size the direct-mapped decode cache to the executable image.
+	const maxWindow = 4 << 20
+	lo, hi := ^uint64(0), uint64(0)
+	for _, s := range f.Sections {
+		if s.Flags&elfrv.SHFAlloc == 0 || s.Flags&elfrv.SHFExecinstr == 0 {
+			continue
+		}
+		if s.Addr < lo {
+			lo = s.Addr
+		}
+		if s.Addr+s.Size() > hi {
+			hi = s.Addr + s.Size()
+		}
+	}
+	if lo < hi && hi-lo <= maxWindow {
+		c.icBase, c.icEnd = lo, hi
+		c.icSlots = make([]riscv.Inst, (hi-lo+1)/2)
+	}
+	c.Mem.Map(StackTop-StackSize, StackSize+pageSize)
+	c.PC = f.Entry
+	c.X[riscv.RegSP] = StackTop - 64 // modest arg area, 16-byte aligned
+	var end uint64
+	for _, s := range f.Sections {
+		if s.Flags&elfrv.SHFAlloc != 0 && s.Addr+s.Size() > end {
+			end = s.Addr + s.Size()
+		}
+	}
+	c.brk = (end + pageSize - 1) &^ (pageSize - 1)
+	return c, nil
+}
+
+// Trap describes an execution fault.
+type Trap struct {
+	PC   uint64
+	Why  string
+	Wrap error
+}
+
+func (t *Trap) Error() string {
+	if t.Wrap != nil {
+		return fmt.Sprintf("emu: trap at pc=%#x: %s: %v", t.PC, t.Why, t.Wrap)
+	}
+	return fmt.Sprintf("emu: trap at pc=%#x: %s", t.PC, t.Why)
+}
+
+func (t *Trap) Unwrap() error { return t.Wrap }
+
+// LastTrap returns the trap that caused the most recent StopTrap.
+func (c *CPU) LastTrap() error { return c.lastTrap }
+
+// WriteMem writes process memory from outside the process (the debugger
+// path used by ProcControl) and keeps the decoded-instruction cache
+// coherent — the moral equivalent of the fence.i the kernel issues after
+// ptrace POKETEXT.
+func (c *CPU) WriteMem(addr uint64, data []byte) error {
+	if err := c.Mem.WriteBytes(addr, data); err != nil {
+		return err
+	}
+	c.invalidate(addr, uint64(len(data)))
+	return nil
+}
+
+// ReadMem reads process memory from outside the process.
+func (c *CPU) ReadMem(addr uint64, n int) ([]byte, error) {
+	b := make([]byte, n)
+	if err := c.Mem.ReadBytes(addr, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (c *CPU) invalidate(addr, n uint64) {
+	if addr+n <= c.icLo || addr >= c.icHi {
+		return
+	}
+	// Instructions are at even addresses and at most 4 bytes long; clear a
+	// small window around the write.
+	start := addr &^ 1
+	if start >= 2 {
+		start -= 2
+	}
+	for a := start; a < addr+n; a += 2 {
+		if a >= c.icBase && a < c.icEnd {
+			c.icSlots[(a-c.icBase)>>1] = riscv.Inst{}
+		} else {
+			delete(c.icOverflow, a)
+		}
+	}
+}
+
+// FlushICache drops all cached decodes (fence.i semantics).
+func (c *CPU) FlushICache() {
+	for i := range c.icSlots {
+		c.icSlots[i] = riscv.Inst{}
+	}
+	c.icOverflow = make(map[uint64]riscv.Inst)
+	c.icLo, c.icHi = ^uint64(0), 0
+}
+
+func (c *CPU) fetch() (riscv.Inst, error) {
+	pc := c.PC
+	inWindow := pc >= c.icBase && pc < c.icEnd
+	if inWindow {
+		if inst := c.icSlots[(pc-c.icBase)>>1]; inst.Len != 0 {
+			return inst, nil
+		}
+	} else if inst, ok := c.icOverflow[pc]; ok {
+		return inst, nil
+	}
+	var buf [4]byte
+	if err := c.Mem.ReadBytes(pc, buf[:2]); err != nil {
+		return riscv.Inst{}, err
+	}
+	n := 2
+	if buf[0]&3 == 3 {
+		if err := c.Mem.ReadBytes(pc+2, buf[2:4]); err != nil {
+			return riscv.Inst{}, err
+		}
+		n = 4
+	}
+	inst, err := riscv.Decode(buf[:n], pc)
+	if err != nil {
+		return inst, err
+	}
+	if inWindow {
+		c.icSlots[(pc-c.icBase)>>1] = inst
+	} else {
+		c.icOverflow[pc] = inst
+	}
+	if pc < c.icLo {
+		c.icLo = pc
+	}
+	if pc+4 > c.icHi {
+		c.icHi = pc + 4
+	}
+	return inst, nil
+}
+
+// Run executes until exit, breakpoint, trap, or maxInst instructions
+// (0 = unlimited).
+func (c *CPU) Run(maxInst uint64) StopReason {
+	budget := maxInst
+	for {
+		if c.Exited {
+			return StopExit
+		}
+		if maxInst != 0 && budget == 0 {
+			return StopMaxInst
+		}
+		budget--
+		inst, err := c.fetch()
+		if err != nil {
+			c.lastTrap = &Trap{PC: c.PC, Why: "fetch", Wrap: err}
+			return StopTrap
+		}
+		if c.Trace != nil {
+			c.Trace(c, inst)
+		}
+		if inst.Mn == riscv.MnEBREAK {
+			return StopBreakpoint
+		}
+		if stop, err := c.exec(inst); err != nil {
+			c.lastTrap = &Trap{PC: c.PC, Why: "execute " + inst.String(), Wrap: err}
+			return StopTrap
+		} else if stop {
+			return StopExit
+		}
+	}
+}
+
+// Step executes exactly one instruction (used by the software single-step
+// fallback in ProcControl when it steps off a breakpoint).
+func (c *CPU) Step() StopReason {
+	return c.Run(1)
+}
+
+func (c *CPU) setX(r riscv.Reg, v uint64) {
+	if r != riscv.X0 {
+		c.X[r] = v
+	}
+}
+
+// exec executes one non-ebreak instruction. It returns stop=true when the
+// program exited via syscall.
+func (c *CPU) exec(inst riscv.Inst) (stop bool, err error) {
+	cost := c.Model.Cost(inst.Mn)
+	next := inst.Next()
+	mn := inst.Mn
+	rs1 := c.X[inst.Rs1&31]
+	rs2 := c.X[inst.Rs2&31]
+
+	switch mn {
+	// ----- RV64I integer computation -----
+	case riscv.MnLUI:
+		c.setX(inst.Rd, uint64(inst.Imm<<12))
+	case riscv.MnAUIPC:
+		c.setX(inst.Rd, inst.Addr+uint64(inst.Imm<<12))
+	case riscv.MnADDI:
+		c.setX(inst.Rd, rs1+uint64(inst.Imm))
+	case riscv.MnSLTI:
+		c.setX(inst.Rd, b2u(int64(rs1) < inst.Imm))
+	case riscv.MnSLTIU:
+		c.setX(inst.Rd, b2u(rs1 < uint64(inst.Imm)))
+	case riscv.MnXORI:
+		c.setX(inst.Rd, rs1^uint64(inst.Imm))
+	case riscv.MnORI:
+		c.setX(inst.Rd, rs1|uint64(inst.Imm))
+	case riscv.MnANDI:
+		c.setX(inst.Rd, rs1&uint64(inst.Imm))
+	case riscv.MnSLLI:
+		c.setX(inst.Rd, rs1<<uint(inst.Imm))
+	case riscv.MnSRLI:
+		c.setX(inst.Rd, rs1>>uint(inst.Imm))
+	case riscv.MnSRAI:
+		c.setX(inst.Rd, uint64(int64(rs1)>>uint(inst.Imm)))
+	case riscv.MnADD:
+		c.setX(inst.Rd, rs1+rs2)
+	case riscv.MnSUB:
+		c.setX(inst.Rd, rs1-rs2)
+	case riscv.MnSLL:
+		c.setX(inst.Rd, rs1<<(rs2&63))
+	case riscv.MnSLT:
+		c.setX(inst.Rd, b2u(int64(rs1) < int64(rs2)))
+	case riscv.MnSLTU:
+		c.setX(inst.Rd, b2u(rs1 < rs2))
+	case riscv.MnXOR:
+		c.setX(inst.Rd, rs1^rs2)
+	case riscv.MnSRL:
+		c.setX(inst.Rd, rs1>>(rs2&63))
+	case riscv.MnSRA:
+		c.setX(inst.Rd, uint64(int64(rs1)>>(rs2&63)))
+	case riscv.MnOR:
+		c.setX(inst.Rd, rs1|rs2)
+	case riscv.MnAND:
+		c.setX(inst.Rd, rs1&rs2)
+	case riscv.MnADDIW:
+		c.setX(inst.Rd, sext32(uint32(rs1)+uint32(inst.Imm)))
+	case riscv.MnSLLIW:
+		c.setX(inst.Rd, sext32(uint32(rs1)<<uint(inst.Imm)))
+	case riscv.MnSRLIW:
+		c.setX(inst.Rd, sext32(uint32(rs1)>>uint(inst.Imm)))
+	case riscv.MnSRAIW:
+		c.setX(inst.Rd, uint64(int64(int32(rs1)>>uint(inst.Imm))))
+	case riscv.MnADDW:
+		c.setX(inst.Rd, sext32(uint32(rs1)+uint32(rs2)))
+	case riscv.MnSUBW:
+		c.setX(inst.Rd, sext32(uint32(rs1)-uint32(rs2)))
+	case riscv.MnSLLW:
+		c.setX(inst.Rd, sext32(uint32(rs1)<<(rs2&31)))
+	case riscv.MnSRLW:
+		c.setX(inst.Rd, sext32(uint32(rs1)>>(rs2&31)))
+	case riscv.MnSRAW:
+		c.setX(inst.Rd, uint64(int64(int32(rs1)>>(rs2&31))))
+
+	// ----- control transfer -----
+	case riscv.MnJAL:
+		c.setX(inst.Rd, next)
+		next = inst.Addr + uint64(inst.Imm)
+	case riscv.MnJALR:
+		t := (rs1 + uint64(inst.Imm)) &^ 1
+		c.setX(inst.Rd, next)
+		next = t
+	case riscv.MnBEQ:
+		if rs1 == rs2 {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBNE:
+		if rs1 != rs2 {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBLT:
+		if int64(rs1) < int64(rs2) {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBGE:
+		if int64(rs1) >= int64(rs2) {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBLTU:
+		if rs1 < rs2 {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBGEU:
+		if rs1 >= rs2 {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+
+	// ----- loads and stores -----
+	case riscv.MnLB:
+		v, e := c.Mem.Read8(rs1 + uint64(inst.Imm))
+		if e != nil {
+			return false, e
+		}
+		c.setX(inst.Rd, uint64(int64(int8(v))))
+	case riscv.MnLH:
+		v, e := c.Mem.Read16(rs1 + uint64(inst.Imm))
+		if e != nil {
+			return false, e
+		}
+		c.setX(inst.Rd, uint64(int64(int16(v))))
+	case riscv.MnLW:
+		v, e := c.Mem.Read32(rs1 + uint64(inst.Imm))
+		if e != nil {
+			return false, e
+		}
+		c.setX(inst.Rd, sext32(v))
+	case riscv.MnLD:
+		v, e := c.Mem.Read64(rs1 + uint64(inst.Imm))
+		if e != nil {
+			return false, e
+		}
+		c.setX(inst.Rd, v)
+	case riscv.MnLBU:
+		v, e := c.Mem.Read8(rs1 + uint64(inst.Imm))
+		if e != nil {
+			return false, e
+		}
+		c.setX(inst.Rd, uint64(v))
+	case riscv.MnLHU:
+		v, e := c.Mem.Read16(rs1 + uint64(inst.Imm))
+		if e != nil {
+			return false, e
+		}
+		c.setX(inst.Rd, uint64(v))
+	case riscv.MnLWU:
+		v, e := c.Mem.Read32(rs1 + uint64(inst.Imm))
+		if e != nil {
+			return false, e
+		}
+		c.setX(inst.Rd, uint64(v))
+	case riscv.MnSB:
+		if e := c.storeCheck(rs1+uint64(inst.Imm), 1, c.Mem.Write8(rs1+uint64(inst.Imm), uint8(rs2))); e != nil {
+			return false, e
+		}
+	case riscv.MnSH:
+		if e := c.storeCheck(rs1+uint64(inst.Imm), 2, c.Mem.Write16(rs1+uint64(inst.Imm), uint16(rs2))); e != nil {
+			return false, e
+		}
+	case riscv.MnSW:
+		if e := c.storeCheck(rs1+uint64(inst.Imm), 4, c.Mem.Write32(rs1+uint64(inst.Imm), uint32(rs2))); e != nil {
+			return false, e
+		}
+	case riscv.MnSD:
+		if e := c.storeCheck(rs1+uint64(inst.Imm), 8, c.Mem.Write64(rs1+uint64(inst.Imm), rs2)); e != nil {
+			return false, e
+		}
+
+	// ----- M extension -----
+	case riscv.MnMUL:
+		c.setX(inst.Rd, rs1*rs2)
+	case riscv.MnMULH:
+		hi, _ := mulh64(int64(rs1), int64(rs2))
+		c.setX(inst.Rd, uint64(hi))
+	case riscv.MnMULHU:
+		hi, _ := bits.Mul64(rs1, rs2)
+		c.setX(inst.Rd, hi)
+	case riscv.MnMULHSU:
+		c.setX(inst.Rd, mulhsu64(int64(rs1), rs2))
+	case riscv.MnDIV:
+		c.setX(inst.Rd, uint64(sdiv64(int64(rs1), int64(rs2))))
+	case riscv.MnDIVU:
+		if rs2 == 0 {
+			c.setX(inst.Rd, ^uint64(0))
+		} else {
+			c.setX(inst.Rd, rs1/rs2)
+		}
+	case riscv.MnREM:
+		c.setX(inst.Rd, uint64(srem64(int64(rs1), int64(rs2))))
+	case riscv.MnREMU:
+		if rs2 == 0 {
+			c.setX(inst.Rd, rs1)
+		} else {
+			c.setX(inst.Rd, rs1%rs2)
+		}
+	case riscv.MnMULW:
+		c.setX(inst.Rd, sext32(uint32(rs1)*uint32(rs2)))
+	case riscv.MnDIVW:
+		c.setX(inst.Rd, uint64(int64(sdiv32(int32(rs1), int32(rs2)))))
+	case riscv.MnDIVUW:
+		if uint32(rs2) == 0 {
+			c.setX(inst.Rd, ^uint64(0))
+		} else {
+			c.setX(inst.Rd, sext32(uint32(rs1)/uint32(rs2)))
+		}
+	case riscv.MnREMW:
+		c.setX(inst.Rd, uint64(int64(srem32(int32(rs1), int32(rs2)))))
+	case riscv.MnREMUW:
+		if uint32(rs2) == 0 {
+			c.setX(inst.Rd, sext32(uint32(rs1)))
+		} else {
+			c.setX(inst.Rd, sext32(uint32(rs1)%uint32(rs2)))
+		}
+
+	// ----- A extension -----
+	case riscv.MnLRW:
+		v, e := c.Mem.Read32(rs1)
+		if e != nil {
+			return false, e
+		}
+		c.resValid, c.resAddr = true, rs1
+		c.setX(inst.Rd, sext32(v))
+	case riscv.MnLRD:
+		v, e := c.Mem.Read64(rs1)
+		if e != nil {
+			return false, e
+		}
+		c.resValid, c.resAddr = true, rs1
+		c.setX(inst.Rd, v)
+	case riscv.MnSCW:
+		if c.resValid && c.resAddr == rs1 {
+			if e := c.storeCheck(rs1, 4, c.Mem.Write32(rs1, uint32(rs2))); e != nil {
+				return false, e
+			}
+			c.setX(inst.Rd, 0)
+		} else {
+			c.setX(inst.Rd, 1)
+		}
+		c.resValid = false
+	case riscv.MnSCD:
+		if c.resValid && c.resAddr == rs1 {
+			if e := c.storeCheck(rs1, 8, c.Mem.Write64(rs1, rs2)); e != nil {
+				return false, e
+			}
+			c.setX(inst.Rd, 0)
+		} else {
+			c.setX(inst.Rd, 1)
+		}
+		c.resValid = false
+	case riscv.MnAMOSWAPW, riscv.MnAMOADDW, riscv.MnAMOXORW, riscv.MnAMOANDW,
+		riscv.MnAMOORW, riscv.MnAMOMINW, riscv.MnAMOMAXW, riscv.MnAMOMINUW, riscv.MnAMOMAXUW:
+		old, e := c.Mem.Read32(rs1)
+		if e != nil {
+			return false, e
+		}
+		nv := amo32(mn, old, uint32(rs2))
+		if e := c.storeCheck(rs1, 4, c.Mem.Write32(rs1, nv)); e != nil {
+			return false, e
+		}
+		c.setX(inst.Rd, sext32(old))
+	case riscv.MnAMOSWAPD, riscv.MnAMOADDD, riscv.MnAMOXORD, riscv.MnAMOANDD,
+		riscv.MnAMOORD, riscv.MnAMOMIND, riscv.MnAMOMAXD, riscv.MnAMOMINUD, riscv.MnAMOMAXUD:
+		old, e := c.Mem.Read64(rs1)
+		if e != nil {
+			return false, e
+		}
+		nv := amo64(mn, old, rs2)
+		if e := c.storeCheck(rs1, 8, c.Mem.Write64(rs1, nv)); e != nil {
+			return false, e
+		}
+		c.setX(inst.Rd, old)
+
+	// ----- fences -----
+	case riscv.MnFENCE:
+		// no-op: the emulator is sequentially consistent
+	case riscv.MnFENCEI:
+		c.FlushICache()
+
+	// ----- system -----
+	case riscv.MnECALL:
+		exited, e := c.syscall()
+		if e != nil {
+			return false, e
+		}
+		if exited {
+			c.PC = next
+			c.Cycles += cost
+			c.Instret++
+			return true, nil
+		}
+	case riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC,
+		riscv.MnCSRRWI, riscv.MnCSRRSI, riscv.MnCSRRCI:
+		if e := c.csrOp(inst); e != nil {
+			return false, e
+		}
+
+	default:
+		if c.execExt(inst, rs1, rs2) {
+			break
+		}
+		// Floating point (F and D extensions) in float.go.
+		handled, e := c.execFloat(inst)
+		if e != nil {
+			return false, e
+		}
+		if !handled {
+			return false, fmt.Errorf("emu: unimplemented instruction %v", inst)
+		}
+	}
+
+	c.PC = next
+	c.Cycles += cost
+	c.Instret++
+	return false, nil
+}
+
+// storeCheck funnels store errors and keeps the icache coherent for stores
+// into cached code (self-modifying code still works, at a small cost).
+func (c *CPU) storeCheck(addr uint64, width uint64, err error) error {
+	if err != nil {
+		return err
+	}
+	if addr < c.icHi && addr+width > c.icLo {
+		c.invalidate(addr, width)
+	}
+	return nil
+}
+
+func (c *CPU) csrOp(inst riscv.Inst) error {
+	csr := inst.CSR
+	var old uint64
+	switch csr {
+	case 0xC00: // cycle
+		old = c.Cycles
+	case 0xC01: // time
+		old = c.Model.Nanos(c.Cycles)
+	case 0xC02: // instret
+		old = c.Instret
+	case 0x001: // fflags
+		old = uint64(c.FCSR & 0x1f)
+	case 0x002: // frm
+		old = uint64(c.FCSR >> 5 & 7)
+	case 0x003: // fcsr
+		old = uint64(c.FCSR & 0xff)
+	default:
+		return fmt.Errorf("emu: access to unimplemented CSR %#x", csr)
+	}
+	var src uint64
+	switch inst.Mn {
+	case riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC:
+		src = c.X[inst.Rs1&31]
+	default:
+		src = uint64(inst.Imm)
+	}
+	var nv uint64
+	write := true
+	switch inst.Mn {
+	case riscv.MnCSRRW, riscv.MnCSRRWI:
+		nv = src
+	case riscv.MnCSRRS, riscv.MnCSRRSI:
+		nv = old | src
+		write = src != 0
+	case riscv.MnCSRRC, riscv.MnCSRRCI:
+		nv = old &^ src
+		write = src != 0
+	}
+	if write {
+		switch csr {
+		case 0x001:
+			c.FCSR = c.FCSR&^0x1f | uint32(nv)&0x1f
+		case 0x002:
+			c.FCSR = c.FCSR&^0xe0 | uint32(nv&7)<<5
+		case 0x003:
+			c.FCSR = uint32(nv) & 0xff
+		case 0xC00, 0xC01, 0xC02:
+			// counters are read-only; writes are ignored
+		}
+	}
+	c.setX(inst.Rd, old)
+	return nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sext32(v uint32) uint64 { return uint64(int64(int32(v))) }
+
+func mulh64(a, b int64) (hi int64, lo uint64) {
+	h, l := bits.Mul64(uint64(a), uint64(b))
+	if a < 0 {
+		h -= uint64(b)
+	}
+	if b < 0 {
+		h -= uint64(a)
+	}
+	return int64(h), l
+}
+
+func mulhsu64(a int64, b uint64) uint64 {
+	h, _ := bits.Mul64(uint64(a), b)
+	if a < 0 {
+		h -= b
+	}
+	return h
+}
+
+func sdiv64(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return -1
+	case a == -1<<63 && b == -1:
+		return a
+	}
+	return a / b
+}
+
+func srem64(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return a
+	case a == -1<<63 && b == -1:
+		return 0
+	}
+	return a % b
+}
+
+func sdiv32(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return -1
+	case a == -1<<31 && b == -1:
+		return a
+	}
+	return a / b
+}
+
+func srem32(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return a
+	case a == -1<<31 && b == -1:
+		return 0
+	}
+	return a % b
+}
+
+func amo32(mn riscv.Mnemonic, old, src uint32) uint32 {
+	switch mn {
+	case riscv.MnAMOSWAPW:
+		return src
+	case riscv.MnAMOADDW:
+		return old + src
+	case riscv.MnAMOXORW:
+		return old ^ src
+	case riscv.MnAMOANDW:
+		return old & src
+	case riscv.MnAMOORW:
+		return old | src
+	case riscv.MnAMOMINW:
+		if int32(src) < int32(old) {
+			return src
+		}
+		return old
+	case riscv.MnAMOMAXW:
+		if int32(src) > int32(old) {
+			return src
+		}
+		return old
+	case riscv.MnAMOMINUW:
+		if src < old {
+			return src
+		}
+		return old
+	case riscv.MnAMOMAXUW:
+		if src > old {
+			return src
+		}
+		return old
+	}
+	return old
+}
+
+func amo64(mn riscv.Mnemonic, old, src uint64) uint64 {
+	switch mn {
+	case riscv.MnAMOSWAPD:
+		return src
+	case riscv.MnAMOADDD:
+		return old + src
+	case riscv.MnAMOXORD:
+		return old ^ src
+	case riscv.MnAMOANDD:
+		return old & src
+	case riscv.MnAMOORD:
+		return old | src
+	case riscv.MnAMOMIND:
+		if int64(src) < int64(old) {
+			return src
+		}
+		return old
+	case riscv.MnAMOMAXD:
+		if int64(src) > int64(old) {
+			return src
+		}
+		return old
+	case riscv.MnAMOMINUD:
+		if src < old {
+			return src
+		}
+		return old
+	case riscv.MnAMOMAXUD:
+		if src > old {
+			return src
+		}
+		return old
+	}
+	return old
+}

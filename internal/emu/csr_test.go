@@ -1,0 +1,114 @@
+package emu
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/riscv"
+)
+
+// TestCounterCSRs: the user-level counters (cycle/time/instret) must be
+// readable from guest code and consistent with the host-side accounting —
+// these CSRs are how profiling tools read the "hardware" counters.
+func TestCounterCSRs(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+_start:
+	rdcycle s0
+	rdinstret s1
+	rdtime s2
+	li t0, 100
+burn:
+	addi t0, t0, -1
+	bnez t0, burn
+	rdcycle s3
+	rdinstret s4
+	rdtime s5
+	ebreak
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopBreakpoint {
+		t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+	}
+	cyc0, cyc1 := c.X[riscv.RegS0], c.X[riscv.RegS3]
+	ins0, ins1 := c.X[riscv.RegS1], c.X[riscv.RegS4]
+	tm0, tm1 := c.X[riscv.RegS2], c.X[riscv.RegS5]
+	if cyc1 <= cyc0 {
+		t.Errorf("cycle did not advance: %d -> %d", cyc0, cyc1)
+	}
+	if ins1 <= ins0 {
+		t.Errorf("instret did not advance: %d -> %d", ins0, ins1)
+	}
+	if tm1 < tm0 {
+		t.Errorf("time went backward: %d -> %d", tm0, tm1)
+	}
+	// The loop retires ~201 instructions between the reads.
+	if d := ins1 - ins0; d < 200 || d > 210 {
+		t.Errorf("instret delta = %d, want ~202", d)
+	}
+	// Final host-side counters must dominate guest readings.
+	if c.Instret < ins1 || c.Cycles < cyc1 {
+		t.Error("host counters behind guest CSR readings")
+	}
+}
+
+// TestFCSRAccess: rounding-mode and flag fields of fcsr are readable and
+// writable, and float ops raise NV into fflags.
+func TestFCSRAccess(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+_start:
+	# set frm = RTZ (1)
+	li t0, 1
+	csrrw x0, frm, t0
+	csrrs s0, frm, x0
+	# provoke NV: convert NaN to integer
+	fcvt.d.l ft0, zero
+	fdiv.d ft1, ft0, ft0   # 0/0 = NaN
+	fcvt.l.d t1, ft1
+	csrrs s1, fflags, x0
+	ebreak
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopBreakpoint {
+		t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+	}
+	if c.X[riscv.RegS0] != 1 {
+		t.Errorf("frm readback = %d, want 1", c.X[riscv.RegS0])
+	}
+	if c.X[riscv.RegS1]&0x10 == 0 {
+		t.Errorf("fflags = %#x, NV not raised by NaN conversion", c.X[riscv.RegS1])
+	}
+}
+
+// TestUnknownCSRTraps: accessing an unimplemented CSR is a trap, not a
+// silent zero.
+func TestUnknownCSRTraps(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+_start:
+	csrrs t0, 0x7c0, x0
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopTrap {
+		t.Fatalf("stopped: %v, want trap", r)
+	}
+}

@@ -1,0 +1,632 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/riscv"
+)
+
+// run assembles src, runs it to completion, and returns the CPU.
+func run(t *testing.T, src string) *CPU {
+	t.Helper()
+	return runOpts(t, src, asm.Options{})
+}
+
+func runOpts(t *testing.T, src string, opts asm.Options) *CPU {
+	t.Helper()
+	f, err := asm.Assemble(src, opts)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatalf("new cpu: %v", err)
+	}
+	reason := c.Run(50_000_000)
+	if reason != StopExit {
+		t.Fatalf("stopped with %v (trap: %v, pc=%#x)", reason, c.LastTrap(), c.PC)
+	}
+	return c
+}
+
+const exitTail = `
+	li a7, 93
+	ecall
+`
+
+func TestExitCode(t *testing.T) {
+	c := run(t, `
+	.text
+_start:
+	li a0, 42
+`+exitTail)
+	if c.ExitCode != 42 {
+		t.Errorf("exit code = %d", c.ExitCode)
+	}
+}
+
+func TestArithmeticProgram(t *testing.T) {
+	// Compute 10! iteratively; exit with 3628800 % 251 = 23... compute in Go.
+	want := int64(1)
+	for i := int64(2); i <= 10; i++ {
+		want *= i
+	}
+	c := run(t, `
+	.text
+_start:
+	li t0, 1       # acc
+	li t1, 2       # i
+	li t2, 10
+loop:
+	mul t0, t0, t1
+	addi t1, t1, 1
+	ble t1, t2, loop
+	mv a0, t0
+`+exitTail)
+	if got := int64(c.ExitCode); got != want {
+		t.Errorf("10! = %d, want %d", got, want)
+	}
+}
+
+func TestMemoryAndStack(t *testing.T) {
+	c := run(t, `
+	.data
+arr:
+	.dword 5, 10, 15, 20
+	.text
+_start:
+	la t0, arr
+	li t1, 0      # sum
+	li t2, 0      # i
+loop:
+	slli t3, t2, 3
+	add t3, t3, t0
+	ld t4, 0(t3)
+	add t1, t1, t4
+	addi t2, t2, 1
+	li t5, 4
+	blt t2, t5, loop
+	# push/pop via stack
+	addi sp, sp, -16
+	sd t1, 0(sp)
+	ld a0, 0(sp)
+	addi sp, sp, 16
+`+exitTail)
+	if c.ExitCode != 50 {
+		t.Errorf("sum = %d, want 50", c.ExitCode)
+	}
+}
+
+func TestCallsAndReturns(t *testing.T) {
+	c := run(t, `
+	.text
+_start:
+	li a0, 7
+	call double
+	call double
+	j done
+	.type double, @function
+double:
+	slli a0, a0, 1
+	ret
+done:
+`+exitTail)
+	if c.ExitCode != 28 {
+		t.Errorf("exit = %d, want 28", c.ExitCode)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	// fib(10) = 55 with a recursive callee-saved implementation.
+	c := run(t, `
+	.text
+_start:
+	li a0, 10
+	call fib
+`+exitTail+`
+	.type fib, @function
+fib:
+	li t0, 2
+	blt a0, t0, base
+	addi sp, sp, -32
+	sd ra, 24(sp)
+	sd s0, 16(sp)
+	sd s1, 8(sp)
+	mv s0, a0
+	addi a0, s0, -1
+	call fib
+	mv s1, a0
+	addi a0, s0, -2
+	call fib
+	add a0, a0, s1
+	ld ra, 24(sp)
+	ld s0, 16(sp)
+	ld s1, 8(sp)
+	addi sp, sp, 32
+base:
+	ret
+`)
+	if c.ExitCode != 55 {
+		t.Errorf("fib(10) = %d, want 55", c.ExitCode)
+	}
+}
+
+func TestWriteSyscall(t *testing.T) {
+	f, err := asm.Assemble(`
+	.data
+msg:
+	.ascii "hello, riscv\n"
+	.equ MSGLEN, 13
+	.text
+_start:
+	li a0, 1
+	la a1, msg
+	li a2, MSGLEN
+	li a7, 64
+	ecall
+	li a0, 0
+`+exitTail, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	c.Stdout = &out
+	if r := c.Run(0); r != StopExit {
+		t.Fatalf("stop = %v (%v)", r, c.LastTrap())
+	}
+	if out.String() != "hello, riscv\n" {
+		t.Errorf("stdout = %q", out.String())
+	}
+	// write returns the byte count in a0 before the exit overwrote it; check
+	// exit code is 0 (the li a0, 0).
+	if c.ExitCode != 0 {
+		t.Errorf("exit = %d", c.ExitCode)
+	}
+}
+
+func TestClockGettimeMonotonic(t *testing.T) {
+	c := run(t, `
+	.text
+_start:
+	addi sp, sp, -32
+	# first sample
+	li a0, 1          # CLOCK_MONOTONIC
+	mv a1, sp
+	li a7, 113
+	ecall
+	ld s0, 0(sp)      # sec
+	ld s1, 8(sp)      # nsec
+	# burn cycles
+	li t0, 10000
+burn:
+	addi t0, t0, -1
+	bnez t0, burn
+	# second sample
+	li a0, 1
+	addi a1, sp, 16
+	li a7, 113
+	ecall
+	ld s2, 16(sp)
+	ld s3, 24(sp)
+	# a0 = (s2*1e9+s3) > (s0*1e9+s1)
+	li t1, 1000000000
+	mul s0, s0, t1
+	add s0, s0, s1
+	mul s2, s2, t1
+	add s2, s2, s3
+	sltu a0, s0, s2
+`+exitTail)
+	if c.ExitCode != 1 {
+		t.Error("virtual clock did not advance across a busy loop")
+	}
+}
+
+func TestVirtualTimeMatchesCostModel(t *testing.T) {
+	c := run(t, `
+	.text
+_start:
+	li t0, 1000
+loop:
+	addi t0, t0, -1
+	bnez t0, loop
+	li a0, 0
+`+exitTail)
+	if c.Cycles == 0 || c.Instret == 0 {
+		t.Fatal("no cycles/instret accumulated")
+	}
+	wantNs := c.Cycles * 1000 / c.Model.MHz
+	if c.VirtualNanos() != wantNs {
+		t.Errorf("VirtualNanos = %d, want %d", c.VirtualNanos(), wantNs)
+	}
+	// The loop executes ~2000 instructions; instret must reflect that.
+	if c.Instret < 2000 || c.Instret > 2100 {
+		t.Errorf("instret = %d, want ~2000", c.Instret)
+	}
+}
+
+func TestDivisionEdgeCases(t *testing.T) {
+	c := run(t, `
+	.text
+_start:
+	# div by zero -> -1
+	li t0, 5
+	li t1, 0
+	div t2, t0, t1
+	li t3, -1
+	bne t2, t3, fail
+	# rem by zero -> dividend
+	rem t2, t0, t1
+	bne t2, t0, fail
+	# overflow: MinInt64 / -1 -> MinInt64
+	li t0, 1
+	slli t0, t0, 63
+	li t1, -1
+	div t2, t0, t1
+	bne t2, t0, fail
+	rem t2, t0, t1
+	bnez t2, fail
+	# divu by zero -> all ones
+	li t0, 7
+	li t1, 0
+	divu t2, t0, t1
+	li t3, -1
+	bne t2, t3, fail
+	li a0, 0
+	j done
+fail:
+	li a0, 1
+done:
+`+exitTail)
+	if c.ExitCode != 0 {
+		t.Error("division edge cases failed in-program checks")
+	}
+}
+
+func TestDoubleFloatProgram(t *testing.T) {
+	// Compute round(sqrt(2) * 1e6).
+	f, err := asm.Assemble(`
+	.text
+_start:
+	li t0, 2
+	fcvt.d.l ft0, t0
+	fsqrt.d ft1, ft0
+	li t1, 1000000
+	fcvt.d.l ft2, t1
+	fmul.d ft3, ft1, ft2
+	fcvt.l.d s0, ft3
+	ebreak
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := cpu.Run(0); r != StopBreakpoint {
+		t.Fatalf("stop = %v (%v)", r, cpu.LastTrap())
+	}
+	got := int64(cpu.X[riscv.RegS0])
+	if got != 1414214 && got != 1414213 { // RNE rounds up here
+		t.Errorf("sqrt(2)*1e6 = %d", got)
+	}
+}
+
+func TestFloatMinMaxNaN(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+_start:
+	# ft0 = NaN (0/0), ft1 = 3.0
+	fcvt.d.l ft2, zero
+	fdiv.d ft0, ft2, ft2
+	li t0, 3
+	fcvt.d.l ft1, t0
+	fmin.d ft3, ft0, ft1   # -> 3.0
+	fcvt.l.d s0, ft3
+	feq.d s1, ft0, ft0     # NaN != NaN -> 0
+	fclass.d s2, ft0       # quiet NaN -> bit 9
+	ebreak
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopBreakpoint {
+		t.Fatalf("stop = %v (%v)", r, c.LastTrap())
+	}
+	if c.X[riscv.RegS0] != 3 {
+		t.Errorf("fmin(NaN, 3) = %d", c.X[riscv.RegS0])
+	}
+	if c.X[riscv.RegS1] != 0 {
+		t.Errorf("feq(NaN, NaN) = %d", c.X[riscv.RegS1])
+	}
+	if c.X[riscv.RegS2] != 1<<9 {
+		t.Errorf("fclass(NaN) = %#x", c.X[riscv.RegS2])
+	}
+}
+
+func TestAMOProgram(t *testing.T) {
+	c := run(t, `
+	.bss
+cell:
+	.zero 8
+	.text
+_start:
+	la t0, cell
+	li t1, 5
+	amoadd.d t2, t1, (t0)   # t2 = 0, cell = 5
+	bnez t2, fail
+	li t1, 100
+	amoswap.d t2, t1, (t0)  # t2 = 5, cell = 100
+	li t3, 5
+	bne t2, t3, fail
+	# lr/sc success path
+	lr.d t2, (t0)
+	addi t2, t2, 1
+	sc.d t4, t2, (t0)
+	bnez t4, fail           # sc must succeed
+	ld t5, 0(t0)
+	li t6, 101
+	bne t5, t6, fail
+	li a0, 0
+	j done
+fail:
+	li a0, 1
+done:
+`+exitTail)
+	if c.ExitCode != 0 {
+		t.Error("AMO program failed in-program checks")
+	}
+}
+
+func TestBreakpointPatchAndResume(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+	.globl _start
+_start:
+	li s0, 1
+	li s1, 2
+	li s2, 3
+	li a0, 0
+`+exitTail, asm.Options{NoCompress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch a breakpoint over the third li (entry + 8).
+	bpAddr := f.Entry + 8
+	orig, err := c.ReadMem(bpAddr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebreak := riscv.MustEncode(riscv.Inst{Mn: riscv.MnEBREAK})
+	if err := c.WriteMem(bpAddr, []byte{byte(ebreak), byte(ebreak >> 8), byte(ebreak >> 16), byte(ebreak >> 24)}); err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopBreakpoint {
+		t.Fatalf("stop = %v", r)
+	}
+	if c.PC != bpAddr {
+		t.Fatalf("pc = %#x, want %#x", c.PC, bpAddr)
+	}
+	if c.X[riscv.RegS0] != 1 || c.X[riscv.RegS1] != 2 || c.X[riscv.RegS2] == 3 {
+		t.Error("breakpoint fired at wrong position")
+	}
+	// Restore, resume: must run to exit.
+	if err := c.WriteMem(bpAddr, orig); err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopExit {
+		t.Fatalf("resume stop = %v (%v)", r, c.LastTrap())
+	}
+	if c.X[riscv.RegS2] != 3 {
+		t.Error("resumed execution skipped patched-back instruction")
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+_start:
+	nop
+	nop
+	li a0, 0
+`+exitTail, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	c.Trace = func(_ *CPU, _ riscv.Inst) { count++ }
+	c.Run(0)
+	if count != 5 {
+		t.Errorf("trace saw %d instructions, want 5", count)
+	}
+}
+
+func TestMemFault(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+_start:
+	li t0, 0x900000000
+	ld t1, 0(t0)
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopTrap {
+		t.Fatalf("stop = %v", r)
+	}
+	if c.LastTrap() == nil {
+		t.Fatal("no trap recorded")
+	}
+}
+
+func TestMaxInstBudget(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+_start:
+	j _start
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(100); r != StopMaxInst {
+		t.Fatalf("stop = %v", r)
+	}
+	if c.Instret != 100 {
+		t.Errorf("instret = %d", c.Instret)
+	}
+}
+
+func TestCompressedExecution(t *testing.T) {
+	// The same computation with and without compression must agree on
+	// everything except code size.
+	src := `
+	.text
+_start:
+	addi sp, sp, -32
+	li t0, 0
+	li t1, 100
+loop:
+	add t0, t0, t1
+	addi t1, t1, -1
+	bnez t1, loop
+	sd t0, 8(sp)
+	ld a0, 8(sp)
+	addi sp, sp, 32
+` + exitTail
+	c1 := runOpts(t, src, asm.Options{})
+	c2 := runOpts(t, src, asm.Options{NoCompress: true})
+	if c1.ExitCode != c2.ExitCode {
+		t.Errorf("exit codes differ: %d vs %d", c1.ExitCode, c2.ExitCode)
+	}
+	if c1.Instret != c2.Instret {
+		t.Errorf("instret differ: %d vs %d", c1.Instret, c2.Instret)
+	}
+	want := 100 * 101 / 2
+	if c1.ExitCode != want {
+		t.Errorf("sum = %d, want %d", c1.ExitCode, want)
+	}
+}
+
+func TestCostModelsDiffer(t *testing.T) {
+	src := `
+	.text
+_start:
+	li t0, 1000
+loop:
+	mul t1, t0, t0
+	addi t0, t0, -1
+	bnez t0, loop
+	li a0, 0
+` + exitTail
+	f, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := New(f, P550())
+	c1.Run(0)
+	c2, _ := New(f, X86Comparator())
+	c2.Run(0)
+	if c1.Instret != c2.Instret {
+		t.Errorf("instret differ across models: %d vs %d", c1.Instret, c2.Instret)
+	}
+	if c1.VirtualNanos() <= c2.VirtualNanos() {
+		t.Errorf("P550 (%d ns) should be slower than comparator (%d ns)",
+			c1.VirtualNanos(), c2.VirtualNanos())
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x1000, 0x2000)
+	if err := m.Write64(0x1ffc, 0x1122334455667788); err != nil {
+		t.Fatal(err) // straddles a page boundary
+	}
+	v, err := m.Read64(0x1ffc)
+	if err != nil || v != 0x1122334455667788 {
+		t.Errorf("read = %#x err=%v", v, err)
+	}
+	if err := m.Write8(0x999999, 1); err == nil {
+		t.Error("write to unmapped succeeded")
+	}
+	var mf *MemFault
+	if err := m.ReadBytes(0x5000_0000, make([]byte, 4)); err == nil {
+		t.Error("read from unmapped succeeded")
+	} else if !asMemFault(err, &mf) {
+		t.Errorf("error type = %T", err)
+	}
+}
+
+func asMemFault(err error, out **MemFault) bool {
+	f, ok := err.(*MemFault)
+	if ok {
+		*out = f
+	}
+	return ok
+}
+
+func TestBssZeroed(t *testing.T) {
+	c := run(t, `
+	.bss
+buf:
+	.zero 64
+	.text
+_start:
+	la t0, buf
+	ld a0, 32(t0)
+`+exitTail)
+	if c.ExitCode != 0 {
+		t.Errorf("bss not zeroed: %d", c.ExitCode)
+	}
+}
+
+func TestLoadELFMapsEverything(t *testing.T) {
+	f, err := asm.Assemble(`
+	.data
+x:
+	.dword 9
+	.text
+_start:
+	nop
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMemory()
+	if err := m.LoadELF(f); err != nil {
+		t.Fatal(err)
+	}
+	sym, _ := f.Symbol("x")
+	v, err := m.Read64(sym.Value)
+	if err != nil || v != 9 {
+		t.Errorf("data = %d err=%v", v, err)
+	}
+	var es *elfrv.Section
+	_ = es
+}

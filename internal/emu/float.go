@@ -1,0 +1,394 @@
+package emu
+
+import (
+	"math"
+
+	"rvdyn/internal/riscv"
+)
+
+// Floating-point execution: the F (single) and D (double) extensions.
+// Single-precision values are NaN-boxed in the 64-bit F registers per the
+// RISC-V spec: the upper 32 bits are all ones; a register that is not a
+// valid box reads back as the canonical quiet NaN.
+
+const canonicalNaN32 = 0x7fc00000
+const canonicalNaN64 = 0x7ff8000000000000
+
+func (c *CPU) getS(r riscv.Reg) float32 {
+	v := c.F[r&31]
+	if v>>32 != 0xffffffff {
+		return math.Float32frombits(canonicalNaN32)
+	}
+	return math.Float32frombits(uint32(v))
+}
+
+func (c *CPU) setS(r riscv.Reg, f float32) {
+	c.F[r&31] = 0xffffffff00000000 | uint64(math.Float32bits(f))
+}
+
+func (c *CPU) getD(r riscv.Reg) float64 { return math.Float64frombits(c.F[r&31]) }
+func (c *CPU) setD(r riscv.Reg, f float64) {
+	c.F[r&31] = math.Float64bits(f)
+}
+
+// rm resolves the instruction's rounding-mode field (7 = dynamic, read frm).
+func (c *CPU) rm(inst riscv.Inst) uint8 {
+	if inst.RM == riscv.RMDyn {
+		return uint8(c.FCSR >> 5 & 7)
+	}
+	return inst.RM
+}
+
+// roundF applies the RISC-V rounding mode to a value being converted to an
+// integer.
+func roundF(f float64, rm uint8) float64 {
+	switch rm {
+	case 0: // RNE: round to nearest, ties to even
+		return math.RoundToEven(f)
+	case 1: // RTZ: toward zero
+		return math.Trunc(f)
+	case 2: // RDN: toward -inf
+		return math.Floor(f)
+	case 3: // RUP: toward +inf
+		return math.Ceil(f)
+	case 4: // RMM: to nearest, ties away
+		return math.Round(f)
+	}
+	return math.RoundToEven(f)
+}
+
+// Saturating float-to-int conversions (RISC-V semantics: NaN and overflow
+// produce the maximal value of the destination's sign class and raise NV).
+
+const flagNV = 0x10 // invalid-operation flag in fflags
+
+func (c *CPU) cvtI64(f float64, rm uint8) int64 {
+	if math.IsNaN(f) {
+		c.FCSR |= flagNV
+		return math.MaxInt64
+	}
+	r := roundF(f, rm)
+	if r >= 0x1p63 {
+		c.FCSR |= flagNV
+		return math.MaxInt64
+	}
+	if r < -0x1p63 {
+		c.FCSR |= flagNV
+		return math.MinInt64
+	}
+	return int64(r)
+}
+
+func (c *CPU) cvtU64(f float64, rm uint8) uint64 {
+	if math.IsNaN(f) {
+		c.FCSR |= flagNV
+		return math.MaxUint64
+	}
+	r := roundF(f, rm)
+	if r >= 0x1.0p64 {
+		c.FCSR |= flagNV
+		return math.MaxUint64
+	}
+	if r < 0 {
+		c.FCSR |= flagNV
+		return 0
+	}
+	return uint64(r)
+}
+
+func (c *CPU) cvtI32(f float64, rm uint8) int32 {
+	if math.IsNaN(f) {
+		c.FCSR |= flagNV
+		return math.MaxInt32
+	}
+	r := roundF(f, rm)
+	if r > math.MaxInt32 {
+		c.FCSR |= flagNV
+		return math.MaxInt32
+	}
+	if r < math.MinInt32 {
+		c.FCSR |= flagNV
+		return math.MinInt32
+	}
+	return int32(r)
+}
+
+func (c *CPU) cvtU32(f float64, rm uint8) uint32 {
+	if math.IsNaN(f) {
+		c.FCSR |= flagNV
+		return math.MaxUint32
+	}
+	r := roundF(f, rm)
+	if r > math.MaxUint32 {
+		c.FCSR |= flagNV
+		return math.MaxUint32
+	}
+	if r < 0 {
+		c.FCSR |= flagNV
+		return 0
+	}
+	return uint32(r)
+}
+
+func fclass64(f float64) uint64 {
+	b := math.Float64bits(f)
+	sign := b>>63 == 1
+	switch {
+	case math.IsInf(f, -1):
+		return 1 << 0
+	case math.IsInf(f, 1):
+		return 1 << 7
+	case math.IsNaN(f):
+		if b&(1<<51) != 0 {
+			return 1 << 9 // quiet
+		}
+		return 1 << 8 // signaling
+	case f == 0:
+		if sign {
+			return 1 << 3
+		}
+		return 1 << 4
+	case math.Abs(f) < 0x1p-1022:
+		if sign {
+			return 1 << 2
+		}
+		return 1 << 5
+	case sign:
+		return 1 << 1
+	}
+	return 1 << 6
+}
+
+func fclass32(f float32) uint64 {
+	b := math.Float32bits(f)
+	sign := b>>31 == 1
+	f64 := float64(f)
+	switch {
+	case math.IsInf(f64, -1):
+		return 1 << 0
+	case math.IsInf(f64, 1):
+		return 1 << 7
+	case f != f:
+		if b&(1<<22) != 0 {
+			return 1 << 9
+		}
+		return 1 << 8
+	case f == 0:
+		if sign {
+			return 1 << 3
+		}
+		return 1 << 4
+	case math.Abs(f64) < 0x1p-126:
+		if sign {
+			return 1 << 2
+		}
+		return 1 << 5
+	case sign:
+		return 1 << 1
+	}
+	return 1 << 6
+}
+
+func minD(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) && math.IsNaN(b):
+		return math.Float64frombits(canonicalNaN64)
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a == 0 && b == 0:
+		if math.Signbit(a) {
+			return a
+		}
+		return b
+	case a < b:
+		return a
+	}
+	return b
+}
+
+func maxD(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) && math.IsNaN(b):
+		return math.Float64frombits(canonicalNaN64)
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a == 0 && b == 0:
+		if math.Signbit(a) {
+			return b
+		}
+		return a
+	case a > b:
+		return a
+	}
+	return b
+}
+
+// execFloat executes F/D instructions; handled=false means the mnemonic is
+// not a floating-point operation.
+func (c *CPU) execFloat(inst riscv.Inst) (handled bool, err error) {
+	rs1x := c.X[inst.Rs1&31]
+	rm := c.rm(inst)
+	switch inst.Mn {
+	// Loads and stores.
+	case riscv.MnFLW:
+		v, e := c.Mem.Read32(rs1x + uint64(inst.Imm))
+		if e != nil {
+			return true, e
+		}
+		c.F[inst.Rd&31] = 0xffffffff00000000 | uint64(v)
+	case riscv.MnFLD:
+		v, e := c.Mem.Read64(rs1x + uint64(inst.Imm))
+		if e != nil {
+			return true, e
+		}
+		c.F[inst.Rd&31] = v
+	case riscv.MnFSW:
+		if e := c.storeCheck(rs1x+uint64(inst.Imm), 4,
+			c.Mem.Write32(rs1x+uint64(inst.Imm), uint32(c.F[inst.Rs2&31]))); e != nil {
+			return true, e
+		}
+	case riscv.MnFSD:
+		if e := c.storeCheck(rs1x+uint64(inst.Imm), 8,
+			c.Mem.Write64(rs1x+uint64(inst.Imm), c.F[inst.Rs2&31])); e != nil {
+			return true, e
+		}
+
+	// Double-precision arithmetic.
+	case riscv.MnFADDD:
+		c.setD(inst.Rd, c.getD(inst.Rs1)+c.getD(inst.Rs2))
+	case riscv.MnFSUBD:
+		c.setD(inst.Rd, c.getD(inst.Rs1)-c.getD(inst.Rs2))
+	case riscv.MnFMULD:
+		c.setD(inst.Rd, c.getD(inst.Rs1)*c.getD(inst.Rs2))
+	case riscv.MnFDIVD:
+		c.setD(inst.Rd, c.getD(inst.Rs1)/c.getD(inst.Rs2))
+	case riscv.MnFSQRTD:
+		c.setD(inst.Rd, math.Sqrt(c.getD(inst.Rs1)))
+	case riscv.MnFMADDD:
+		c.setD(inst.Rd, math.FMA(c.getD(inst.Rs1), c.getD(inst.Rs2), c.getD(inst.Rs3)))
+	case riscv.MnFMSUBD:
+		c.setD(inst.Rd, math.FMA(c.getD(inst.Rs1), c.getD(inst.Rs2), -c.getD(inst.Rs3)))
+	case riscv.MnFNMSUBD:
+		c.setD(inst.Rd, math.FMA(-c.getD(inst.Rs1), c.getD(inst.Rs2), c.getD(inst.Rs3)))
+	case riscv.MnFNMADDD:
+		c.setD(inst.Rd, -math.FMA(c.getD(inst.Rs1), c.getD(inst.Rs2), c.getD(inst.Rs3)))
+	case riscv.MnFMIND:
+		c.setD(inst.Rd, minD(c.getD(inst.Rs1), c.getD(inst.Rs2)))
+	case riscv.MnFMAXD:
+		c.setD(inst.Rd, maxD(c.getD(inst.Rs1), c.getD(inst.Rs2)))
+	case riscv.MnFSGNJD:
+		a, b := c.F[inst.Rs1&31], c.F[inst.Rs2&31]
+		c.F[inst.Rd&31] = a&^(1<<63) | b&(1<<63)
+	case riscv.MnFSGNJND:
+		a, b := c.F[inst.Rs1&31], c.F[inst.Rs2&31]
+		c.F[inst.Rd&31] = a&^(1<<63) | ^b&(1<<63)
+	case riscv.MnFSGNJXD:
+		a, b := c.F[inst.Rs1&31], c.F[inst.Rs2&31]
+		c.F[inst.Rd&31] = a ^ b&(1<<63)
+	case riscv.MnFEQD:
+		c.setX(inst.Rd, b2u(c.getD(inst.Rs1) == c.getD(inst.Rs2)))
+	case riscv.MnFLTD:
+		c.setX(inst.Rd, b2u(c.getD(inst.Rs1) < c.getD(inst.Rs2)))
+	case riscv.MnFLED:
+		c.setX(inst.Rd, b2u(c.getD(inst.Rs1) <= c.getD(inst.Rs2)))
+	case riscv.MnFCLASSD:
+		c.setX(inst.Rd, fclass64(c.getD(inst.Rs1)))
+
+	// Double conversions and moves.
+	case riscv.MnFCVTWD:
+		c.setX(inst.Rd, uint64(int64(c.cvtI32(c.getD(inst.Rs1), rm))))
+	case riscv.MnFCVTWUD:
+		c.setX(inst.Rd, sext32(c.cvtU32(c.getD(inst.Rs1), rm)))
+	case riscv.MnFCVTLD:
+		c.setX(inst.Rd, uint64(c.cvtI64(c.getD(inst.Rs1), rm)))
+	case riscv.MnFCVTLUD:
+		c.setX(inst.Rd, c.cvtU64(c.getD(inst.Rs1), rm))
+	case riscv.MnFCVTDW:
+		c.setD(inst.Rd, float64(int32(rs1x)))
+	case riscv.MnFCVTDWU:
+		c.setD(inst.Rd, float64(uint32(rs1x)))
+	case riscv.MnFCVTDL:
+		c.setD(inst.Rd, float64(int64(rs1x)))
+	case riscv.MnFCVTDLU:
+		c.setD(inst.Rd, float64(rs1x))
+	case riscv.MnFCVTSD:
+		c.setS(inst.Rd, float32(c.getD(inst.Rs1)))
+	case riscv.MnFCVTDS:
+		c.setD(inst.Rd, float64(c.getS(inst.Rs1)))
+	case riscv.MnFMVXD:
+		c.setX(inst.Rd, c.F[inst.Rs1&31])
+	case riscv.MnFMVDX:
+		c.F[inst.Rd&31] = rs1x
+
+	// Single-precision arithmetic.
+	case riscv.MnFADDS:
+		c.setS(inst.Rd, c.getS(inst.Rs1)+c.getS(inst.Rs2))
+	case riscv.MnFSUBS:
+		c.setS(inst.Rd, c.getS(inst.Rs1)-c.getS(inst.Rs2))
+	case riscv.MnFMULS:
+		c.setS(inst.Rd, c.getS(inst.Rs1)*c.getS(inst.Rs2))
+	case riscv.MnFDIVS:
+		c.setS(inst.Rd, c.getS(inst.Rs1)/c.getS(inst.Rs2))
+	case riscv.MnFSQRTS:
+		c.setS(inst.Rd, float32(math.Sqrt(float64(c.getS(inst.Rs1)))))
+	case riscv.MnFMADDS:
+		c.setS(inst.Rd, float32(math.FMA(float64(c.getS(inst.Rs1)), float64(c.getS(inst.Rs2)), float64(c.getS(inst.Rs3)))))
+	case riscv.MnFMSUBS:
+		c.setS(inst.Rd, float32(math.FMA(float64(c.getS(inst.Rs1)), float64(c.getS(inst.Rs2)), -float64(c.getS(inst.Rs3)))))
+	case riscv.MnFNMSUBS:
+		c.setS(inst.Rd, float32(math.FMA(-float64(c.getS(inst.Rs1)), float64(c.getS(inst.Rs2)), float64(c.getS(inst.Rs3)))))
+	case riscv.MnFNMADDS:
+		c.setS(inst.Rd, float32(-math.FMA(float64(c.getS(inst.Rs1)), float64(c.getS(inst.Rs2)), float64(c.getS(inst.Rs3)))))
+	case riscv.MnFMINS:
+		c.setS(inst.Rd, float32(minD(float64(c.getS(inst.Rs1)), float64(c.getS(inst.Rs2)))))
+	case riscv.MnFMAXS:
+		c.setS(inst.Rd, float32(maxD(float64(c.getS(inst.Rs1)), float64(c.getS(inst.Rs2)))))
+	case riscv.MnFSGNJS:
+		a, b := uint32(c.F[inst.Rs1&31]), uint32(c.F[inst.Rs2&31])
+		c.F[inst.Rd&31] = 0xffffffff00000000 | uint64(a&^(1<<31)|b&(1<<31))
+	case riscv.MnFSGNJNS:
+		a, b := uint32(c.F[inst.Rs1&31]), uint32(c.F[inst.Rs2&31])
+		c.F[inst.Rd&31] = 0xffffffff00000000 | uint64(a&^(1<<31)|^b&(1<<31))
+	case riscv.MnFSGNJXS:
+		a, b := uint32(c.F[inst.Rs1&31]), uint32(c.F[inst.Rs2&31])
+		c.F[inst.Rd&31] = 0xffffffff00000000 | uint64(a^b&(1<<31))
+	case riscv.MnFEQS:
+		c.setX(inst.Rd, b2u(c.getS(inst.Rs1) == c.getS(inst.Rs2)))
+	case riscv.MnFLTS:
+		c.setX(inst.Rd, b2u(c.getS(inst.Rs1) < c.getS(inst.Rs2)))
+	case riscv.MnFLES:
+		c.setX(inst.Rd, b2u(c.getS(inst.Rs1) <= c.getS(inst.Rs2)))
+	case riscv.MnFCLASSS:
+		c.setX(inst.Rd, fclass32(c.getS(inst.Rs1)))
+
+	// Single conversions and moves.
+	case riscv.MnFCVTWS:
+		c.setX(inst.Rd, uint64(int64(c.cvtI32(float64(c.getS(inst.Rs1)), rm))))
+	case riscv.MnFCVTWUS:
+		c.setX(inst.Rd, sext32(c.cvtU32(float64(c.getS(inst.Rs1)), rm)))
+	case riscv.MnFCVTLS:
+		c.setX(inst.Rd, uint64(c.cvtI64(float64(c.getS(inst.Rs1)), rm)))
+	case riscv.MnFCVTLUS:
+		c.setX(inst.Rd, c.cvtU64(float64(c.getS(inst.Rs1)), rm))
+	case riscv.MnFCVTSW:
+		c.setS(inst.Rd, float32(int32(rs1x)))
+	case riscv.MnFCVTSWU:
+		c.setS(inst.Rd, float32(uint32(rs1x)))
+	case riscv.MnFCVTSL:
+		c.setS(inst.Rd, float32(int64(rs1x)))
+	case riscv.MnFCVTSLU:
+		c.setS(inst.Rd, float32(rs1x))
+	case riscv.MnFMVXW:
+		c.setX(inst.Rd, sext32(uint32(c.F[inst.Rs1&31])))
+	case riscv.MnFMVWX:
+		c.F[inst.Rd&31] = 0xffffffff00000000 | uint64(uint32(rs1x))
+
+	default:
+		return false, nil
+	}
+	return true, nil
+}

@@ -1,0 +1,241 @@
+package emu
+
+import (
+	"math/bits"
+	"testing"
+
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/riscv"
+)
+
+// execOne runs a single instruction against prepared register/memory state
+// and returns the CPU — a direct-drive harness for sweeping the ISA matrix
+// without assembling programs.
+func execOne(t *testing.T, inst riscv.Inst, setup func(*CPU)) *CPU {
+	t.Helper()
+	w, err := riscv.Encode(inst)
+	if err != nil {
+		t.Fatalf("encode %v: %v", inst, err)
+	}
+	eb := riscv.MustEncode(riscv.Inst{Mn: riscv.MnEBREAK})
+	code := []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24),
+		byte(eb), byte(eb >> 8), byte(eb >> 16), byte(eb >> 24)}
+	f := &elfrv.File{
+		Entry: 0x10000,
+		Sections: []*elfrv.Section{
+			{Name: ".text", Type: elfrv.SHTProgbits, Flags: elfrv.SHFAlloc | elfrv.SHFExecinstr,
+				Addr: 0x10000, Data: code, Align: 4},
+			{Name: ".data", Type: elfrv.SHTProgbits, Flags: elfrv.SHFAlloc | elfrv.SHFWrite,
+				Addr: 0x20000, Data: make([]byte, 256), Align: 8},
+		},
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup != nil {
+		setup(c)
+	}
+	if r := c.Run(10); r != StopBreakpoint {
+		t.Fatalf("%v: stopped %v (%v)", inst, r, c.LastTrap())
+	}
+	return c
+}
+
+func rr(mn riscv.Mnemonic) riscv.Inst {
+	return riscv.Inst{Mn: mn, Rd: riscv.RegA0, Rs1: riscv.RegA1, Rs2: riscv.RegA2, Rs3: riscv.RegNone}
+}
+
+// TestMExtensionHighMultiplies sweeps mulh/mulhu/mulhsu against math/bits.
+func TestMExtensionHighMultiplies(t *testing.T) {
+	vals := []uint64{0, 1, 2, 0xffffffffffffffff, 0x8000000000000000,
+		0x7fffffffffffffff, 12345678901234567, 0xdeadbeefcafebabe}
+	for _, a := range vals {
+		for _, b := range vals {
+			set := func(c *CPU) {
+				c.X[riscv.RegA1] = a
+				c.X[riscv.RegA2] = b
+			}
+			c := execOne(t, rr(riscv.MnMULHU), set)
+			hi, _ := bits.Mul64(a, b)
+			if c.X[riscv.RegA0] != hi {
+				t.Fatalf("mulhu(%#x,%#x) = %#x, want %#x", a, b, c.X[riscv.RegA0], hi)
+			}
+			c = execOne(t, rr(riscv.MnMULH), set)
+			// Signed high product via 128-bit arithmetic emulated with
+			// bits.Mul64 sign corrections (the reference formula).
+			want := hi
+			if int64(a) < 0 {
+				want -= b
+			}
+			if int64(b) < 0 {
+				want -= a
+			}
+			if c.X[riscv.RegA0] != want {
+				t.Fatalf("mulh(%#x,%#x) = %#x, want %#x", a, b, c.X[riscv.RegA0], want)
+			}
+			c = execOne(t, rr(riscv.MnMULHSU), set)
+			want = hi
+			if int64(a) < 0 {
+				want -= b
+			}
+			if c.X[riscv.RegA0] != want {
+				t.Fatalf("mulhsu(%#x,%#x) = %#x, want %#x", a, b, c.X[riscv.RegA0], want)
+			}
+		}
+	}
+}
+
+// TestAMOSweep drives every AMO against a Go reference implementation.
+func TestAMOSweep(t *testing.T) {
+	type ref64 func(old, src uint64) uint64
+	cases := []struct {
+		mn riscv.Mnemonic
+		f  ref64
+	}{
+		{riscv.MnAMOSWAPD, func(o, s uint64) uint64 { return s }},
+		{riscv.MnAMOADDD, func(o, s uint64) uint64 { return o + s }},
+		{riscv.MnAMOXORD, func(o, s uint64) uint64 { return o ^ s }},
+		{riscv.MnAMOANDD, func(o, s uint64) uint64 { return o & s }},
+		{riscv.MnAMOORD, func(o, s uint64) uint64 { return o | s }},
+		{riscv.MnAMOMIND, func(o, s uint64) uint64 {
+			if int64(s) < int64(o) {
+				return s
+			}
+			return o
+		}},
+		{riscv.MnAMOMAXD, func(o, s uint64) uint64 {
+			if int64(s) > int64(o) {
+				return s
+			}
+			return o
+		}},
+		{riscv.MnAMOMINUD, func(o, s uint64) uint64 {
+			if s < o {
+				return s
+			}
+			return o
+		}},
+		{riscv.MnAMOMAXUD, func(o, s uint64) uint64 {
+			if s > o {
+				return s
+			}
+			return o
+		}},
+	}
+	pairs := [][2]uint64{{5, 3}, {3, 5}, {0xffffffffffffffff, 1}, {1, 0xffffffffffffffff},
+		{0x8000000000000000, 0x7fffffffffffffff}}
+	for _, cse := range cases {
+		for _, p := range pairs {
+			old, src := p[0], p[1]
+			c := execOne(t, rr(cse.mn), func(c *CPU) {
+				c.X[riscv.RegA1] = 0x20010
+				c.X[riscv.RegA2] = src
+				c.Mem.Write64(0x20010, old)
+			})
+			if c.X[riscv.RegA0] != old {
+				t.Fatalf("%v: rd = %#x, want old %#x", cse.mn, c.X[riscv.RegA0], old)
+			}
+			got, _ := c.Mem.Read64(0x20010)
+			if got != cse.f(old, src) {
+				t.Fatalf("%v(%#x,%#x): mem = %#x, want %#x", cse.mn, old, src, got, cse.f(old, src))
+			}
+		}
+	}
+	// Word-width variants sign-extend the old value into rd and operate on
+	// 32 bits.
+	c := execOne(t, rr(riscv.MnAMOADDW), func(c *CPU) {
+		c.X[riscv.RegA1] = 0x20010
+		c.X[riscv.RegA2] = 1
+		c.Mem.Write32(0x20010, 0xffffffff)
+	})
+	if c.X[riscv.RegA0] != 0xffffffffffffffff {
+		t.Errorf("amoadd.w old not sign-extended: %#x", c.X[riscv.RegA0])
+	}
+	if got, _ := c.Mem.Read32(0x20010); got != 0 {
+		t.Errorf("amoadd.w wrap = %#x", got)
+	}
+	for _, mn := range []riscv.Mnemonic{riscv.MnAMOSWAPW, riscv.MnAMOXORW, riscv.MnAMOANDW,
+		riscv.MnAMOORW, riscv.MnAMOMINW, riscv.MnAMOMAXW, riscv.MnAMOMINUW, riscv.MnAMOMAXUW} {
+		execOne(t, rr(mn), func(c *CPU) {
+			c.X[riscv.RegA1] = 0x20010
+			c.X[riscv.RegA2] = 7
+			c.Mem.Write32(0x20010, 3)
+		})
+	}
+}
+
+// TestNarrowLoadsStores sweeps byte/half widths including sign extension.
+func TestNarrowLoadsStores(t *testing.T) {
+	mem := func(c *CPU) {
+		c.X[riscv.RegA1] = 0x20010
+		c.Mem.Write64(0x20010, 0x80ff7f0180ff7f01)
+	}
+	ld := func(mn riscv.Mnemonic, off int64) uint64 {
+		i := riscv.Inst{Mn: mn, Rd: riscv.RegA0, Rs1: riscv.RegA1,
+			Rs2: riscv.RegNone, Rs3: riscv.RegNone, Imm: off}
+		return execOne(t, i, mem).X[riscv.RegA0]
+	}
+	if got := ld(riscv.MnLB, 1); got != 0x7f {
+		t.Errorf("lb +1 = %#x", got)
+	}
+	if got := ld(riscv.MnLB, 3); int64(got) != -128 {
+		t.Errorf("lb +3 = %d", int64(got))
+	}
+	if got := ld(riscv.MnLBU, 3); got != 0x80 {
+		t.Errorf("lbu +3 = %#x", got)
+	}
+	if got := ld(riscv.MnLH, 2); int64(got) != -32513 { // 0x80ff
+		t.Errorf("lh +2 = %d", int64(got))
+	}
+	if got := ld(riscv.MnLHU, 2); got != 0x80ff {
+		t.Errorf("lhu +2 = %#x", got)
+	}
+	if got := ld(riscv.MnLWU, 4); got != 0x80ff7f01 {
+		t.Errorf("lwu +4 = %#x", got)
+	}
+	// Narrow stores leave neighbours intact.
+	st := func(mn riscv.Mnemonic, off int64, v uint64) *CPU {
+		i := riscv.Inst{Mn: mn, Rs1: riscv.RegA1, Rs2: riscv.RegA2,
+			Rd: riscv.RegNone, Rs3: riscv.RegNone, Imm: off}
+		return execOne(t, i, func(c *CPU) {
+			mem(c)
+			c.X[riscv.RegA2] = v
+		})
+	}
+	c := st(riscv.MnSB, 2, 0xaa)
+	got, _ := c.Mem.Read64(0x20010)
+	if got != 0x80ff7f0180aa7f01 {
+		t.Errorf("sb neighbour damage: %#x", got)
+	}
+	c = st(riscv.MnSH, 4, 0xbbbb)
+	got, _ = c.Mem.Read64(0x20010)
+	if got != 0x80ffbbbb80ff7f01 {
+		t.Errorf("sh neighbour damage: %#x", got)
+	}
+}
+
+// TestShiftEdgeCases: shift amounts mask to 6 bits (64-bit) / 5 bits (W).
+func TestShiftEdgeCases(t *testing.T) {
+	c := execOne(t, rr(riscv.MnSLL), func(c *CPU) {
+		c.X[riscv.RegA1] = 1
+		c.X[riscv.RegA2] = 64 + 3 // masks to 3
+	})
+	if c.X[riscv.RegA0] != 8 {
+		t.Errorf("sll with shamt 67 = %d, want 8", c.X[riscv.RegA0])
+	}
+	c = execOne(t, rr(riscv.MnSRAW), func(c *CPU) {
+		c.X[riscv.RegA1] = 0x80000000
+		c.X[riscv.RegA2] = 31
+	})
+	if int64(c.X[riscv.RegA0]) != -1 {
+		t.Errorf("sraw(0x80000000, 31) = %d, want -1", int64(c.X[riscv.RegA0]))
+	}
+	c = execOne(t, rr(riscv.MnSRLW), func(c *CPU) {
+		c.X[riscv.RegA1] = 0xffffffff00000010
+		c.X[riscv.RegA2] = 4
+	})
+	if c.X[riscv.RegA0] != 1 {
+		t.Errorf("srlw truncation = %#x", c.X[riscv.RegA0])
+	}
+}

@@ -1,0 +1,216 @@
+// Package emu is a user-mode RV64GC emulator. It stands in for the SiFive
+// P550 board of the paper's experimental setup (Section 4.2): it executes
+// the ELF binaries our assembler and binary rewriter produce, services a
+// Linux-flavoured syscall interface, and maintains a deterministic cycle
+// counter driven by a per-instruction cost model, from which the virtual
+// clock_gettime that the benchmark workload samples is derived.
+//
+// Determinism is the point: the paper's numbers are wall-clock seconds on
+// silicon; ours are virtual seconds on a cost model, so relative overheads
+// (the shape the reproduction must preserve) are exactly repeatable.
+package emu
+
+import (
+	"fmt"
+
+	"rvdyn/internal/elfrv"
+)
+
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// Memory is a sparse paged address space.
+type Memory struct {
+	pages map[uint64]*page
+	// One-entry lookup cache: most accesses hit the same page repeatedly.
+	lastIdx  uint64
+	lastPage *page
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// MemFault describes an access to an unmapped address.
+type MemFault struct {
+	Addr  uint64
+	Write bool
+}
+
+func (e *MemFault) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("emu: memory fault: %s at unmapped address %#x", op, e.Addr)
+}
+
+func (m *Memory) pageFor(addr uint64, create bool) *page {
+	idx := addr >> pageBits
+	if m.lastPage != nil && m.lastIdx == idx {
+		return m.lastPage
+	}
+	p := m.pages[idx]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		p = new(page)
+		m.pages[idx] = p
+	}
+	m.lastIdx, m.lastPage = idx, p
+	return p
+}
+
+// Map ensures [addr, addr+size) is backed by zeroed pages.
+func (m *Memory) Map(addr, size uint64) {
+	for a := addr &^ pageMask; a < addr+size; a += pageSize {
+		m.pageFor(a, true)
+	}
+}
+
+// Mapped reports whether addr is backed.
+func (m *Memory) Mapped(addr uint64) bool { return m.pageFor(addr, false) != nil }
+
+// ReadBytes copies n bytes at addr into dst (dst length gives n).
+func (m *Memory) ReadBytes(addr uint64, dst []byte) error {
+	for len(dst) > 0 {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return &MemFault{Addr: addr}
+		}
+		off := addr & pageMask
+		n := copy(dst, p[off:])
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// WriteBytes copies src into memory at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) error {
+	for len(src) > 0 {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return &MemFault{Addr: addr, Write: true}
+		}
+		off := addr & pageMask
+		n := copy(p[off:], src)
+		src = src[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Fixed-width accessors. Reads and writes may straddle a page boundary; the
+// fast path handles the common in-page case.
+
+func (m *Memory) Read8(addr uint64) (uint8, error) {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0, &MemFault{Addr: addr}
+	}
+	return p[addr&pageMask], nil
+}
+
+func (m *Memory) Write8(addr uint64, v uint8) error {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return &MemFault{Addr: addr, Write: true}
+	}
+	p[addr&pageMask] = v
+	return nil
+}
+
+func (m *Memory) Read16(addr uint64) (uint16, error) {
+	if addr&pageMask <= pageSize-2 {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0, &MemFault{Addr: addr}
+		}
+		o := addr & pageMask
+		return uint16(p[o]) | uint16(p[o+1])<<8, nil
+	}
+	var b [2]byte
+	if err := m.ReadBytes(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return uint16(b[0]) | uint16(b[1])<<8, nil
+}
+
+func (m *Memory) Write16(addr uint64, v uint16) error {
+	var b = [2]byte{byte(v), byte(v >> 8)}
+	return m.WriteBytes(addr, b[:])
+}
+
+func (m *Memory) Read32(addr uint64) (uint32, error) {
+	if addr&pageMask <= pageSize-4 {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0, &MemFault{Addr: addr}
+		}
+		o := addr & pageMask
+		return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24, nil
+	}
+	var b [4]byte
+	if err := m.ReadBytes(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+func (m *Memory) Write32(addr uint64, v uint32) error {
+	var b = [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return m.WriteBytes(addr, b[:])
+}
+
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	if addr&pageMask <= pageSize-8 {
+		p := m.pageFor(addr, false)
+		if p == nil {
+			return 0, &MemFault{Addr: addr}
+		}
+		o := addr & pageMask
+		return uint64(p[o]) | uint64(p[o+1])<<8 | uint64(p[o+2])<<16 | uint64(p[o+3])<<24 |
+			uint64(p[o+4])<<32 | uint64(p[o+5])<<40 | uint64(p[o+6])<<48 | uint64(p[o+7])<<56, nil
+	}
+	var b [8]byte
+	if err := m.ReadBytes(addr, b[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+func (m *Memory) Write64(addr uint64, v uint64) error {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return m.WriteBytes(addr, b[:])
+}
+
+// LoadELF maps every alloc section of the file into memory.
+func (m *Memory) LoadELF(f *elfrv.File) error {
+	for _, s := range f.Sections {
+		if s.Flags&elfrv.SHFAlloc == 0 || s.Size() == 0 {
+			continue
+		}
+		m.Map(s.Addr, s.Size())
+		if s.Type != elfrv.SHTNobits {
+			if err := m.WriteBytes(s.Addr, s.Data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package emu
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/riscv"
+)
+
+// TestRoundingModes: explicit rounding-mode operands steer fcvt exactly as
+// the ISA specifies (2.5 under the five modes).
+func TestRoundingModes(t *testing.T) {
+	src := `
+	.text
+_start:
+	li t0, 5
+	fcvt.d.l ft0, t0
+	li t0, 2
+	fcvt.d.l ft1, t0
+	fdiv.d ft2, ft0, ft1      # 2.5
+	fcvt.l.d s0, ft2, rne     # 2 (ties to even)
+	fcvt.l.d s1, ft2, rtz     # 2
+	fcvt.l.d s2, ft2, rdn     # 2
+	fcvt.l.d s3, ft2, rup     # 3
+	fcvt.l.d s4, ft2, rmm     # 3 (ties away)
+	fneg.d ft3, ft2           # -2.5
+	fcvt.l.d s5, ft3, rtz     # -2
+	fcvt.l.d s6, ft3, rdn     # -3
+	ebreak
+`
+	f, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopBreakpoint {
+		t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+	}
+	want := map[riscv.Reg]int64{
+		riscv.RegS0: 2, riscv.RegS1: 2, riscv.RegS2: 2,
+		riscv.RegS3: 3, riscv.RegS4: 3, riscv.RegS5: -2, riscv.RegS6: -3,
+	}
+	for r, w := range want {
+		if got := int64(c.X[r]); got != w {
+			t.Errorf("%v = %d, want %d", r, got, w)
+		}
+	}
+}

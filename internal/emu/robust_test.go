@@ -1,0 +1,48 @@
+package emu
+
+import (
+	"math/rand"
+	"testing"
+
+	"rvdyn/internal/elfrv"
+)
+
+// TestExecuteRandomBytesNeverPanics: executing arbitrary bytes must end in
+// a trap, a breakpoint, an exit, or budget exhaustion — never a Go panic.
+// (A debugger's target doing something insane is the normal case, not the
+// exceptional one.)
+func TestExecuteRandomBytesNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		text := make([]byte, 128+rng.Intn(512))
+		rng.Read(text)
+		f := &elfrv.File{
+			Entry: 0x10000,
+			Sections: []*elfrv.Section{
+				{Name: ".text", Type: elfrv.SHTProgbits,
+					Flags: elfrv.SHFAlloc | elfrv.SHFExecinstr,
+					Addr:  0x10000, Data: text, Align: 4},
+				{Name: ".data", Type: elfrv.SHTProgbits,
+					Flags: elfrv.SHFAlloc | elfrv.SHFWrite,
+					Addr:  0x20000, Data: make([]byte, 4096), Align: 8},
+			},
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: emulator panicked: %v", trial, r)
+				}
+			}()
+			c, err := New(f, P550())
+			if err != nil {
+				t.Fatal(err)
+			}
+			reason := c.Run(10000)
+			switch reason {
+			case StopExit, StopBreakpoint, StopTrap, StopMaxInst:
+			default:
+				t.Fatalf("trial %d: unexpected stop %v", trial, reason)
+			}
+		}()
+	}
+}

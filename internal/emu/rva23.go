@@ -1,0 +1,65 @@
+package emu
+
+import "rvdyn/internal/riscv"
+
+// Execution semantics for the RVA23-profile extension module (see
+// riscv/rva23.go). Registered in its own file so the extension stays
+// self-contained in every layer.
+
+// execExt handles extension-module instructions; handled=false passes the
+// instruction on to the floating-point dispatcher.
+func (c *CPU) execExt(inst riscv.Inst, rs1, rs2 uint64) (handled bool) {
+	switch inst.Mn {
+	case riscv.MnCZEROEQZ:
+		v := rs1
+		if rs2 == 0 {
+			v = 0
+		}
+		c.setX(inst.Rd, v)
+	case riscv.MnCZERONEZ:
+		v := rs1
+		if rs2 != 0 {
+			v = 0
+		}
+		c.setX(inst.Rd, v)
+	case riscv.MnSH1ADD:
+		c.setX(inst.Rd, rs1<<1+rs2)
+	case riscv.MnSH2ADD:
+		c.setX(inst.Rd, rs1<<2+rs2)
+	case riscv.MnSH3ADD:
+		c.setX(inst.Rd, rs1<<3+rs2)
+	case riscv.MnANDN:
+		c.setX(inst.Rd, rs1&^rs2)
+	case riscv.MnORN:
+		c.setX(inst.Rd, rs1|^rs2)
+	case riscv.MnXNOR:
+		c.setX(inst.Rd, ^(rs1 ^ rs2))
+	case riscv.MnMIN:
+		if int64(rs1) < int64(rs2) {
+			c.setX(inst.Rd, rs1)
+		} else {
+			c.setX(inst.Rd, rs2)
+		}
+	case riscv.MnMINU:
+		if rs1 < rs2 {
+			c.setX(inst.Rd, rs1)
+		} else {
+			c.setX(inst.Rd, rs2)
+		}
+	case riscv.MnMAX:
+		if int64(rs1) > int64(rs2) {
+			c.setX(inst.Rd, rs1)
+		} else {
+			c.setX(inst.Rd, rs2)
+		}
+	case riscv.MnMAXU:
+		if rs1 > rs2 {
+			c.setX(inst.Rd, rs1)
+		} else {
+			c.setX(inst.Rd, rs2)
+		}
+	default:
+		return false
+	}
+	return true
+}

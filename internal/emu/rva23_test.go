@@ -1,0 +1,107 @@
+package emu
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/riscv"
+)
+
+// TestRVA23Execution runs a program that uses every instruction of the
+// extension module and checks its in-program assertions. The assembler
+// picked the new mnemonics up automatically from the registration — no
+// assembler change was needed, which is the modularity property under test.
+func TestRVA23Execution(t *testing.T) {
+	src := `
+	.text
+	.globl _start
+_start:
+	li t0, 12
+	li t1, 0
+	li t2, 5
+
+	# czero.eqz: t1 == 0 -> rd = 0
+	czero.eqz t3, t0, t1
+	bnez t3, fail
+	# czero.eqz: t2 != 0 -> rd = rs1
+	czero.eqz t3, t0, t2
+	li t4, 12
+	bne t3, t4, fail
+	# czero.nez: t2 != 0 -> rd = 0
+	czero.nez t3, t0, t2
+	bnez t3, fail
+
+	# sh1add/sh2add/sh3add
+	li t0, 3
+	li t1, 100
+	sh1add t3, t0, t1     # 106
+	li t4, 106
+	bne t3, t4, fail
+	sh2add t3, t0, t1     # 112
+	li t4, 112
+	bne t3, t4, fail
+	sh3add t3, t0, t1     # 124
+	li t4, 124
+	bne t3, t4, fail
+
+	# Zbb logic
+	li t0, 0xff
+	li t1, 0x0f
+	andn t3, t0, t1       # 0xf0
+	li t4, 0xf0
+	bne t3, t4, fail
+	orn t3, t1, t0        # 0x0f | ~0xff
+	li t4, -241           # 0xffffffffffffff0f
+	bne t3, t4, fail
+	xnor t3, t0, t0       # all ones
+	li t4, -1
+	bne t3, t4, fail
+
+	# min/max signed vs unsigned
+	li t0, -5
+	li t1, 3
+	min t3, t0, t1
+	bne t3, t0, fail
+	max t3, t0, t1
+	bne t3, t1, fail
+	minu t3, t0, t1       # unsigned: 3 < 0xff..fb
+	bne t3, t1, fail
+	maxu t3, t0, t1
+	bne t3, t0, fail
+
+	li a0, 0
+	j done
+fail:
+	li a0, 1
+done:
+	li a7, 93
+	ecall
+`
+	f, err := asm.Assemble(src, asm.Options{Arch: riscv.RVA23Subset})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopExit {
+		t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+	}
+	if c.ExitCode != 0 {
+		t.Error("in-program RVA23 assertions failed")
+	}
+}
+
+// TestRVA23ExtensionGating: the assembler rejects the new instructions for
+// an RV64GC target, keeping the codegen invariant that a mutatee never
+// receives instructions outside its advertised set.
+func TestRVA23ExtensionGating(t *testing.T) {
+	src := "\t.text\n_start:\n\tczero.eqz t0, t1, t2\n"
+	if _, err := asm.Assemble(src, asm.Options{Arch: riscv.RV64GC}); err == nil {
+		t.Error("czero.eqz assembled for a plain RV64GC target")
+	}
+	if _, err := asm.Assemble(src, asm.Options{Arch: riscv.RVA23Subset}); err != nil {
+		t.Errorf("czero.eqz rejected for an RVA23 target: %v", err)
+	}
+}

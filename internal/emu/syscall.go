@@ -1,0 +1,108 @@
+package emu
+
+import (
+	"fmt"
+
+	"rvdyn/internal/riscv"
+)
+
+// Linux riscv64 syscall numbers the emulator services. The workload
+// programs use write, exit, and clock_gettime (the paper's benchmark
+// samples real time around the multiply loop with clock_gettime).
+const (
+	sysGetpid       = 172
+	sysBrk          = 214
+	sysMmap         = 222
+	sysExit         = 93
+	sysExitGroup    = 94
+	sysWrite        = 64
+	sysRead         = 63
+	sysClose        = 57
+	sysFstat        = 80
+	sysClockGettime = 113
+	sysGettimeofday = 169
+)
+
+// VirtualNanos returns the current virtual time in nanoseconds, derived
+// deterministically from the cycle counter and the cost model's clock.
+func (c *CPU) VirtualNanos() uint64 { return c.Model.Nanos(c.Cycles) }
+
+// syscall services an ecall. It returns exited=true for exit/exit_group.
+func (c *CPU) syscall() (exited bool, err error) {
+	num := c.X[riscv.RegA7]
+	a0 := c.X[riscv.RegA0]
+	a1 := c.X[riscv.RegA1]
+	a2 := c.X[riscv.RegA2]
+	ret := uint64(0)
+	switch num {
+	case sysExit, sysExitGroup:
+		c.Exited = true
+		c.ExitCode = int(int64(a0))
+		return true, nil
+	case sysWrite:
+		if a2 > 1<<20 {
+			ret = errnoRet(22) // EINVAL
+			break
+		}
+		buf := make([]byte, a2)
+		if e := c.Mem.ReadBytes(a1, buf); e != nil {
+			ret = errnoRet(14) // EFAULT
+			break
+		}
+		if _, e := c.Stdout.Write(buf); e != nil {
+			ret = errnoRet(5) // EIO
+			break
+		}
+		ret = a2
+	case sysRead:
+		ret = 0 // EOF
+	case sysClose, sysFstat:
+		ret = 0
+	case sysGetpid:
+		ret = 2
+	case sysBrk:
+		if a0 != 0 && a0 >= c.brk && a0 < mmapBase {
+			c.Mem.Map(c.brk, a0-c.brk)
+			c.brk = (a0 + pageSize - 1) &^ (pageSize - 1)
+		}
+		ret = c.brk
+	case sysMmap:
+		size := (a1 + pageSize - 1) &^ (pageSize - 1)
+		if size == 0 || size > 1<<30 {
+			ret = errnoRet(22)
+			break
+		}
+		addr := c.mmapNext
+		c.mmapNext += size
+		c.Mem.Map(addr, size)
+		ret = addr
+	case sysClockGettime:
+		ns := c.VirtualNanos()
+		if e := c.Mem.Write64(a1, ns/1e9); e != nil {
+			ret = errnoRet(14)
+			break
+		}
+		if e := c.Mem.Write64(a1+8, ns%1e9); e != nil {
+			ret = errnoRet(14)
+			break
+		}
+		ret = 0
+	case sysGettimeofday:
+		ns := c.VirtualNanos()
+		if e := c.Mem.Write64(a0, ns/1e9); e != nil {
+			ret = errnoRet(14)
+			break
+		}
+		if e := c.Mem.Write64(a0+8, ns%1e9/1000); e != nil {
+			ret = errnoRet(14)
+			break
+		}
+		ret = 0
+	default:
+		return false, fmt.Errorf("emu: unimplemented syscall %d at pc=%#x", num, c.PC)
+	}
+	c.X[riscv.RegA0] = ret
+	return false, nil
+}
+
+func errnoRet(errno int64) uint64 { return uint64(-errno) }

@@ -1,0 +1,198 @@
+package emu
+
+import (
+	"bytes"
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/riscv"
+)
+
+// TestBrkAndMmap: the heap syscalls hand out usable, zeroed memory.
+func TestBrkAndMmap(t *testing.T) {
+	c := runToBreak(t, `
+	.text
+_start:
+	# brk(0) -> current break
+	li a0, 0
+	li a7, 214
+	ecall
+	mv s0, a0
+	# brk(break + 8192) -> grown
+	li t0, 8192
+	add a0, s0, t0
+	li a7, 214
+	ecall
+	mv s1, a0
+	# the grown range is writable
+	li t1, 77
+	sd t1, 0(s0)
+	ld s2, 0(s0)
+	# mmap(0, 16384, ...) -> fresh region
+	li a0, 0
+	li a1, 16384
+	li a7, 222
+	ecall
+	mv s3, a0
+	li t1, 88
+	sd t1, 0(s3)
+	ld s4, 0(s3)
+	ld s5, 8(s3)          # untouched mmap memory reads zero
+	ebreak
+`)
+	if c.X[riscv.RegS1] <= c.X[riscv.RegS0] {
+		t.Errorf("brk did not grow: %#x -> %#x", c.X[riscv.RegS0], c.X[riscv.RegS1])
+	}
+	if c.X[riscv.RegS2] != 77 {
+		t.Errorf("heap write lost: %d", c.X[riscv.RegS2])
+	}
+	if c.X[riscv.RegS3] == 0 {
+		t.Error("mmap returned 0")
+	}
+	if c.X[riscv.RegS4] != 88 || c.X[riscv.RegS5] != 0 {
+		t.Errorf("mmap memory: %d, %d", c.X[riscv.RegS4], c.X[riscv.RegS5])
+	}
+}
+
+// TestWriteErrnoPaths: bad write arguments yield negative errno returns.
+func TestWriteErrnoPaths(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+_start:
+	# write to an unmapped buffer -> -EFAULT
+	li a0, 1
+	li a1, 0x900000000
+	li a2, 8
+	li a7, 64
+	ecall
+	mv s0, a0
+	# absurd length -> -EINVAL
+	li a0, 1
+	la a1, ok
+	li a2, 0x200000
+	li a7, 64
+	ecall
+	mv s1, a0
+	ebreak
+	.data
+ok:
+	.asciz "x"
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	c.Stdout = &out
+	if r := c.Run(0); r != StopBreakpoint {
+		t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+	}
+	if int64(c.X[riscv.RegS0]) != -14 {
+		t.Errorf("write(bad buf) = %d, want -EFAULT", int64(c.X[riscv.RegS0]))
+	}
+	if int64(c.X[riscv.RegS1]) != -22 {
+		t.Errorf("write(huge len) = %d, want -EINVAL", int64(c.X[riscv.RegS1]))
+	}
+	if out.Len() != 0 {
+		t.Errorf("failed writes emitted output: %q", out.String())
+	}
+}
+
+// TestMiscSyscalls: read/close/fstat/getpid/gettimeofday behave sanely.
+func TestMiscSyscalls(t *testing.T) {
+	c := runToBreak(t, `
+	.text
+_start:
+	li a7, 63          # read -> 0 (EOF)
+	li a0, 0
+	la a1, buf
+	li a2, 8
+	ecall
+	mv s0, a0
+	li a7, 57          # close -> 0
+	li a0, 3
+	ecall
+	mv s1, a0
+	li a7, 172         # getpid
+	ecall
+	mv s2, a0
+	li a7, 169         # gettimeofday
+	la a0, buf
+	li a1, 0
+	ecall
+	mv s3, a0
+	ebreak
+	.bss
+buf:
+	.zero 16
+`)
+	if c.X[riscv.RegS0] != 0 || c.X[riscv.RegS1] != 0 || c.X[riscv.RegS3] != 0 {
+		t.Errorf("read/close/gettimeofday = %d %d %d", c.X[riscv.RegS0], c.X[riscv.RegS1], c.X[riscv.RegS3])
+	}
+	if c.X[riscv.RegS2] == 0 {
+		t.Error("getpid = 0")
+	}
+}
+
+// TestUnknownSyscallTraps: an unimplemented syscall is a trap (debuggable),
+// not silence.
+func TestUnknownSyscallTraps(t *testing.T) {
+	f, err := asm.Assemble(`
+	.text
+_start:
+	li a7, 5000
+	ecall
+`, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != StopTrap {
+		t.Fatalf("stopped: %v, want trap", r)
+	}
+}
+
+// TestLRSCFailurePaths: sc without (or with a mismatched) reservation fails.
+func TestLRSCFailurePaths(t *testing.T) {
+	c := runToBreak(t, `
+	.bss
+c1:
+	.zero 8
+c2:
+	.zero 8
+	.text
+_start:
+	la t0, c1
+	la t1, c2
+	# sc without any reservation -> fails (rd != 0)
+	li t2, 1
+	sc.d s0, t2, (t0)
+	# lr on c1, sc on c2 -> mismatched address, fails
+	lr.d t3, (t0)
+	sc.d s1, t2, (t1)
+	# proper pair succeeds
+	lr.d t3, (t0)
+	sc.d s2, t2, (t0)
+	ld s3, 0(t0)
+	ld s4, 0(t1)
+	ebreak
+`)
+	if c.X[riscv.RegS0] == 0 {
+		t.Error("sc without reservation succeeded")
+	}
+	if c.X[riscv.RegS1] == 0 {
+		t.Error("sc with mismatched reservation succeeded")
+	}
+	if c.X[riscv.RegS2] != 0 {
+		t.Error("well-paired sc failed")
+	}
+	if c.X[riscv.RegS3] != 1 || c.X[riscv.RegS4] != 0 {
+		t.Errorf("memory after sc: c1=%d c2=%d", c.X[riscv.RegS3], c.X[riscv.RegS4])
+	}
+}

@@ -1,0 +1,161 @@
+// Package instruction is the InstructionAPI analog (paper Section 3.2.2):
+// an ISA-independent object view of machine instructions. Where Dyninst
+// builds this layer on the Capstone disassembler, this reproduction builds
+// it on the riscv package's decoder, which provides the same contract
+// Capstone v6 does — mnemonic, per-operand read/write access, implicit
+// register effects, and memory-operand sizes.
+package instruction
+
+import (
+	"fmt"
+
+	"rvdyn/internal/riscv"
+)
+
+// OperandKind classifies one operand.
+type OperandKind int
+
+const (
+	OperandReg OperandKind = iota
+	OperandImm
+	OperandMem
+)
+
+// Operand is one abstract operand with its access information — the
+// information whose absence from Capstone's RISC-V support before v6.0.0
+// the paper's authors had to fix upstream.
+type Operand struct {
+	Kind    OperandKind
+	Reg     riscv.Reg // for OperandReg
+	Imm     int64     // for OperandImm
+	Base    riscv.Reg // for OperandMem
+	Offset  int64     // for OperandMem
+	Width   int       // memory access width in bytes
+	Read    bool
+	Written bool
+}
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperandReg:
+		return o.Reg.String()
+	case OperandImm:
+		return fmt.Sprintf("%d", o.Imm)
+	case OperandMem:
+		return fmt.Sprintf("%d(%s)", o.Offset, o.Base)
+	}
+	return "?"
+}
+
+// Instruction is the abstract instruction object.
+type Instruction struct {
+	riscv.Inst
+}
+
+// Operands returns the abstract operand list with access flags.
+func (in Instruction) Operands() []Operand {
+	i := in.Inst
+	var ops []Operand
+	switch i.Cat() {
+	case riscv.CatLoad:
+		ops = append(ops,
+			Operand{Kind: OperandReg, Reg: i.Rd, Written: true},
+			Operand{Kind: OperandMem, Base: i.Rs1, Offset: i.Imm, Width: i.MemWidth(), Read: true})
+	case riscv.CatStore:
+		ops = append(ops,
+			Operand{Kind: OperandReg, Reg: i.Rs2, Read: true},
+			Operand{Kind: OperandMem, Base: i.Rs1, Offset: i.Imm, Width: i.MemWidth(), Written: true})
+	case riscv.CatAMO:
+		ops = append(ops, Operand{Kind: OperandReg, Reg: i.Rd, Written: true})
+		if i.Rs2 != riscv.RegNone {
+			ops = append(ops, Operand{Kind: OperandReg, Reg: i.Rs2, Read: true})
+		}
+		ops = append(ops, Operand{Kind: OperandMem, Base: i.Rs1, Width: i.MemWidth(), Read: true, Written: i.Mn != riscv.MnLRW && i.Mn != riscv.MnLRD})
+	case riscv.CatBranch:
+		ops = append(ops,
+			Operand{Kind: OperandReg, Reg: i.Rs1, Read: true},
+			Operand{Kind: OperandReg, Reg: i.Rs2, Read: true},
+			Operand{Kind: OperandImm, Imm: i.Imm})
+	case riscv.CatJAL:
+		ops = append(ops,
+			Operand{Kind: OperandReg, Reg: i.Rd, Written: true},
+			Operand{Kind: OperandImm, Imm: i.Imm})
+	case riscv.CatJALR:
+		ops = append(ops,
+			Operand{Kind: OperandReg, Reg: i.Rd, Written: true},
+			Operand{Kind: OperandMem, Base: i.Rs1, Offset: i.Imm, Read: false})
+	default:
+		if i.Rd != riscv.RegNone {
+			ops = append(ops, Operand{Kind: OperandReg, Reg: i.Rd, Written: true})
+		}
+		if i.Rs1 != riscv.RegNone {
+			ops = append(ops, Operand{Kind: OperandReg, Reg: i.Rs1, Read: true})
+		}
+		if i.Rs2 != riscv.RegNone {
+			ops = append(ops, Operand{Kind: OperandReg, Reg: i.Rs2, Read: true})
+		}
+		if i.Rs3 != riscv.RegNone && i.Rs3 != 0 {
+			ops = append(ops, Operand{Kind: OperandReg, Reg: i.Rs3, Read: true})
+		}
+		if hasImmOperand(i.Mn) {
+			ops = append(ops, Operand{Kind: OperandImm, Imm: i.Imm})
+		}
+	}
+	return ops
+}
+
+func hasImmOperand(mn riscv.Mnemonic) bool {
+	switch mn {
+	case riscv.MnADDI, riscv.MnSLTI, riscv.MnSLTIU, riscv.MnXORI, riscv.MnORI,
+		riscv.MnANDI, riscv.MnSLLI, riscv.MnSRLI, riscv.MnSRAI, riscv.MnADDIW,
+		riscv.MnSLLIW, riscv.MnSRLIW, riscv.MnSRAIW, riscv.MnLUI, riscv.MnAUIPC,
+		riscv.MnCSRRWI, riscv.MnCSRRSI, riscv.MnCSRRCI:
+		return true
+	}
+	return false
+}
+
+// Decoder decodes instructions from a byte image, rejecting instructions
+// from extensions outside the binary's advertised set. This is how the
+// paper's port reconciles Capstone's fixed RV64GC profile with the
+// per-binary extension list from SymtabAPI.
+type Decoder struct {
+	// Arch restricts decoding; zero means RV64GC.
+	Arch riscv.ExtSet
+}
+
+// Decode decodes one instruction at addr.
+func (d Decoder) Decode(b []byte, addr uint64) (Instruction, error) {
+	inst, err := riscv.Decode(b, addr)
+	if err != nil {
+		return Instruction{Inst: inst}, err
+	}
+	arch := d.Arch
+	if arch == 0 {
+		arch = riscv.RV64GC
+	}
+	if !arch.Has(inst.Mn.Ext()) {
+		return Instruction{Inst: inst}, fmt.Errorf(
+			"instruction: %v at %#x requires %v outside binary's %v",
+			inst.Mn, addr, inst.Mn.Ext(), arch)
+	}
+	if inst.Compressed && !arch.Has(riscv.ExtC) {
+		return Instruction{Inst: inst}, fmt.Errorf(
+			"instruction: compressed encoding at %#x but binary does not advertise C", addr)
+	}
+	return Instruction{Inst: inst}, nil
+}
+
+// DecodeAll decodes a linear range, stopping at the first error.
+func (d Decoder) DecodeAll(b []byte, addr uint64) ([]Instruction, error) {
+	var out []Instruction
+	for off := 0; off < len(b); {
+		in, err := d.Decode(b[off:], addr+uint64(off))
+		if err != nil {
+			return out, err
+		}
+		out = append(out, in)
+		off += in.Len
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package instruction
+
+import (
+	"testing"
+
+	"rvdyn/internal/riscv"
+)
+
+func enc(t *testing.T, i riscv.Inst) []byte {
+	t.Helper()
+	b, err := riscv.EncodeBytes(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mk(mn riscv.Mnemonic, rd, rs1, rs2 riscv.Reg, imm int64) riscv.Inst {
+	return riscv.Inst{Mn: mn, Rd: rd, Rs1: rs1, Rs2: rs2, Rs3: riscv.RegNone, Imm: imm, RM: riscv.RMDyn}
+}
+
+func TestOperandAccessLoad(t *testing.T) {
+	d := Decoder{}
+	in, err := d.Decode(enc(t, mk(riscv.MnLD, riscv.RegA0, riscv.RegSP, riscv.RegNone, 16)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := in.Operands()
+	if len(ops) != 2 {
+		t.Fatalf("ld operands = %v", ops)
+	}
+	if ops[0].Kind != OperandReg || !ops[0].Written || ops[0].Read {
+		t.Errorf("ld rd access = %+v", ops[0])
+	}
+	if ops[1].Kind != OperandMem || !ops[1].Read || ops[1].Written ||
+		ops[1].Base != riscv.RegSP || ops[1].Offset != 16 || ops[1].Width != 8 {
+		t.Errorf("ld mem operand = %+v", ops[1])
+	}
+}
+
+func TestOperandAccessStore(t *testing.T) {
+	d := Decoder{}
+	in, err := d.Decode(enc(t, mk(riscv.MnSW, riscv.RegNone, riscv.RegA0, riscv.RegA1, -4)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := in.Operands()
+	if len(ops) != 2 {
+		t.Fatalf("sw operands = %v", ops)
+	}
+	if !ops[0].Read || ops[0].Written || ops[0].Reg != riscv.RegA1 {
+		t.Errorf("sw source = %+v", ops[0])
+	}
+	if !ops[1].Written || ops[1].Read || ops[1].Width != 4 {
+		t.Errorf("sw mem = %+v", ops[1])
+	}
+}
+
+func TestOperandAccessArith(t *testing.T) {
+	d := Decoder{}
+	in, _ := d.Decode(enc(t, mk(riscv.MnADD, riscv.RegA0, riscv.RegA1, riscv.RegA2, 0)), 0)
+	ops := in.Operands()
+	if len(ops) != 3 {
+		t.Fatalf("add operands = %v", ops)
+	}
+	if !ops[0].Written || ops[0].Read {
+		t.Errorf("add rd = %+v", ops[0])
+	}
+	if !ops[1].Read || ops[1].Written || !ops[2].Read {
+		t.Errorf("add sources = %+v %+v", ops[1], ops[2])
+	}
+	// Immediate form carries the immediate operand.
+	in, _ = d.Decode(enc(t, mk(riscv.MnADDI, riscv.RegA0, riscv.RegA1, riscv.RegNone, 7)), 0)
+	ops = in.Operands()
+	if len(ops) != 3 || ops[2].Kind != OperandImm || ops[2].Imm != 7 {
+		t.Errorf("addi operands = %v", ops)
+	}
+}
+
+func TestOperandAccessBranchAndJumps(t *testing.T) {
+	d := Decoder{}
+	in, _ := d.Decode(enc(t, mk(riscv.MnBEQ, riscv.RegNone, riscv.RegA0, riscv.RegA1, 16)), 0x1000)
+	ops := in.Operands()
+	if len(ops) != 3 || !ops[0].Read || !ops[1].Read || ops[2].Kind != OperandImm {
+		t.Errorf("beq operands = %v", ops)
+	}
+	in, _ = d.Decode(enc(t, mk(riscv.MnJAL, riscv.RegRA, riscv.RegNone, riscv.RegNone, 2048)), 0x1000)
+	ops = in.Operands()
+	if len(ops) != 2 || !ops[0].Written {
+		t.Errorf("jal operands = %v", ops)
+	}
+	in, _ = d.Decode(enc(t, mk(riscv.MnJALR, riscv.X0, riscv.RegRA, riscv.RegNone, 0)), 0x1000)
+	ops = in.Operands()
+	if len(ops) != 2 || ops[1].Kind != OperandMem || ops[1].Base != riscv.RegRA {
+		t.Errorf("jalr operands = %v", ops)
+	}
+}
+
+func TestOperandAccessAMO(t *testing.T) {
+	d := Decoder{}
+	in, _ := d.Decode(enc(t, riscv.Inst{Mn: riscv.MnAMOADDW, Rd: riscv.RegA0,
+		Rs1: riscv.RegA1, Rs2: riscv.RegA2, Rs3: riscv.RegNone}), 0)
+	ops := in.Operands()
+	if len(ops) != 3 {
+		t.Fatalf("amoadd operands = %v", ops)
+	}
+	mem := ops[2]
+	if !mem.Read || !mem.Written || mem.Width != 4 {
+		t.Errorf("amoadd mem = %+v", mem)
+	}
+	// lr only reads memory.
+	in, _ = d.Decode(enc(t, riscv.Inst{Mn: riscv.MnLRW, Rd: riscv.RegA0,
+		Rs1: riscv.RegA1, Rs2: riscv.RegNone, Rs3: riscv.RegNone}), 0)
+	ops = in.Operands()
+	mem = ops[len(ops)-1]
+	if !mem.Read || mem.Written {
+		t.Errorf("lr.w mem = %+v", mem)
+	}
+}
+
+func TestDecoderArchRestriction(t *testing.T) {
+	// A D-extension instruction must be rejected when the binary's
+	// advertised set lacks D (the reconciliation of Capstone's fixed
+	// RV64GC profile with per-binary extensions).
+	fmul := enc(t, riscv.Inst{Mn: riscv.MnFMULD, Rd: riscv.F0, Rs1: riscv.F1,
+		Rs2: riscv.F2, Rs3: riscv.RegNone, RM: riscv.RMDyn})
+	if _, err := (Decoder{Arch: riscv.ExtI | riscv.ExtM}).Decode(fmul, 0); err == nil {
+		t.Error("fmul.d accepted for an IM-only binary")
+	}
+	if _, err := (Decoder{}).Decode(fmul, 0); err != nil {
+		t.Errorf("fmul.d rejected for default rv64gc: %v", err)
+	}
+	// A compressed encoding must be rejected when C is absent.
+	cnop := []byte{0x01, 0x00}
+	if _, err := (Decoder{Arch: riscv.ExtI}).Decode(cnop, 0); err == nil {
+		t.Error("compressed nop accepted for an I-only binary")
+	}
+	if _, err := (Decoder{Arch: riscv.ExtI | riscv.ExtC}).Decode(cnop, 0); err != nil {
+		t.Errorf("compressed nop rejected with C present: %v", err)
+	}
+}
+
+func TestDecodeAll(t *testing.T) {
+	var buf []byte
+	buf = append(buf, enc(t, mk(riscv.MnADDI, riscv.RegA0, riscv.X0, riscv.RegNone, 1))...)
+	buf = append(buf, enc(t, mk(riscv.MnADD, riscv.RegA1, riscv.RegA0, riscv.RegA0, 0))...)
+	buf = append(buf, enc(t, mk(riscv.MnJALR, riscv.X0, riscv.RegRA, riscv.RegNone, 0))...)
+	ins, err := (Decoder{}).DecodeAll(buf, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 3 {
+		t.Fatalf("decoded %d", len(ins))
+	}
+	if ins[1].Addr != 0x1004 {
+		t.Errorf("second instruction at %#x", ins[1].Addr)
+	}
+	// Truncated stream errors out but returns the prefix.
+	ins, err = (Decoder{}).DecodeAll(buf[:6], 0x1000)
+	if err == nil {
+		t.Error("truncated stream decoded fully")
+	}
+	if len(ins) != 1 {
+		t.Errorf("prefix length = %d", len(ins))
+	}
+}
+
+func TestOperandStrings(t *testing.T) {
+	ops := []Operand{
+		{Kind: OperandReg, Reg: riscv.RegA0},
+		{Kind: OperandImm, Imm: -7},
+		{Kind: OperandMem, Base: riscv.RegSP, Offset: 16},
+	}
+	want := []string{"a0", "-7", "16(sp)"}
+	for i, o := range ops {
+		if o.String() != want[i] {
+			t.Errorf("operand %d = %q, want %q", i, o.String(), want[i])
+		}
+	}
+}
+
+func TestFMAOperands(t *testing.T) {
+	d := Decoder{}
+	in, _ := d.Decode(enc(t, riscv.Inst{Mn: riscv.MnFMADDD, Rd: riscv.F0,
+		Rs1: riscv.F1, Rs2: riscv.F2, Rs3: riscv.F3, RM: riscv.RMDyn}), 0)
+	ops := in.Operands()
+	if len(ops) != 4 {
+		t.Fatalf("fmadd operands = %v", ops)
+	}
+	reads := 0
+	for _, o := range ops {
+		if o.Read {
+			reads++
+		}
+	}
+	if reads != 3 {
+		t.Errorf("fmadd reads %d regs, want 3", reads)
+	}
+}

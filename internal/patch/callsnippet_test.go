@@ -1,0 +1,118 @@
+package patch
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/snippet"
+)
+
+// TestCallFuncSnippetRewrite exercises the "calling functions" snippet kind
+// from the paper's AST list end-to-end: instrumentation at fib's entry
+// calls a logger function *inside the mutatee*, which tallies into a
+// global. The call must preserve the mutatee's state exactly (fib still
+// computes 144) while the logger observes every entry.
+func TestCallFuncSnippetRewrite(t *testing.T) {
+	src := `
+	.text
+	.globl _start
+_start:
+	li a0, 10
+	call fib
+	li a7, 93
+	ecall
+
+	.globl fib
+	.type fib, @function
+fib:
+	li t0, 2
+	blt a0, t0, fib_base
+	addi sp, sp, -32
+	sd ra, 24(sp)
+	sd s0, 16(sp)
+	sd s1, 8(sp)
+	mv s0, a0
+	addi a0, s0, -1
+	call fib
+	mv s1, a0
+	addi a0, s0, -2
+	call fib
+	add a0, a0, s1
+	ld ra, 24(sp)
+	ld s0, 16(sp)
+	ld s1, 8(sp)
+	addi sp, sp, 32
+fib_base:
+	ret
+	.size fib, .-fib
+
+# logger(a0=code): tally[code & 15]++
+	.globl logger
+	.type logger, @function
+logger:
+	andi a0, a0, 15
+	slli a0, a0, 3
+	la t0, tally
+	add t0, t0, a0
+	ld t1, 0(t0)
+	addi t1, t1, 1
+	sd t1, 0(t0)
+	ret
+	.size logger, .-logger
+
+	.data
+	.globl tally
+tally:
+	.zero 128
+`
+	st, cfg := analyze(t, src, asm.Options{})
+	fib, ok := cfg.FuncByName("fib")
+	if !ok {
+		t.Fatal("fib not found")
+	}
+	logger, ok := cfg.FuncByName("logger")
+	if !ok {
+		t.Fatal("logger not found")
+	}
+
+	for _, mode := range []codegen.Mode{codegen.ModeDeadRegister, codegen.ModeSpillAlways} {
+		rw := NewRewriter(st, cfg, mode)
+		// Call logger(arg0) at every fib entry: records the argument
+		// distribution of the recursion.
+		sn := snippet.CallFunc{Entry: logger.Entry, Args: []snippet.Snippet{snippet.ParamReg{Index: 0}}}
+		if err := rw.InsertSnippet(snippet.FuncEntry(fib), sn); err != nil {
+			t.Fatal(err)
+		}
+		out, err := rw.Rewrite()
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		c := runFile(t, out, 10_000_000)
+		if c.ExitCode != 55 {
+			t.Errorf("mode %v: fib(10) = %d, want 55", mode, c.ExitCode)
+		}
+		sym, _ := out.Symbol("tally")
+		// fib(n) entry counts follow the fibonacci recursion themselves:
+		// calls(n)=1, with calls(k) = fib-like. Verify a few directly:
+		// argument 10 seen once, argument 8 seen twice (from 10->9->8 and
+		// 10->8), argument 1 seen fib(10) distribution... check the total
+		// equals the known 177 calls of a naive fib(10).
+		var total uint64
+		counts := make([]uint64, 16)
+		for i := 0; i < 16; i++ {
+			v, err := c.Mem.Read64(sym.Value + uint64(i*8))
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[i] = v
+			total += v
+		}
+		if total != 177 {
+			t.Errorf("mode %v: logger saw %d calls, want 177 (counts %v)", mode, total, counts)
+		}
+		if counts[10] != 1 || counts[8] != 2 || counts[7] != 3 {
+			t.Errorf("mode %v: argument distribution off: %v", mode, counts)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package patch
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/workload"
+)
+
+// TestInstrumentFunctionWithFarCalls relocates a function containing the
+// auipc+jalr multi-instruction call sequence (paper Section 3.2.3): the
+// relocator must rewrite the pc-relative auipc into an absolute
+// materialization so the paired jalr still reaches the callee from the new
+// location.
+func TestInstrumentFunctionWithFarCalls(t *testing.T) {
+	st, cfg := analyze(t, workload.FarCallSource, asm.Options{})
+	fn, ok := cfg.FuncByName("_start")
+	if !ok {
+		t.Fatal("_start not found")
+	}
+	rw := NewRewriter(st, cfg, codegen.ModeDeadRegister)
+	blocks := rw.NewVar("blocks", 8)
+	for _, pt := range snippet.BlockEntries(fn) {
+		if err := rw.InsertSnippet(pt, snippet.Increment(blocks)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := rw.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runFile(t, out, 1_000_000)
+	if c.ExitCode != workload.FarCallExpected {
+		t.Errorf("exit = %d, want %d", c.ExitCode, workload.FarCallExpected)
+	}
+	if got := readVar(t, c, blocks); got == 0 {
+		t.Error("block counter never ran")
+	}
+	// The relocated copy must not contain an auipc anymore (each was
+	// rewritten to lui/addiw materialization of the same value).
+	sec := out.Section(".dyninst.text")
+	if sec == nil {
+		t.Fatal("no trampoline")
+	}
+	for off := 0; off < len(sec.Data); {
+		in, err := riscv.Decode(sec.Data[off:], sec.Addr+uint64(off))
+		if err != nil {
+			t.Fatalf("relocated code undecodable at +%#x: %v", off, err)
+		}
+		if in.Mn == riscv.MnAUIPC {
+			t.Errorf("auipc survived relocation at %#x", in.Addr)
+		}
+		off += in.Len
+	}
+}
+
+// TestInstrumentBothEndsOfFarCall instruments caller and callee together in
+// one rewrite: the relocated caller's jalr must land on the callee's
+// *patched* original entry, which bounces to the callee's relocated copy.
+func TestInstrumentBothEndsOfFarCall(t *testing.T) {
+	st, cfg := analyze(t, workload.FarCallSource, asm.Options{})
+	caller, _ := cfg.FuncByName("_start")
+	callee, _ := cfg.FuncByName("square")
+	if caller == nil || callee == nil {
+		t.Fatal("functions missing")
+	}
+	rw := NewRewriter(st, cfg, codegen.ModeDeadRegister)
+	callerV := rw.NewVar("caller_blocks", 8)
+	calleeV := rw.NewVar("callee_entries", 8)
+	for _, pt := range snippet.BlockEntries(caller) {
+		if err := rw.InsertSnippet(pt, snippet.Increment(callerV)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.InsertSnippet(snippet.FuncEntry(callee), snippet.Increment(calleeV)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := rw.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runFile(t, out, 1_000_000)
+	if c.ExitCode != workload.FarCallExpected {
+		t.Errorf("exit = %d, want %d", c.ExitCode, workload.FarCallExpected)
+	}
+	if got := readVar(t, c, calleeV); got != 2 {
+		t.Errorf("callee entries = %d, want 2 (both far calls must reach the instrumented square)", got)
+	}
+	if len(rw.Patches) != 2 {
+		t.Errorf("%d entry patches, want 2", len(rw.Patches))
+	}
+}

@@ -1,0 +1,92 @@
+package patch
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/parse"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/symtab"
+	"rvdyn/internal/workload"
+)
+
+// Differential fuzzing of the whole instrumentation pipeline: generate a
+// random (but always-terminating) program, run it raw, then instrument
+// every basic block of every function in both register-allocation modes and
+// both compression variants, and require bit-identical program results.
+// This exercises the decoder, the parser's block construction and
+// classification, liveness, snippet lowering, relocation fix-ups, and the
+// entry-patch ladder together, on shapes no hand-written test anticipates.
+
+func TestDifferentialInstrumentationFuzz(t *testing.T) {
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 0; seed < seeds; seed++ {
+		src := workload.RandomProgram(int64(seed), 2+seed%3)
+		for _, aopts := range []asm.Options{{}, {NoCompress: true}} {
+			file, err := asm.Assemble(src, aopts)
+			if err != nil {
+				t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
+			}
+			// Base run.
+			base, err := emu.New(file, emu.P550())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := base.Run(5_000_000); r != emu.StopExit {
+				t.Fatalf("seed %d: base stopped %v (%v)", seed, r, base.LastTrap())
+			}
+
+			st, err := symtab.FromFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := parse.Parse(st, parse.Options{})
+			if err != nil {
+				t.Fatalf("seed %d: parse: %v", seed, err)
+			}
+
+			for _, mode := range []codegen.Mode{codegen.ModeDeadRegister, codegen.ModeSpillAlways} {
+				rw := NewRewriter(st, cfg, mode)
+				counter := rw.NewVar("fuzz_blocks", 8)
+				points := 0
+				for _, fn := range cfg.Funcs {
+					for _, pt := range snippet.BlockEntries(fn) {
+						if err := rw.InsertSnippet(pt, snippet.Increment(counter)); err != nil {
+							t.Fatalf("seed %d: insert: %v", seed, err)
+						}
+						points++
+					}
+				}
+				out, err := rw.Rewrite()
+				if err != nil {
+					t.Fatalf("seed %d mode %v: rewrite: %v\n%s", seed, mode, err, src)
+				}
+				inst, err := emu.New(out, emu.P550())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r := inst.Run(20_000_000); r != emu.StopExit {
+					t.Fatalf("seed %d mode %v compress=%v: instrumented stopped %v (%v) pc=%#x\n%s",
+						seed, mode, !aopts.NoCompress, r, inst.LastTrap(), inst.PC, src)
+				}
+				if inst.ExitCode != base.ExitCode {
+					t.Fatalf("seed %d mode %v: exit %d != base %d\n%s",
+						seed, mode, inst.ExitCode, base.ExitCode, src)
+				}
+				blocks, err := inst.Mem.Read64(counter.Addr)
+				if err != nil || blocks == 0 {
+					t.Fatalf("seed %d mode %v: block counter = %d (err %v)", seed, mode, blocks, err)
+				}
+				if inst.Instret <= base.Instret {
+					t.Fatalf("seed %d mode %v: instrumented retired %d <= base %d",
+						seed, mode, inst.Instret, base.Instret)
+				}
+			}
+		}
+	}
+}

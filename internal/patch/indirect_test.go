@@ -1,0 +1,107 @@
+package patch
+
+import (
+	"strings"
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/snippet"
+)
+
+// TestResolvedIndirectJumpStaysRelocated: a function with a resolved
+// computed jump (la + jr) is instrumented; the relocated copy must rewrite
+// the jr into a direct jump so execution never escapes back into the
+// original, uninstrumented body — the counters prove where execution went.
+func TestResolvedIndirectJumpStaysRelocated(t *testing.T) {
+	src := `
+	.text
+	.globl _start
+_start:
+	li a0, 5
+	call f
+	li a7, 93
+	ecall
+
+	.globl f
+	.type f, @function
+f:
+	la t0, f_target
+	jr t0
+	addi a0, a0, 100    # skipped by the jump
+f_target:
+	addi a0, a0, 1
+	ret
+	.size f, .-f
+`
+	st, cfg := analyze(t, src, asm.Options{NoCompress: true})
+	fn, ok := cfg.FuncByName("f")
+	if !ok {
+		t.Fatal("f not found")
+	}
+	rw := NewRewriter(st, cfg, codegen.ModeDeadRegister)
+	counter := rw.NewVar("blocks", 8)
+	for _, pt := range snippet.BlockEntries(fn) {
+		if err := rw.InsertSnippet(pt, snippet.Increment(counter)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := rw.Rewrite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := runFile(t, out, 100_000)
+	if c.ExitCode != 6 {
+		t.Errorf("exit = %d, want 6", c.ExitCode)
+	}
+	// Blocks executed in f: entry (la+jr) and f_target (addi+ret). If the
+	// jr had escaped to the original body, the target-block counter bump
+	// would be missing.
+	if got := readVar(t, c, counter); got != 2 {
+		t.Errorf("block executions = %d, want 2 (jump target must stay in the relocated copy)", got)
+	}
+	// The relocated copy must not contain a jalr jump anymore (the return's
+	// jalr through ra remains).
+	sec := out.Section(".dyninst.text")
+	if sec == nil {
+		t.Fatal("no trampoline section")
+	}
+}
+
+// TestUnresolvedIndirectJumpRefused: a function whose indirect jump cannot
+// be resolved must be refused by the rewriter rather than silently
+// mis-relocated.
+func TestUnresolvedIndirectJumpRefused(t *testing.T) {
+	src := `
+	.text
+	.globl _start
+_start:
+	li a7, 93
+	li a0, 0
+	ecall
+
+	.globl g
+	.type g, @function
+g:
+	# a1 comes from the caller: not resolvable statically, not a table.
+	jr a1
+	.size g, .-g
+`
+	st, cfg := analyze(t, src, asm.Options{})
+	fn, ok := cfg.FuncByName("g")
+	if !ok {
+		t.Fatal("g not found")
+	}
+	rw := NewRewriter(st, cfg, codegen.ModeDeadRegister)
+	v := rw.NewVar("v", 8)
+	if err := rw.InsertSnippet(snippet.FuncEntry(fn), snippet.Increment(v)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := rw.Rewrite()
+	if err == nil {
+		t.Fatal("rewriter accepted a function with an unresolvable indirect jump")
+	}
+	if !strings.Contains(err.Error(), "refusing to relocate") {
+		t.Errorf("error = %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package patch is the PatchAPI analog (paper Sections 2.2 and 3.1.2): it
+// performs CFG-safe snippet insertion by relocating instrumented functions
+// into a patch area (the trampoline space), rewriting their PC-relative
+// instructions and jump tables, and redirecting the original entry with the
+// cheapest jump that reaches the trampoline:
+//
+//	c.j        2 bytes, ±2 KiB     (needs the C extension)
+//	jal x0     4 bytes, ±1 MiB
+//	auipc+jalr 8 bytes, ±2 GiB     (needs a dead scratch register)
+//	ebreak     2-4 bytes, trap     (the paper's last resort; only usable
+//	                                under dynamic instrumentation, where
+//	                                the process-control layer fields the
+//	                                trap and redirects the PC)
+package patch
+
+import (
+	"fmt"
+
+	"rvdyn/internal/riscv"
+)
+
+// PatchKind identifies which rung of the jump ladder a patch used.
+type PatchKind int
+
+const (
+	PatchCJ PatchKind = iota
+	PatchJAL
+	PatchAuipcJalr
+	PatchTrap
+)
+
+func (k PatchKind) String() string {
+	switch k {
+	case PatchCJ:
+		return "c.j"
+	case PatchJAL:
+		return "jal"
+	case PatchAuipcJalr:
+		return "auipc+jalr"
+	case PatchTrap:
+		return "trap"
+	}
+	return "?"
+}
+
+// Size returns the patch size in bytes.
+func (k PatchKind) Size() int {
+	switch k {
+	case PatchCJ:
+		return 2
+	case PatchJAL:
+		return 4
+	case PatchAuipcJalr:
+		return 8
+	case PatchTrap:
+		return 2
+	}
+	return 0
+}
+
+// JumpPatch selects and encodes the cheapest control-flow redirection from
+// `from` to `to` that fits in `room` bytes, per Section 3.1.2.
+//
+// scratch is a register proven dead at the patch site (RegNone if none is
+// available); it enables the auipc+jalr rung. allowTrap permits the ebreak
+// fallback (dynamic instrumentation only — a statically rewritten binary
+// has no one to catch the trap).
+func JumpPatch(from, to uint64, room uint64, arch riscv.ExtSet,
+	scratch riscv.Reg, allowTrap bool) (PatchKind, []byte, error) {
+
+	offset := int64(to) - int64(from)
+
+	if arch.Has(riscv.ExtC) && room >= 2 && offset >= riscv.CJMin && offset <= riscv.CJMax {
+		h, ok := riscv.Compress(riscv.Inst{
+			Mn: riscv.MnJAL, Rd: riscv.X0,
+			Rs1: riscv.RegNone, Rs2: riscv.RegNone, Rs3: riscv.RegNone, Imm: offset,
+		})
+		if ok {
+			return PatchCJ, []byte{byte(h), byte(h >> 8)}, nil
+		}
+	}
+	if room >= 4 && offset >= riscv.JALMin && offset <= riscv.JALMax && offset&1 == 0 {
+		w, err := riscv.Encode(riscv.Inst{
+			Mn: riscv.MnJAL, Rd: riscv.X0,
+			Rs1: riscv.RegNone, Rs2: riscv.RegNone, Rs3: riscv.RegNone, Imm: offset,
+		})
+		if err == nil {
+			return PatchJAL, []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}, nil
+		}
+	}
+	if room >= 8 && scratch != riscv.RegNone && scratch != riscv.X0 {
+		hi := (offset + 0x800) >> 12
+		lo := offset - hi<<12
+		hi = hi << 44 >> 44
+		auipc, err1 := riscv.Encode(riscv.Inst{
+			Mn: riscv.MnAUIPC, Rd: scratch,
+			Rs1: riscv.RegNone, Rs2: riscv.RegNone, Rs3: riscv.RegNone, Imm: hi,
+		})
+		jalr, err2 := riscv.Encode(riscv.Inst{
+			Mn: riscv.MnJALR, Rd: riscv.X0, Rs1: scratch,
+			Rs2: riscv.RegNone, Rs3: riscv.RegNone, Imm: lo,
+		})
+		if err1 == nil && err2 == nil {
+			return PatchAuipcJalr, []byte{
+				byte(auipc), byte(auipc >> 8), byte(auipc >> 16), byte(auipc >> 24),
+				byte(jalr), byte(jalr >> 8), byte(jalr >> 16), byte(jalr >> 24),
+			}, nil
+		}
+	}
+	if allowTrap && room >= 2 {
+		if arch.Has(riscv.ExtC) {
+			return PatchTrap, []byte{0x02, 0x90}, nil // c.ebreak
+		}
+		if room >= 4 {
+			w := riscv.MustEncode(riscv.Inst{Mn: riscv.MnEBREAK})
+			return PatchTrap, []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}, nil
+		}
+	}
+	return 0, nil, fmt.Errorf(
+		"patch: no jump from %#x to %#x fits in %d bytes (offset %d, scratch %v, trap %v)",
+		from, to, room, offset, scratch, allowTrap)
+}

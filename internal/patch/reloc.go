@@ -1,0 +1,420 @@
+package patch
+
+import (
+	"fmt"
+	"sort"
+
+	"rvdyn/internal/parse"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/symtab"
+)
+
+// Function relocation: the instrumented version of a function is laid out
+// in the patch area with snippet code spliced in front of instrumented
+// instructions, every PC-relative instruction fixed up for its new address,
+// and intra-function control flow retargeted to the relocated copies — the
+// "safe transformations of the program's CFG" of Bernat & Miller that the
+// paper's PatchAPI builds on.
+
+// Insertion asks for code to run immediately before the original
+// instruction at Addr.
+type Insertion struct {
+	Addr uint64
+	Code []riscv.Inst
+}
+
+// EdgeInsertion asks for code to run when a specific CFG edge is traversed
+// (the paper's "branch-taken and branch-not-taken edges, loop back edges"
+// point kinds). Taken and direct edges get an out-of-line stub the branch
+// is retargeted through; not-taken edges get code inlined on the
+// fallthrough path, which other predecessors of the successor block bypass.
+type EdgeInsertion struct {
+	Block *parse.Block
+	Kind  parse.EdgeKind // EdgeTaken, EdgeNotTaken, or EdgeDirect
+	Code  []riscv.Inst
+}
+
+// Relocation is the result of relocating one function.
+type Relocation struct {
+	Func    *parse.Function
+	NewBase uint64
+	Code    []byte
+	// AddrMap maps each original instruction address to its relocated
+	// address — through any snippet code inserted in front of it, so
+	// redirected control flow executes the instrumentation.
+	AddrMap map[uint64]uint64
+	// InstrumentationBytes counts the bytes of inserted snippet code.
+	InstrumentationBytes int
+}
+
+type itemKind uint8
+
+const (
+	itemOrig itemKind = iota
+	itemSnippet
+)
+
+type rItem struct {
+	kind     itemKind
+	inst     riscv.Inst
+	origAddr uint64 // for itemOrig
+	// intraTarget is the original address of an intra-function control-flow
+	// target needing remapping; externTarget is an absolute target outside
+	// the relocated set (calls, tail calls).
+	intraTarget  uint64
+	externTarget uint64
+	hasIntra     bool
+	hasExtern    bool
+	size         uint64
+	newAddr      uint64
+	// attach marks snippet items that belong to the next original
+	// instruction: control flow targeting that instruction must enter
+	// through them. Edge-specific code does not attach.
+	attach bool
+	// stubID, when non-zero, redirects this item's control-flow target to
+	// the identified edge stub instead of intraTarget.
+	stubID int
+}
+
+// Relocate produces the instrumented copy of fn at newBase.
+func Relocate(fn *parse.Function, st *symtab.Symtab, insertions []Insertion,
+	newBase uint64, arch riscv.ExtSet) (*Relocation, error) {
+	return RelocateWithEdges(fn, st, insertions, nil, newBase, arch)
+}
+
+// RelocateWithEdges additionally splices edge instrumentation.
+func RelocateWithEdges(fn *parse.Function, st *symtab.Symtab, insertions []Insertion,
+	edges []EdgeInsertion, newBase uint64, arch riscv.ExtSet) (*Relocation, error) {
+
+	insByAddr := map[uint64][][]riscv.Inst{}
+	for _, ins := range insertions {
+		insByAddr[ins.Addr] = append(insByAddr[ins.Addr], ins.Code)
+	}
+
+	// Validate insertion addresses.
+	for _, ins := range insertions {
+		if _, ok := fn.BlockContaining(ins.Addr); !ok {
+			return nil, fmt.Errorf("patch: insertion at %#x is outside function %s", ins.Addr, fn.Name)
+		}
+	}
+
+	blocks := append([]*parse.Block(nil), fn.Blocks...)
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Start < blocks[j].Start })
+
+	intraStarts := map[uint64]bool{}
+	for _, b := range blocks {
+		intraStarts[b.Start] = true
+	}
+
+	// Group edge requests by block.
+	type edgeReq struct {
+		taken, notTaken, direct [][]riscv.Inst
+	}
+	edgeByBlock := map[*parse.Block]*edgeReq{}
+	for _, e := range edges {
+		if e.Block == nil || e.Block.Func != fn {
+			return nil, fmt.Errorf("patch: edge insertion block is not in function %s", fn.Name)
+		}
+		r := edgeByBlock[e.Block]
+		if r == nil {
+			r = &edgeReq{}
+			edgeByBlock[e.Block] = r
+		}
+		term := e.Block.Last()
+		switch e.Kind {
+		case parse.EdgeTaken:
+			if term.Cat() != riscv.CatBranch {
+				return nil, fmt.Errorf("patch: taken-edge insertion on non-branch block %v", e.Block)
+			}
+			r.taken = append(r.taken, e.Code)
+		case parse.EdgeNotTaken:
+			if term.Cat() != riscv.CatBranch {
+				return nil, fmt.Errorf("patch: not-taken-edge insertion on non-branch block %v", e.Block)
+			}
+			r.notTaken = append(r.notTaken, e.Code)
+		case parse.EdgeDirect:
+			if !term.IsJAL() || term.Rd != riscv.X0 {
+				return nil, fmt.Errorf("patch: direct-edge insertion on block %v without a plain jump", e.Block)
+			}
+			r.direct = append(r.direct, e.Code)
+		default:
+			return nil, fmt.Errorf("patch: unsupported edge kind %v", e.Kind)
+		}
+	}
+
+	// Safety: a block whose indirect jump could not be resolved may target
+	// any address in the original body; relocating around it would silently
+	// split execution between the two copies. Refuse, as Dyninst refuses
+	// unsafe transformations.
+	for _, b := range blocks {
+		if b.Purpose == parse.PurposeUnresolved {
+			return nil, fmt.Errorf("patch: function %s has an unresolvable indirect jump at %#x; refusing to relocate",
+				fn.Name, b.Last().Addr)
+		}
+	}
+
+	var items []*rItem
+	type stub struct {
+		id     int
+		code   [][]riscv.Inst
+		target uint64 // original address the stub jumps on to
+	}
+	var stubs []*stub
+	instBytes := 0
+	for _, b := range blocks {
+		req := edgeByBlock[b]
+		for ii, inst := range b.Insts {
+			for _, code := range insByAddr[inst.Addr] {
+				for _, sin := range code {
+					items = append(items, &rItem{kind: itemSnippet, inst: sin, size: 4, attach: true})
+					instBytes += 4
+				}
+			}
+			isTerm := ii == len(b.Insts)-1
+			// A jalr the classifier proved to be an intra-function jump
+			// (rule 1) computes its target from registers that hold
+			// *original* addresses; left untouched it would escape back
+			// into the uninstrumented body. The resolution supplies its
+			// unique target, so rewrite it into a direct jump.
+			if isTerm && inst.IsJALR() && b.Purpose == parse.PurposeJump {
+				target, ok := soleIndirectTarget(b)
+				if !ok {
+					return nil, fmt.Errorf("patch: resolved jalr jump at %#x has no unique target", inst.Addr)
+				}
+				jmp := riscv.Inst{Mn: riscv.MnJAL, Rd: riscv.X0,
+					Rs1: riscv.RegNone, Rs2: riscv.RegNone, Rs3: riscv.RegNone}
+				items = append(items, &rItem{kind: itemOrig, inst: jmp, origAddr: inst.Addr,
+					size: 4, hasIntra: true, intraTarget: target})
+				continue
+			}
+			its, err := relocInst(fn, inst, intraStarts)
+			if err != nil {
+				return nil, err
+			}
+			if isTerm && req != nil {
+				// Out-of-line stubs for taken/direct edges: retarget the
+				// terminator through the stub.
+				var stubCode [][]riscv.Inst
+				if inst.Cat() == riscv.CatBranch {
+					stubCode = req.taken
+				} else {
+					stubCode = req.direct
+				}
+				if len(stubCode) > 0 {
+					target := inst.Addr + uint64(inst.Imm)
+					st := &stub{id: len(stubs) + 1, code: stubCode, target: target}
+					stubs = append(stubs, st)
+					its[len(its)-1].stubID = st.id
+					for _, c := range stubCode {
+						instBytes += 4 * len(c)
+					}
+					instBytes += 4 // the stub's trailing jump
+				}
+			}
+			items = append(items, its...)
+			if isTerm && req != nil && len(req.notTaken) > 0 {
+				// Inline code on the fallthrough path only: other
+				// predecessors of the successor block enter past it.
+				for _, code := range req.notTaken {
+					for _, sin := range code {
+						items = append(items, &rItem{kind: itemSnippet, inst: sin, size: 4})
+						instBytes += 4
+					}
+				}
+			}
+		}
+	}
+	// Append the edge stubs after the function body.
+	stubStartIdx := map[int]int{} // stub id -> index of first stub item
+	for _, st := range stubs {
+		stubStartIdx[st.id] = len(items)
+		for _, code := range st.code {
+			for _, sin := range code {
+				items = append(items, &rItem{kind: itemSnippet, inst: sin, size: 4})
+			}
+		}
+		jmp := riscv.Inst{Mn: riscv.MnJAL, Rd: riscv.X0,
+			Rs1: riscv.RegNone, Rs2: riscv.RegNone, Rs3: riscv.RegNone}
+		items = append(items, &rItem{kind: itemSnippet, inst: jmp, size: 4,
+			hasIntra: true, intraTarget: st.target})
+	}
+
+	// Layout. Sizes are fixed (control flow with intra targets was widened
+	// to 4-byte forms; auipc became a materialization sequence), so one
+	// pass assigns addresses.
+	addr := newBase
+	addrMap := map[uint64]uint64{}
+	for _, it := range items {
+		it.newAddr = addr
+		addr += it.size
+	}
+	// Map each original address to the start of its preceding *attached*
+	// snippet run (edge-specific code never captures incoming control flow).
+	var pendingStart uint64
+	pendingValid := false
+	for _, it := range items {
+		switch {
+		case it.kind == itemSnippet && it.attach:
+			if !pendingValid {
+				pendingStart = it.newAddr
+				pendingValid = true
+			}
+		case it.kind == itemSnippet:
+			pendingValid = false
+		case it.kind == itemOrig:
+			target := it.newAddr
+			if pendingValid {
+				target = pendingStart
+				pendingValid = false
+			}
+			if _, dup := addrMap[it.origAddr]; !dup {
+				addrMap[it.origAddr] = target
+			}
+		}
+	}
+	// Resolve stub entry addresses for retargeted terminators.
+	stubAddr := map[int]uint64{}
+	for id, idx := range stubStartIdx {
+		stubAddr[id] = items[idx].newAddr
+	}
+
+	// Encode with resolved targets.
+	var code []byte
+	for _, it := range items {
+		inst := it.inst
+		switch {
+		case it.stubID != 0:
+			inst.Imm = int64(stubAddr[it.stubID]) - int64(it.newAddr)
+		case it.hasIntra:
+			nt, ok := addrMap[it.intraTarget]
+			if !ok {
+				return nil, fmt.Errorf("patch: intra target %#x of %v not in relocation", it.intraTarget, inst)
+			}
+			inst.Imm = int64(nt) - int64(it.newAddr)
+		case it.hasExtern:
+			inst.Imm = int64(it.externTarget) - int64(it.newAddr)
+		}
+		var b []byte
+		var err error
+		if it.kind == itemOrig && inst.Compressed && !it.hasIntra && !it.hasExtern {
+			b, err = riscv.EncodeBytes(inst) // keeps the compressed form
+		} else {
+			inst.Compressed = false
+			w, e := riscv.Encode(inst)
+			if e != nil {
+				err = e
+			} else {
+				b = []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("patch: encoding relocated %v at %#x: %w", inst, it.newAddr, err)
+		}
+		if uint64(len(b)) != it.size {
+			return nil, fmt.Errorf("patch: relocated %v sized %d, encoded %d", inst, it.size, len(b))
+		}
+		code = append(code, b...)
+	}
+
+	return &Relocation{
+		Func: fn, NewBase: newBase, Code: code, AddrMap: addrMap,
+		InstrumentationBytes: instBytes,
+	}, nil
+}
+
+// soleIndirectTarget returns the unique intra-function target of a
+// resolved indirect-jump block.
+func soleIndirectTarget(b *parse.Block) (uint64, bool) {
+	var target uint64
+	found := false
+	for _, e := range b.Out {
+		if e.Kind == parse.EdgeIndirect {
+			if found && e.Target != target {
+				return 0, false
+			}
+			target, found = e.Target, true
+		}
+	}
+	return target, found
+}
+
+// relocInst converts one original instruction into relocation items.
+func relocInst(fn *parse.Function, inst riscv.Inst, intraStarts map[uint64]bool) ([]*rItem, error) {
+	switch inst.Cat() {
+	case riscv.CatBranch:
+		target := inst.Addr + uint64(inst.Imm)
+		it := &rItem{kind: itemOrig, inst: inst, origAddr: inst.Addr, size: 4}
+		it.inst.Compressed = false // may need a wider offset than c.beqz
+		if intraStarts[target] {
+			it.hasIntra, it.intraTarget = true, target
+		} else {
+			// A conditional branch out of the function (pathological but
+			// possible): keep the absolute target.
+			it.hasExtern, it.externTarget = true, target
+		}
+		return []*rItem{it}, nil
+
+	case riscv.CatJAL:
+		target := inst.Addr + uint64(inst.Imm)
+		it := &rItem{kind: itemOrig, inst: inst, origAddr: inst.Addr, size: 4}
+		it.inst.Compressed = false
+		if inst.Rd == riscv.X0 && intraStarts[target] {
+			it.hasIntra, it.intraTarget = true, target
+		} else {
+			it.hasExtern, it.externTarget = true, target
+		}
+		return []*rItem{it}, nil
+
+	case riscv.CatJALR:
+		// Target comes from a register; the value was fixed up where it was
+		// produced (auipc rewriting below, or the patched jump table).
+		return []*rItem{{kind: itemOrig, inst: inst, origAddr: inst.Addr, size: inst.Size()}}, nil
+	}
+
+	if inst.Mn == riscv.MnAUIPC {
+		// auipc computes pc-relative values; relocation changes pc, so
+		// rewrite it into an absolute materialization of the original value
+		// (rd ends up with exactly the same bits, so any paired lo12
+		// consumer — jalr, addi, loads — still works unchanged).
+		value := int64(inst.Addr) + inst.Imm<<12
+		seq := materializeAbs(inst.Rd, value)
+		items := make([]*rItem, len(seq))
+		for i, s := range seq {
+			it := &rItem{kind: itemOrig, inst: s, size: 4}
+			if i == 0 {
+				it.origAddr = inst.Addr
+			}
+			items[i] = it
+		}
+		return items, nil
+	}
+
+	return []*rItem{{kind: itemOrig, inst: inst, origAddr: inst.Addr, size: inst.Size()}}, nil
+}
+
+// materializeAbs builds a fixed-width (4-byte instructions) li sequence.
+func materializeAbs(rd riscv.Reg, v int64) []riscv.Inst {
+	mk := func(mn riscv.Mnemonic, rd, rs1 riscv.Reg, imm int64) riscv.Inst {
+		return riscv.Inst{Mn: mn, Rd: rd, Rs1: rs1, Rs2: riscv.RegNone, Rs3: riscv.RegNone, Imm: imm}
+	}
+	if v >= -2048 && v <= 2047 {
+		return []riscv.Inst{mk(riscv.MnADDI, rd, riscv.X0, v)}
+	}
+	if v >= -(1<<31) && v < 1<<31 {
+		hi := (v + 0x800) >> 12
+		lo := v - hi<<12
+		hi = hi << 44 >> 44
+		out := []riscv.Inst{mk(riscv.MnLUI, rd, riscv.RegNone, hi)}
+		if lo != 0 {
+			out = append(out, mk(riscv.MnADDIW, rd, rd, lo))
+		}
+		return out
+	}
+	lo12 := v << 52 >> 52
+	out := materializeAbs(rd, (v-lo12)>>12)
+	out = append(out, mk(riscv.MnSLLI, rd, rd, 12))
+	if lo12 != 0 {
+		out = append(out, mk(riscv.MnADDI, rd, rd, lo12))
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package patch
+
+import (
+	"fmt"
+	"sort"
+
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/dataflow"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/parse"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/symtab"
+)
+
+// Rewriter performs static binary rewriting (Figure 1, left path): open a
+// binary, attach snippets to points, and produce a new executable whose
+// instrumented functions run relocated, instrumented copies from the patch
+// area.
+type Rewriter struct {
+	st  *symtab.Symtab
+	cfg *parse.CFG
+
+	mode codegen.Mode
+	arch riscv.ExtSet
+
+	vars    []*snippet.Var
+	varBase uint64
+	varNext uint64
+
+	// requests, grouped by function entry.
+	requests     map[uint64][]request
+	edgeRequests map[uint64][]edgeRequest
+	liveness     map[uint64]*dataflow.LivenessResult
+
+	// Results, for inspection by tests and the EXPERIMENTS harness.
+	Patches []PatchRecord
+}
+
+type request struct {
+	point snippet.Point
+	sn    snippet.Snippet
+}
+
+type edgeRequest struct {
+	point snippet.EdgePoint
+	sn    snippet.Snippet
+}
+
+// PatchRecord describes one entry patch the rewriter installed.
+type PatchRecord struct {
+	Func     string
+	Kind     PatchKind
+	From, To uint64
+}
+
+// NewRewriter wraps an analyzed binary. The mode selects the register
+// allocation strategy for generated snippets (the paper's optimization is
+// codegen.ModeDeadRegister).
+func NewRewriter(st *symtab.Symtab, cfg *parse.CFG, mode codegen.Mode) *Rewriter {
+	// Variables live in a fresh data section placed far above the existing
+	// image; the address is fixed now so snippet code can be generated
+	// eagerly.
+	end := imageEnd(st)
+	varBase := (end + 0xfff) &^ 0xfff
+	varBase += 0x200000
+	return &Rewriter{
+		st: st, cfg: cfg, mode: mode,
+		arch:         st.Extensions,
+		varBase:      varBase,
+		varNext:      varBase,
+		requests:     map[uint64][]request{},
+		edgeRequests: map[uint64][]edgeRequest{},
+		liveness:     map[uint64]*dataflow.LivenessResult{},
+	}
+}
+
+func imageEnd(st *symtab.Symtab) uint64 {
+	var end uint64
+	for _, r := range st.Regions {
+		if r.Addr+r.Size > end {
+			end = r.Addr + r.Size
+		}
+	}
+	return end
+}
+
+// NewVar allocates an instrumentation variable in the rewritten binary's
+// data section.
+func (rw *Rewriter) NewVar(name string, width int) *snippet.Var {
+	if width != 1 && width != 2 && width != 4 && width != 8 {
+		width = 8
+	}
+	// 8-byte alignment keeps loads simple.
+	rw.varNext = (rw.varNext + 7) &^ 7
+	v := &snippet.Var{Name: name, Width: width, Addr: rw.varNext}
+	rw.varNext += uint64(width)
+	rw.vars = append(rw.vars, v)
+	return v
+}
+
+// InsertSnippet schedules sn to run at the point. Code generation happens
+// immediately, with dead registers from liveness at the point when the mode
+// allows.
+func (rw *Rewriter) InsertSnippet(pt snippet.Point, sn snippet.Snippet) error {
+	if pt.Func == nil {
+		return fmt.Errorf("patch: point %v has no function", pt)
+	}
+	rw.requests[pt.Func.Entry] = append(rw.requests[pt.Func.Entry], request{pt, sn})
+	return nil
+}
+
+// InsertEdgeSnippet schedules sn to run whenever the CFG edge is traversed.
+func (rw *Rewriter) InsertEdgeSnippet(pt snippet.EdgePoint, sn snippet.Snippet) error {
+	if pt.Func == nil || pt.Block == nil {
+		return fmt.Errorf("patch: edge point %v is incomplete", pt)
+	}
+	rw.edgeRequests[pt.Func.Entry] = append(rw.edgeRequests[pt.Func.Entry], edgeRequest{pt, sn})
+	return nil
+}
+
+func (rw *Rewriter) livenessFor(fn *parse.Function) *dataflow.LivenessResult {
+	lv, ok := rw.liveness[fn.Entry]
+	if !ok {
+		lv = dataflow.Liveness(fn)
+		rw.liveness[fn.Entry] = lv
+	}
+	return lv
+}
+
+// generate lowers one request to instructions.
+func (rw *Rewriter) generate(req request) ([]riscv.Inst, error) {
+	var dead []riscv.Reg
+	if rw.mode == codegen.ModeDeadRegister {
+		dead = rw.livenessFor(req.point.Func).DeadScratchX(req.point.Addr)
+	}
+	res, err := codegen.Generate(req.sn, codegen.Options{
+		Arch: rw.arch, Mode: rw.mode, DeadRegs: dead,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("patch: generating snippet at %v: %w", req.point, err)
+	}
+	return res.Insts, nil
+}
+
+// Rewrite produces the instrumented ELF image.
+func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
+	orig := rw.st.File
+
+	// Clone sections so the original file object stays pristine.
+	out := &elfrv.File{Entry: orig.Entry, Type: orig.Type, Flags: orig.Flags}
+	secData := map[string][]byte{}
+	for _, s := range orig.Sections {
+		ns := &elfrv.Section{
+			Name: s.Name, Type: s.Type, Flags: s.Flags, Addr: s.Addr,
+			MemSize: s.MemSize, Align: s.Align,
+		}
+		if s.Data != nil {
+			ns.Data = append([]byte(nil), s.Data...)
+			secData[s.Name] = ns.Data
+		}
+		out.Sections = append(out.Sections, ns)
+	}
+	out.Symbols = append(out.Symbols, orig.Symbols...)
+
+	trampBase := (imageEnd(rw.st) + 0xfff) &^ 0xfff
+	trampBase += 0x1000
+	trampNext := trampBase
+	var trampCode []byte
+
+	// Deterministic function order.
+	entrySet := map[uint64]bool{}
+	for e := range rw.requests {
+		entrySet[e] = true
+	}
+	for e := range rw.edgeRequests {
+		entrySet[e] = true
+	}
+	entries := make([]uint64, 0, len(entrySet))
+	for e := range entrySet {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+
+	for _, entry := range entries {
+		fn, ok := rw.cfg.FuncAt(entry)
+		if !ok {
+			return nil, fmt.Errorf("patch: no parsed function at %#x", entry)
+		}
+		var insertions []Insertion
+		for _, req := range rw.requests[entry] {
+			code, err := rw.generate(req)
+			if err != nil {
+				return nil, err
+			}
+			insertions = append(insertions, Insertion{Addr: req.point.Addr, Code: code})
+		}
+		var edgeIns []EdgeInsertion
+		for _, req := range rw.edgeRequests[entry] {
+			// Scratch registers for edge code come from the edge's
+			// destination: the source terminator has already read its
+			// operands when the edge code runs.
+			var dead []riscv.Reg
+			if rw.mode == codegen.ModeDeadRegister {
+				dead = rw.livenessFor(fn).DeadScratchX(req.point.EdgeDest())
+			}
+			res, err := codegen.Generate(req.sn, codegen.Options{
+				Arch: rw.arch, Mode: rw.mode, DeadRegs: dead,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("patch: generating edge snippet at %v: %w", req.point, err)
+			}
+			edgeIns = append(edgeIns, EdgeInsertion{
+				Block: req.point.Block, Kind: req.point.Kind, Code: res.Insts,
+			})
+		}
+		rel, err := RelocateWithEdges(fn, rw.st, insertions, edgeIns, trampNext, rw.arch)
+		if err != nil {
+			return nil, err
+		}
+
+		// Entry patch: redirect the original entry to the relocated copy,
+		// choosing the cheapest jump that fits in the function's extent.
+		lo, hi := fn.Extent()
+		if lo != fn.Entry {
+			return nil, fmt.Errorf("patch: function %s extent starts at %#x, not its entry", fn.Name, lo)
+		}
+		room := hi - fn.Entry
+		scratch := riscv.RegNone
+		if dead := rw.livenessFor(fn).DeadScratchX(fn.Entry); len(dead) > 0 {
+			scratch = dead[0]
+		}
+		newEntry := rel.AddrMap[fn.Entry]
+		kind, bytes, err := JumpPatch(fn.Entry, newEntry, room, rw.arch, scratch, false)
+		if err != nil {
+			return nil, fmt.Errorf("patch: function %s: %w", fn.Name, err)
+		}
+		if err := rw.patchBytes(secData, fn.Entry, bytes); err != nil {
+			return nil, err
+		}
+		rw.Patches = append(rw.Patches, PatchRecord{
+			Func: fn.Name, Kind: kind, From: fn.Entry, To: newEntry,
+		})
+
+		// Repoint jump-table slots at the relocated blocks.
+		for _, b := range fn.Blocks {
+			if b.Purpose != parse.PurposeJumpTable || b.TableCount == 0 {
+				continue
+			}
+			for i := uint64(0); i < b.TableCount; i++ {
+				slot := b.TableBase + i*b.TableStride
+				old, ok := rw.st.ReadMem(slot, b.TableWidth)
+				if !ok {
+					return nil, fmt.Errorf("patch: cannot read jump table slot %#x", slot)
+				}
+				nt, ok := rel.AddrMap[old&^1]
+				if !ok {
+					return nil, fmt.Errorf("patch: jump table slot %#x target %#x not relocated", slot, old)
+				}
+				var buf [8]byte
+				for j := 0; j < b.TableWidth; j++ {
+					buf[j] = byte(nt >> (8 * j))
+				}
+				if err := rw.patchBytes(secData, slot, buf[:b.TableWidth]); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		trampCode = append(trampCode, rel.Code...)
+		trampNext += uint64(len(rel.Code))
+		out.Symbols = append(out.Symbols, elfrv.Symbol{
+			Name: fn.Name + ".dyninst", Value: rel.NewBase,
+			Size: uint64(len(rel.Code)), Bind: elfrv.STBLocal,
+			Type: elfrv.STTFunc, Section: ".dyninst.text",
+		})
+	}
+
+	if len(trampCode) > 0 {
+		out.Sections = append(out.Sections, &elfrv.Section{
+			Name: ".dyninst.text", Type: elfrv.SHTProgbits,
+			Flags: elfrv.SHFAlloc | elfrv.SHFExecinstr,
+			Addr:  trampBase, Data: trampCode, Align: 4,
+		})
+	}
+	if rw.varNext > rw.varBase {
+		out.Sections = append(out.Sections, &elfrv.Section{
+			Name: ".dyninst.data", Type: elfrv.SHTProgbits,
+			Flags: elfrv.SHFAlloc | elfrv.SHFWrite,
+			Addr:  rw.varBase, Data: make([]byte, rw.varNext-rw.varBase), Align: 8,
+		})
+		for _, v := range rw.vars {
+			out.Symbols = append(out.Symbols, elfrv.Symbol{
+				Name: v.Name, Value: v.Addr, Size: uint64(v.Width),
+				Bind: elfrv.STBLocal, Type: elfrv.STTObject, Section: ".dyninst.data",
+			})
+		}
+	}
+	return out, nil
+}
+
+// patchBytes writes into the cloned section data covering addr.
+func (rw *Rewriter) patchBytes(secData map[string][]byte, addr uint64, b []byte) error {
+	for _, r := range rw.st.Regions {
+		if addr >= r.Addr && addr+uint64(len(b)) <= r.Addr+r.Size {
+			data, ok := secData[r.Name]
+			if !ok {
+				return fmt.Errorf("patch: section %s has no initialized data to patch", r.Name)
+			}
+			copy(data[addr-r.Addr:], b)
+			return nil
+		}
+	}
+	return fmt.Errorf("patch: address %#x not inside any section", addr)
+}

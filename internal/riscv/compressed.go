@@ -1,0 +1,546 @@
+package riscv
+
+import "fmt"
+
+// This file implements the C (compressed) extension: decoding 16-bit
+// encodings into their 32-bit base expansions, and the reverse Compress
+// operation used by the assembler and the patcher when the mutatee's
+// extension set permits compressed instructions.
+//
+// Per Section 3.1.2 of the paper, compressed instructions matter to the
+// instrumenter in two ways: they halve code size (so functions can be as
+// short as 2 bytes), and the compressed jump c.j only reaches [-2^12, 2^12)
+// bytes, forcing a fall-back ladder when patching jumps to trampolines.
+
+// CJMin and CJMax bound the byte offsets reachable by the compressed jump
+// c.j: an 11-bit signed, 2-byte-aligned offset, i.e. [-2048, 2046].
+const (
+	CJMin = -(1 << 11)
+	CJMax = (1 << 11) - 2
+)
+
+// JALRange is the reach of the standard jal: offsets in [-2^20, 2^20).
+const (
+	JALMin = -(1 << 20)
+	JALMax = (1 << 20) - 1
+)
+
+func creg(n uint32) Reg  { return XReg(8 + (n & 7)) }
+func cfreg(n uint32) Reg { return FReg(8 + (n & 7)) }
+
+func decodeCompressed(h uint16, addr uint64) (Inst, error) {
+	inst := Inst{
+		Addr: addr, Raw: uint32(h), Len: 2, Compressed: true,
+		Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone,
+	}
+	ill := func() (Inst, error) {
+		inst.Mn = MnInvalid
+		return inst, fmt.Errorf("%w: compressed 0x%04x at 0x%x", ErrIllegal, h, addr)
+	}
+	w := uint32(h)
+	op := w & 3
+	f3 := bits(w, 15, 13)
+
+	switch op {
+	case 0:
+		switch f3 {
+		case 0b000: // c.addi4spn
+			imm := bits(w, 10, 7)<<6 | bits(w, 12, 11)<<4 | bits(w, 5, 5)<<3 | bits(w, 6, 6)<<2
+			if imm == 0 {
+				return ill()
+			}
+			inst.Mn = MnADDI
+			inst.Rd = creg(bits(w, 4, 2))
+			inst.Rs1 = RegSP
+			inst.Imm = int64(imm)
+		case 0b001: // c.fld
+			imm := bits(w, 12, 10)<<3 | bits(w, 6, 5)<<6
+			inst.Mn = MnFLD
+			inst.Rd = cfreg(bits(w, 4, 2))
+			inst.Rs1 = creg(bits(w, 9, 7))
+			inst.Imm = int64(imm)
+		case 0b010: // c.lw
+			imm := bits(w, 12, 10)<<3 | bits(w, 6, 6)<<2 | bits(w, 5, 5)<<6
+			inst.Mn = MnLW
+			inst.Rd = creg(bits(w, 4, 2))
+			inst.Rs1 = creg(bits(w, 9, 7))
+			inst.Imm = int64(imm)
+		case 0b011: // c.ld (RV64)
+			imm := bits(w, 12, 10)<<3 | bits(w, 6, 5)<<6
+			inst.Mn = MnLD
+			inst.Rd = creg(bits(w, 4, 2))
+			inst.Rs1 = creg(bits(w, 9, 7))
+			inst.Imm = int64(imm)
+		case 0b101: // c.fsd
+			imm := bits(w, 12, 10)<<3 | bits(w, 6, 5)<<6
+			inst.Mn = MnFSD
+			inst.Rs2 = cfreg(bits(w, 4, 2))
+			inst.Rs1 = creg(bits(w, 9, 7))
+			inst.Imm = int64(imm)
+		case 0b110: // c.sw
+			imm := bits(w, 12, 10)<<3 | bits(w, 6, 6)<<2 | bits(w, 5, 5)<<6
+			inst.Mn = MnSW
+			inst.Rs2 = creg(bits(w, 4, 2))
+			inst.Rs1 = creg(bits(w, 9, 7))
+			inst.Imm = int64(imm)
+		case 0b111: // c.sd (RV64)
+			imm := bits(w, 12, 10)<<3 | bits(w, 6, 5)<<6
+			inst.Mn = MnSD
+			inst.Rs2 = creg(bits(w, 4, 2))
+			inst.Rs1 = creg(bits(w, 9, 7))
+			inst.Imm = int64(imm)
+		default:
+			return ill()
+		}
+	case 1:
+		switch f3 {
+		case 0b000: // c.addi / c.nop
+			imm := int64(int32(bits(w, 12, 12)<<5|bits(w, 6, 2)) << 26 >> 26)
+			rd := bits(w, 11, 7)
+			inst.Mn = MnADDI
+			inst.Rd = XReg(rd)
+			inst.Rs1 = XReg(rd)
+			inst.Imm = imm
+		case 0b001: // c.addiw (RV64)
+			rd := bits(w, 11, 7)
+			if rd == 0 {
+				return ill()
+			}
+			imm := int64(int32(bits(w, 12, 12)<<5|bits(w, 6, 2)) << 26 >> 26)
+			inst.Mn = MnADDIW
+			inst.Rd = XReg(rd)
+			inst.Rs1 = XReg(rd)
+			inst.Imm = imm
+		case 0b010: // c.li
+			imm := int64(int32(bits(w, 12, 12)<<5|bits(w, 6, 2)) << 26 >> 26)
+			inst.Mn = MnADDI
+			inst.Rd = XReg(bits(w, 11, 7))
+			inst.Rs1 = X0
+			inst.Imm = imm
+		case 0b011:
+			rd := bits(w, 11, 7)
+			if rd == 2 { // c.addi16sp
+				imm := int64(int32(bits(w, 12, 12)<<9|bits(w, 4, 3)<<7|bits(w, 5, 5)<<6|
+					bits(w, 2, 2)<<5|bits(w, 6, 6)<<4) << 22 >> 22)
+				if imm == 0 {
+					return ill()
+				}
+				inst.Mn = MnADDI
+				inst.Rd = RegSP
+				inst.Rs1 = RegSP
+				inst.Imm = imm
+			} else { // c.lui
+				imm := int64(int32(bits(w, 12, 12)<<5|bits(w, 6, 2)) << 26 >> 26)
+				if imm == 0 || rd == 0 {
+					return ill()
+				}
+				inst.Mn = MnLUI
+				inst.Rd = XReg(rd)
+				inst.Imm = imm
+			}
+		case 0b100:
+			rd := creg(bits(w, 9, 7))
+			switch bits(w, 11, 10) {
+			case 0b00, 0b01: // c.srli / c.srai
+				shamt := int64(bits(w, 12, 12)<<5 | bits(w, 6, 2))
+				if bits(w, 11, 10) == 0 {
+					inst.Mn = MnSRLI
+				} else {
+					inst.Mn = MnSRAI
+				}
+				inst.Rd = rd
+				inst.Rs1 = rd
+				inst.Imm = shamt
+			case 0b10: // c.andi
+				imm := int64(int32(bits(w, 12, 12)<<5|bits(w, 6, 2)) << 26 >> 26)
+				inst.Mn = MnANDI
+				inst.Rd = rd
+				inst.Rs1 = rd
+				inst.Imm = imm
+			case 0b11:
+				rs2 := creg(bits(w, 4, 2))
+				inst.Rd = rd
+				inst.Rs1 = rd
+				inst.Rs2 = rs2
+				if bits(w, 12, 12) == 0 {
+					switch bits(w, 6, 5) {
+					case 0b00:
+						inst.Mn = MnSUB
+					case 0b01:
+						inst.Mn = MnXOR
+					case 0b10:
+						inst.Mn = MnOR
+					case 0b11:
+						inst.Mn = MnAND
+					}
+				} else {
+					switch bits(w, 6, 5) {
+					case 0b00:
+						inst.Mn = MnSUBW
+					case 0b01:
+						inst.Mn = MnADDW
+					default:
+						return ill()
+					}
+				}
+			}
+		case 0b101: // c.j
+			imm := int64(int32(bits(w, 12, 12)<<11|bits(w, 8, 8)<<10|bits(w, 10, 9)<<8|
+				bits(w, 6, 6)<<7|bits(w, 7, 7)<<6|bits(w, 2, 2)<<5|
+				bits(w, 11, 11)<<4|bits(w, 5, 3)<<1) << 20 >> 20)
+			inst.Mn = MnJAL
+			inst.Rd = X0
+			inst.Imm = imm
+		case 0b110, 0b111: // c.beqz / c.bnez
+			imm := int64(int32(bits(w, 12, 12)<<8|bits(w, 6, 5)<<6|bits(w, 2, 2)<<5|
+				bits(w, 11, 10)<<3|bits(w, 4, 3)<<1) << 23 >> 23)
+			if f3 == 0b110 {
+				inst.Mn = MnBEQ
+			} else {
+				inst.Mn = MnBNE
+			}
+			inst.Rs1 = creg(bits(w, 9, 7))
+			inst.Rs2 = X0
+			inst.Imm = imm
+		default:
+			return ill()
+		}
+	case 2:
+		switch f3 {
+		case 0b000: // c.slli
+			rd := bits(w, 11, 7)
+			shamt := int64(bits(w, 12, 12)<<5 | bits(w, 6, 2))
+			inst.Mn = MnSLLI
+			inst.Rd = XReg(rd)
+			inst.Rs1 = XReg(rd)
+			inst.Imm = shamt
+		case 0b001: // c.fldsp
+			imm := bits(w, 12, 12)<<5 | bits(w, 6, 5)<<3 | bits(w, 4, 2)<<6
+			inst.Mn = MnFLD
+			inst.Rd = FReg(bits(w, 11, 7))
+			inst.Rs1 = RegSP
+			inst.Imm = int64(imm)
+		case 0b010: // c.lwsp
+			rd := bits(w, 11, 7)
+			if rd == 0 {
+				return ill()
+			}
+			imm := bits(w, 12, 12)<<5 | bits(w, 6, 4)<<2 | bits(w, 3, 2)<<6
+			inst.Mn = MnLW
+			inst.Rd = XReg(rd)
+			inst.Rs1 = RegSP
+			inst.Imm = int64(imm)
+		case 0b011: // c.ldsp (RV64)
+			rd := bits(w, 11, 7)
+			if rd == 0 {
+				return ill()
+			}
+			imm := bits(w, 12, 12)<<5 | bits(w, 6, 5)<<3 | bits(w, 4, 2)<<6
+			inst.Mn = MnLD
+			inst.Rd = XReg(rd)
+			inst.Rs1 = RegSP
+			inst.Imm = int64(imm)
+		case 0b100:
+			rs1 := bits(w, 11, 7)
+			rs2 := bits(w, 6, 2)
+			if bits(w, 12, 12) == 0 {
+				if rs2 == 0 { // c.jr
+					if rs1 == 0 {
+						return ill()
+					}
+					inst.Mn = MnJALR
+					inst.Rd = X0
+					inst.Rs1 = XReg(rs1)
+				} else { // c.mv
+					inst.Mn = MnADD
+					inst.Rd = XReg(rs1)
+					inst.Rs1 = X0
+					inst.Rs2 = XReg(rs2)
+				}
+			} else {
+				switch {
+				case rs1 == 0 && rs2 == 0: // c.ebreak
+					inst.Mn = MnEBREAK
+				case rs2 == 0: // c.jalr
+					inst.Mn = MnJALR
+					inst.Rd = RegRA
+					inst.Rs1 = XReg(rs1)
+				default: // c.add
+					inst.Mn = MnADD
+					inst.Rd = XReg(rs1)
+					inst.Rs1 = XReg(rs1)
+					inst.Rs2 = XReg(rs2)
+				}
+			}
+		case 0b101: // c.fsdsp
+			imm := bits(w, 12, 10)<<3 | bits(w, 9, 7)<<6
+			inst.Mn = MnFSD
+			inst.Rs2 = FReg(bits(w, 6, 2))
+			inst.Rs1 = RegSP
+			inst.Imm = int64(imm)
+		case 0b110: // c.swsp
+			imm := bits(w, 12, 9)<<2 | bits(w, 8, 7)<<6
+			inst.Mn = MnSW
+			inst.Rs2 = XReg(bits(w, 6, 2))
+			inst.Rs1 = RegSP
+			inst.Imm = int64(imm)
+		case 0b111: // c.sdsp (RV64)
+			imm := bits(w, 12, 10)<<3 | bits(w, 9, 7)<<6
+			inst.Mn = MnSD
+			inst.Rs2 = XReg(bits(w, 6, 2))
+			inst.Rs1 = RegSP
+			inst.Imm = int64(imm)
+		default:
+			return ill()
+		}
+	default:
+		return ill()
+	}
+	if uint32(h) == 0 {
+		return ill() // the all-zero halfword is defined illegal
+	}
+	return inst, nil
+}
+
+// isCReg reports whether r is one of the eight registers addressable by the
+// three-bit register fields of most compressed formats (x8-x15 / f8-f15).
+func isCReg(r Reg) bool {
+	n := r.Num()
+	return n >= 8 && n <= 15
+}
+
+// Compress attempts to find a 16-bit encoding for the instruction. It
+// returns the halfword and true on success. The caller is responsible for
+// checking that the target extension set includes C.
+func Compress(i Inst) (uint16, bool) {
+	fits6 := func(v int64) bool { return v >= -32 && v <= 31 }
+	switch i.Mn {
+	case MnADDI:
+		switch {
+		case i.Rd == i.Rs1 && i.Rd != X0 && fits6(i.Imm):
+			// c.addi (imm may be 0 only for the canonical nop rd==x0 form;
+			// the spec reserves nzimm==0, so require imm != 0 here)
+			if i.Imm == 0 {
+				return 0, false
+			}
+			return c16(1, 0b000, bits6(i.Imm), uint32(i.Rd.Num())), true
+		case i.Rd == X0 && i.Rs1 == X0 && i.Imm == 0:
+			return 0x0001, true // c.nop
+		case i.Rs1 == X0 && i.Rd != X0 && fits6(i.Imm):
+			return c16(1, 0b010, bits6(i.Imm), uint32(i.Rd.Num())), true // c.li
+		case i.Rd == RegSP && i.Rs1 == RegSP && i.Imm != 0 && i.Imm%16 == 0 && i.Imm >= -512 && i.Imm <= 496:
+			v := uint32(i.Imm)
+			imm := bits(v, 9, 9)<<12 | bits(v, 4, 4)<<6 | bits(v, 6, 6)<<5 |
+				bits(v, 8, 7)<<3 | bits(v, 5, 5)<<2
+			return uint16(0b011<<13 | 2<<7 | imm<<0 | 0b01), true // c.addi16sp
+		case i.Rs1 == RegSP && isCReg(i.Rd) && i.Imm > 0 && i.Imm%4 == 0 && i.Imm <= 1020:
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 4)<<11 | bits(v, 9, 6)<<7 | bits(v, 2, 2)<<6 | bits(v, 3, 3)<<5
+			return uint16(0b000<<13 | imm | (i.Rd.Num()-8)<<2 | 0b00), true // c.addi4spn
+		}
+	case MnADDIW:
+		if i.Rd == i.Rs1 && i.Rd != X0 && fits6(i.Imm) {
+			return c16(1, 0b001, bits6(i.Imm), uint32(i.Rd.Num())), true
+		}
+	case MnLUI:
+		if i.Rd != X0 && i.Rd != RegSP && i.Imm != 0 && fits6(i.Imm) {
+			return c16(1, 0b011, bits6(i.Imm), uint32(i.Rd.Num())), true
+		}
+	case MnSLLI:
+		if i.Rd == i.Rs1 && i.Rd != X0 && i.Imm > 0 && i.Imm < 64 {
+			return c16(2, 0b000, uint32(i.Imm), uint32(i.Rd.Num())), true
+		}
+	case MnSRLI, MnSRAI:
+		if i.Rd == i.Rs1 && isCReg(i.Rd) && i.Imm > 0 && i.Imm < 64 {
+			sel := uint32(0b00)
+			if i.Mn == MnSRAI {
+				sel = 0b01
+			}
+			sh := uint32(i.Imm)
+			return uint16(0b100<<13 | bits(sh, 5, 5)<<12 | sel<<10 |
+				(i.Rd.Num()-8)<<7 | bits(sh, 4, 0)<<2 | 0b01), true
+		}
+	case MnANDI:
+		if i.Rd == i.Rs1 && isCReg(i.Rd) && fits6(i.Imm) {
+			im := uint32(i.Imm) & 0x3f
+			return uint16(0b100<<13 | bits(im, 5, 5)<<12 | 0b10<<10 |
+				(i.Rd.Num()-8)<<7 | bits(im, 4, 0)<<2 | 0b01), true
+		}
+	case MnADD:
+		switch {
+		case i.Rs1 == X0 && i.Rd != X0 && i.Rs2 != X0: // c.mv
+			return uint16(0b100<<13 | 0<<12 | i.Rd.Num()<<7 | i.Rs2.Num()<<2 | 0b10), true
+		case i.Rd == i.Rs1 && i.Rd != X0 && i.Rs2 != X0: // c.add
+			return uint16(0b100<<13 | 1<<12 | i.Rd.Num()<<7 | i.Rs2.Num()<<2 | 0b10), true
+		}
+	case MnSUB, MnXOR, MnOR, MnAND, MnSUBW, MnADDW:
+		if i.Rd == i.Rs1 && isCReg(i.Rd) && isCReg(i.Rs2) {
+			var hi, sel uint32
+			switch i.Mn {
+			case MnSUB:
+				hi, sel = 0, 0b00
+			case MnXOR:
+				hi, sel = 0, 0b01
+			case MnOR:
+				hi, sel = 0, 0b10
+			case MnAND:
+				hi, sel = 0, 0b11
+			case MnSUBW:
+				hi, sel = 1, 0b00
+			case MnADDW:
+				hi, sel = 1, 0b01
+			}
+			return uint16(0b100<<13 | hi<<12 | 0b11<<10 | (i.Rd.Num()-8)<<7 |
+				sel<<5 | (i.Rs2.Num()-8)<<2 | 0b01), true
+		}
+	case MnJAL:
+		if i.Rd == X0 && i.Imm >= CJMin && i.Imm <= CJMax && i.Imm&1 == 0 {
+			v := uint32(i.Imm) & 0xfff
+			imm := bits(v, 11, 11)<<12 | bits(v, 4, 4)<<11 | bits(v, 9, 8)<<9 |
+				bits(v, 10, 10)<<8 | bits(v, 6, 6)<<7 | bits(v, 7, 7)<<6 |
+				bits(v, 3, 1)<<3 | bits(v, 5, 5)<<2
+			return uint16(0b101<<13 | imm | 0b01), true // c.j
+		}
+	case MnJALR:
+		if i.Imm == 0 && i.Rs1 != X0 {
+			if i.Rd == X0 {
+				return uint16(0b100<<13 | 0<<12 | i.Rs1.Num()<<7 | 0b10), true // c.jr
+			}
+			if i.Rd == RegRA {
+				return uint16(0b100<<13 | 1<<12 | i.Rs1.Num()<<7 | 0b10), true // c.jalr
+			}
+		}
+	case MnBEQ, MnBNE:
+		if i.Rs2 == X0 && isCReg(i.Rs1) && i.Imm >= -256 && i.Imm <= 254 && i.Imm&1 == 0 {
+			f3 := uint32(0b110)
+			if i.Mn == MnBNE {
+				f3 = 0b111
+			}
+			v := uint32(i.Imm) & 0x1ff
+			imm := bits(v, 8, 8)<<12 | bits(v, 4, 3)<<10 | bits(v, 7, 6)<<5 |
+				bits(v, 2, 1)<<3 | bits(v, 5, 5)<<2
+			return uint16(f3<<13 | imm | (i.Rs1.Num()-8)<<7 | 0b01), true
+		}
+	case MnEBREAK:
+		return 0x9002, true // c.ebreak
+	case MnLW, MnLD, MnFLD:
+		if i.Rs1 == RegSP {
+			return compressLoadSP(i)
+		}
+		return compressLoadReg(i)
+	case MnSW, MnSD, MnFSD:
+		if i.Rs1 == RegSP {
+			return compressStoreSP(i)
+		}
+		return compressStoreReg(i)
+	}
+	return 0, false
+}
+
+func c16(op, f3, imm6, rd uint32) uint16 {
+	return uint16(f3<<13 | bits(imm6, 5, 5)<<12 | rd<<7 | bits(imm6, 4, 0)<<2 | op)
+}
+
+func bits6(v int64) uint32 { return uint32(v) & 0x3f }
+
+func compressLoadSP(i Inst) (uint16, bool) {
+	switch i.Mn {
+	case MnLW:
+		if i.Rd.IsX() && i.Rd != X0 && i.Imm >= 0 && i.Imm <= 252 && i.Imm%4 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 5)<<12 | bits(v, 4, 2)<<4 | bits(v, 7, 6)<<2
+			return uint16(0b010<<13 | imm | i.Rd.Num()<<7 | 0b10), true
+		}
+	case MnLD:
+		if i.Rd.IsX() && i.Rd != X0 && i.Imm >= 0 && i.Imm <= 504 && i.Imm%8 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 5)<<12 | bits(v, 4, 3)<<5 | bits(v, 8, 6)<<2
+			return uint16(0b011<<13 | imm | i.Rd.Num()<<7 | 0b10), true
+		}
+	case MnFLD:
+		if i.Rd.IsF() && i.Imm >= 0 && i.Imm <= 504 && i.Imm%8 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 5)<<12 | bits(v, 4, 3)<<5 | bits(v, 8, 6)<<2
+			return uint16(0b001<<13 | imm | i.Rd.Num()<<7 | 0b10), true
+		}
+	}
+	return 0, false
+}
+
+func compressStoreSP(i Inst) (uint16, bool) {
+	switch i.Mn {
+	case MnSW:
+		if i.Rs2.IsX() && i.Imm >= 0 && i.Imm <= 252 && i.Imm%4 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 2)<<9 | bits(v, 7, 6)<<7
+			return uint16(0b110<<13 | imm | i.Rs2.Num()<<2 | 0b10), true
+		}
+	case MnSD:
+		if i.Rs2.IsX() && i.Imm >= 0 && i.Imm <= 504 && i.Imm%8 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 3)<<10 | bits(v, 8, 6)<<7
+			return uint16(0b111<<13 | imm | i.Rs2.Num()<<2 | 0b10), true
+		}
+	case MnFSD:
+		if i.Rs2.IsF() && i.Imm >= 0 && i.Imm <= 504 && i.Imm%8 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 3)<<10 | bits(v, 8, 6)<<7
+			return uint16(0b101<<13 | imm | i.Rs2.Num()<<2 | 0b10), true
+		}
+	}
+	return 0, false
+}
+
+func compressLoadReg(i Inst) (uint16, bool) {
+	if !isCReg(i.Rs1) || !isCReg(i.Rd) {
+		return 0, false
+	}
+	switch i.Mn {
+	case MnLW:
+		if i.Imm >= 0 && i.Imm <= 124 && i.Imm%4 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 3)<<10 | bits(v, 2, 2)<<6 | bits(v, 6, 6)<<5
+			return uint16(0b010<<13 | imm | (i.Rs1.Num()-8)<<7 | (i.Rd.Num()-8)<<2 | 0b00), true
+		}
+	case MnLD:
+		if i.Rd.IsX() && i.Imm >= 0 && i.Imm <= 248 && i.Imm%8 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 3)<<10 | bits(v, 7, 6)<<5
+			return uint16(0b011<<13 | imm | (i.Rs1.Num()-8)<<7 | (i.Rd.Num()-8)<<2 | 0b00), true
+		}
+	case MnFLD:
+		if i.Rd.IsF() && i.Imm >= 0 && i.Imm <= 248 && i.Imm%8 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 3)<<10 | bits(v, 7, 6)<<5
+			return uint16(0b001<<13 | imm | (i.Rs1.Num()-8)<<7 | (i.Rd.Num()-8)<<2 | 0b00), true
+		}
+	}
+	return 0, false
+}
+
+func compressStoreReg(i Inst) (uint16, bool) {
+	if !isCReg(i.Rs1) || !isCReg(i.Rs2) {
+		return 0, false
+	}
+	switch i.Mn {
+	case MnSW:
+		if i.Imm >= 0 && i.Imm <= 124 && i.Imm%4 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 3)<<10 | bits(v, 2, 2)<<6 | bits(v, 6, 6)<<5
+			return uint16(0b110<<13 | imm | (i.Rs1.Num()-8)<<7 | (i.Rs2.Num()-8)<<2 | 0b00), true
+		}
+	case MnSD:
+		if i.Rs2.IsX() && i.Imm >= 0 && i.Imm <= 248 && i.Imm%8 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 3)<<10 | bits(v, 7, 6)<<5
+			return uint16(0b111<<13 | imm | (i.Rs1.Num()-8)<<7 | (i.Rs2.Num()-8)<<2 | 0b00), true
+		}
+	case MnFSD:
+		if i.Rs2.IsF() && i.Imm >= 0 && i.Imm <= 248 && i.Imm%8 == 0 {
+			v := uint32(i.Imm)
+			imm := bits(v, 5, 3)<<10 | bits(v, 7, 6)<<5
+			return uint16(0b101<<13 | imm | (i.Rs1.Num()-8)<<7 | (i.Rs2.Num()-8)<<2 | 0b00), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,598 @@
+package riscv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decoding errors.
+var (
+	ErrTruncated = errors.New("riscv: truncated instruction")
+	ErrIllegal   = errors.New("riscv: illegal instruction")
+)
+
+// Decode decodes one instruction from b, which must hold the bytes at
+// address addr. It handles both 32-bit standard encodings and 16-bit
+// compressed encodings (expanding the latter to their base-mnemonic form
+// with Compressed == true and Len == 2).
+func Decode(b []byte, addr uint64) (Inst, error) {
+	if len(b) < 2 {
+		return Inst{Addr: addr}, ErrTruncated
+	}
+	lo := uint32(b[0]) | uint32(b[1])<<8
+	if lo&3 != 3 {
+		return decodeCompressed(uint16(lo), addr)
+	}
+	if len(b) < 4 {
+		return Inst{Addr: addr, Raw: lo}, ErrTruncated
+	}
+	w := lo | uint32(b[2])<<16 | uint32(b[3])<<24
+	return decode32(w, addr)
+}
+
+// field extractors for the 32-bit formats
+func bits(w uint32, hi, lo uint) uint32 { return (w >> lo) & ((1 << (hi - lo + 1)) - 1) }
+
+func immI(w uint32) int64 { return int64(int32(w) >> 20) }
+
+func immS(w uint32) int64 {
+	return int64(int32(bits(w, 31, 25)<<5|bits(w, 11, 7)) << 20 >> 20)
+}
+
+func immB(w uint32) int64 {
+	v := bits(w, 31, 31)<<12 | bits(w, 7, 7)<<11 | bits(w, 30, 25)<<5 | bits(w, 11, 8)<<1
+	return int64(int32(v) << 19 >> 19)
+}
+
+func immU(w uint32) int64 { return int64(int32(w) >> 12) }
+
+func immJ(w uint32) int64 {
+	v := bits(w, 31, 31)<<20 | bits(w, 19, 12)<<12 | bits(w, 20, 20)<<11 | bits(w, 30, 21)<<1
+	return int64(int32(v) << 11 >> 11)
+}
+
+func decode32(w uint32, addr uint64) (Inst, error) {
+	inst := Inst{
+		Addr: addr, Raw: w, Len: 4,
+		Rd: RegNone, Rs1: RegNone, Rs2: RegNone, Rs3: RegNone,
+	}
+	opcode := w & 0x7f
+	rd := bits(w, 11, 7)
+	f3 := bits(w, 14, 12)
+	rs1 := bits(w, 19, 15)
+	rs2 := bits(w, 24, 20)
+	f7 := bits(w, 31, 25)
+
+	ill := func() (Inst, error) {
+		inst.Mn = MnInvalid
+		return inst, fmt.Errorf("%w: 0x%08x at 0x%x", ErrIllegal, w, addr)
+	}
+
+	switch opcode {
+	case opLUI, opAUIPC:
+		inst.Mn = MnLUI
+		if opcode == opAUIPC {
+			inst.Mn = MnAUIPC
+		}
+		inst.Rd = XReg(rd)
+		inst.Imm = immU(w)
+	case opJAL:
+		inst.Mn = MnJAL
+		inst.Rd = XReg(rd)
+		inst.Imm = immJ(w)
+	case opJALR:
+		if f3 != 0 {
+			return ill()
+		}
+		inst.Mn = MnJALR
+		inst.Rd = XReg(rd)
+		inst.Rs1 = XReg(rs1)
+		inst.Imm = immI(w)
+	case opBranch:
+		switch f3 {
+		case 0:
+			inst.Mn = MnBEQ
+		case 1:
+			inst.Mn = MnBNE
+		case 4:
+			inst.Mn = MnBLT
+		case 5:
+			inst.Mn = MnBGE
+		case 6:
+			inst.Mn = MnBLTU
+		case 7:
+			inst.Mn = MnBGEU
+		default:
+			return ill()
+		}
+		inst.Rs1 = XReg(rs1)
+		inst.Rs2 = XReg(rs2)
+		inst.Imm = immB(w)
+	case opLoad:
+		switch f3 {
+		case 0:
+			inst.Mn = MnLB
+		case 1:
+			inst.Mn = MnLH
+		case 2:
+			inst.Mn = MnLW
+		case 3:
+			inst.Mn = MnLD
+		case 4:
+			inst.Mn = MnLBU
+		case 5:
+			inst.Mn = MnLHU
+		case 6:
+			inst.Mn = MnLWU
+		default:
+			return ill()
+		}
+		inst.Rd = XReg(rd)
+		inst.Rs1 = XReg(rs1)
+		inst.Imm = immI(w)
+	case opLoadFP:
+		switch f3 {
+		case 2:
+			inst.Mn = MnFLW
+		case 3:
+			inst.Mn = MnFLD
+		default:
+			return ill()
+		}
+		inst.Rd = FReg(rd)
+		inst.Rs1 = XReg(rs1)
+		inst.Imm = immI(w)
+	case opStore:
+		switch f3 {
+		case 0:
+			inst.Mn = MnSB
+		case 1:
+			inst.Mn = MnSH
+		case 2:
+			inst.Mn = MnSW
+		case 3:
+			inst.Mn = MnSD
+		default:
+			return ill()
+		}
+		inst.Rs1 = XReg(rs1)
+		inst.Rs2 = XReg(rs2)
+		inst.Imm = immS(w)
+	case opStorFP:
+		switch f3 {
+		case 2:
+			inst.Mn = MnFSW
+		case 3:
+			inst.Mn = MnFSD
+		default:
+			return ill()
+		}
+		inst.Rs1 = XReg(rs1)
+		inst.Rs2 = FReg(rs2)
+		inst.Imm = immS(w)
+	case opOpImm:
+		inst.Rd = XReg(rd)
+		inst.Rs1 = XReg(rs1)
+		switch f3 {
+		case 0:
+			inst.Mn = MnADDI
+			inst.Imm = immI(w)
+		case 2:
+			inst.Mn = MnSLTI
+			inst.Imm = immI(w)
+		case 3:
+			inst.Mn = MnSLTIU
+			inst.Imm = immI(w)
+		case 4:
+			inst.Mn = MnXORI
+			inst.Imm = immI(w)
+		case 6:
+			inst.Mn = MnORI
+			inst.Imm = immI(w)
+		case 7:
+			inst.Mn = MnANDI
+			inst.Imm = immI(w)
+		case 1:
+			if f7>>1 != 0 {
+				return ill()
+			}
+			inst.Mn = MnSLLI
+			inst.Imm = int64(bits(w, 25, 20))
+		case 5:
+			switch f7 >> 1 {
+			case 0:
+				inst.Mn = MnSRLI
+			case 0b010000:
+				inst.Mn = MnSRAI
+			default:
+				return ill()
+			}
+			inst.Imm = int64(bits(w, 25, 20))
+		}
+	case opOpImmW:
+		inst.Rd = XReg(rd)
+		inst.Rs1 = XReg(rs1)
+		switch f3 {
+		case 0:
+			inst.Mn = MnADDIW
+			inst.Imm = immI(w)
+		case 1:
+			if f7 != 0 {
+				return ill()
+			}
+			inst.Mn = MnSLLIW
+			inst.Imm = int64(rs2)
+		case 5:
+			switch f7 {
+			case 0:
+				inst.Mn = MnSRLIW
+			case 0b0100000:
+				inst.Mn = MnSRAIW
+			default:
+				return ill()
+			}
+			inst.Imm = int64(rs2)
+		default:
+			return ill()
+		}
+	case opOp:
+		// Extension modules (rva23.go) may claim funct combinations the
+		// base ISA leaves unused.
+		if ext, ok := decodeExtR(inst, opcode, f3, f7, rd, rs1, rs2); ok {
+			return ext, nil
+		}
+		inst.Rd = XReg(rd)
+		inst.Rs1 = XReg(rs1)
+		inst.Rs2 = XReg(rs2)
+		switch f7 {
+		case 0:
+			switch f3 {
+			case 0:
+				inst.Mn = MnADD
+			case 1:
+				inst.Mn = MnSLL
+			case 2:
+				inst.Mn = MnSLT
+			case 3:
+				inst.Mn = MnSLTU
+			case 4:
+				inst.Mn = MnXOR
+			case 5:
+				inst.Mn = MnSRL
+			case 6:
+				inst.Mn = MnOR
+			case 7:
+				inst.Mn = MnAND
+			}
+		case 0b0100000:
+			switch f3 {
+			case 0:
+				inst.Mn = MnSUB
+			case 5:
+				inst.Mn = MnSRA
+			default:
+				return ill()
+			}
+		case 1:
+			switch f3 {
+			case 0:
+				inst.Mn = MnMUL
+			case 1:
+				inst.Mn = MnMULH
+			case 2:
+				inst.Mn = MnMULHSU
+			case 3:
+				inst.Mn = MnMULHU
+			case 4:
+				inst.Mn = MnDIV
+			case 5:
+				inst.Mn = MnDIVU
+			case 6:
+				inst.Mn = MnREM
+			case 7:
+				inst.Mn = MnREMU
+			}
+		default:
+			return ill()
+		}
+	case opOpW:
+		inst.Rd = XReg(rd)
+		inst.Rs1 = XReg(rs1)
+		inst.Rs2 = XReg(rs2)
+		switch f7 {
+		case 0:
+			switch f3 {
+			case 0:
+				inst.Mn = MnADDW
+			case 1:
+				inst.Mn = MnSLLW
+			case 5:
+				inst.Mn = MnSRLW
+			default:
+				return ill()
+			}
+		case 0b0100000:
+			switch f3 {
+			case 0:
+				inst.Mn = MnSUBW
+			case 5:
+				inst.Mn = MnSRAW
+			default:
+				return ill()
+			}
+		case 1:
+			switch f3 {
+			case 0:
+				inst.Mn = MnMULW
+			case 4:
+				inst.Mn = MnDIVW
+			case 5:
+				inst.Mn = MnDIVUW
+			case 6:
+				inst.Mn = MnREMW
+			case 7:
+				inst.Mn = MnREMUW
+			default:
+				return ill()
+			}
+		default:
+			return ill()
+		}
+	case opMisc:
+		switch f3 {
+		case 0:
+			inst.Mn = MnFENCE
+			inst.Imm = immI(w) & 0xfff
+		case 1:
+			inst.Mn = MnFENCEI
+		default:
+			return ill()
+		}
+	case opSystem:
+		switch f3 {
+		case 0:
+			if rd != 0 || rs1 != 0 {
+				return ill()
+			}
+			switch bits(w, 31, 20) {
+			case 0:
+				inst.Mn = MnECALL
+			case 1:
+				inst.Mn = MnEBREAK
+			default:
+				return ill()
+			}
+		case 1, 2, 3:
+			inst.Mn = [4]Mnemonic{0, MnCSRRW, MnCSRRS, MnCSRRC}[f3]
+			inst.Rd = XReg(rd)
+			inst.Rs1 = XReg(rs1)
+			inst.CSR = uint16(bits(w, 31, 20))
+		case 5, 6, 7:
+			inst.Mn = [8]Mnemonic{0, 0, 0, 0, 0, MnCSRRWI, MnCSRRSI, MnCSRRCI}[f3]
+			inst.Rd = XReg(rd)
+			inst.Imm = int64(rs1) // zimm
+			inst.CSR = uint16(bits(w, 31, 20))
+		default:
+			return ill()
+		}
+	case opAMO:
+		if f3 != 2 && f3 != 3 {
+			return ill()
+		}
+		d := f3 == 3
+		inst.Rd = XReg(rd)
+		inst.Rs1 = XReg(rs1)
+		inst.Rs2 = XReg(rs2)
+		inst.Aq = bits(w, 26, 26) == 1
+		inst.Rl = bits(w, 25, 25) == 1
+		type pair struct{ w, d Mnemonic }
+		var p pair
+		switch bits(w, 31, 27) {
+		case 0b00010:
+			if rs2 != 0 {
+				return ill()
+			}
+			p = pair{MnLRW, MnLRD}
+			inst.Rs2 = RegNone
+		case 0b00011:
+			p = pair{MnSCW, MnSCD}
+		case 0b00001:
+			p = pair{MnAMOSWAPW, MnAMOSWAPD}
+		case 0b00000:
+			p = pair{MnAMOADDW, MnAMOADDD}
+		case 0b00100:
+			p = pair{MnAMOXORW, MnAMOXORD}
+		case 0b01100:
+			p = pair{MnAMOANDW, MnAMOANDD}
+		case 0b01000:
+			p = pair{MnAMOORW, MnAMOORD}
+		case 0b10000:
+			p = pair{MnAMOMINW, MnAMOMIND}
+		case 0b10100:
+			p = pair{MnAMOMAXW, MnAMOMAXD}
+		case 0b11000:
+			p = pair{MnAMOMINUW, MnAMOMINUD}
+		case 0b11100:
+			p = pair{MnAMOMAXUW, MnAMOMAXUD}
+		default:
+			return ill()
+		}
+		if d {
+			inst.Mn = p.d
+		} else {
+			inst.Mn = p.w
+		}
+	case opFMADD, opFMSUB, opFNMSUB, opFNMADD:
+		fmtBits := bits(w, 26, 25)
+		if fmtBits > 1 {
+			return ill()
+		}
+		double := fmtBits == 1
+		var tbl map[uint32][2]Mnemonic = fmaTable
+		pairSel := 0
+		if double {
+			pairSel = 1
+		}
+		inst.Mn = tbl[opcode][pairSel]
+		inst.Rd = FReg(rd)
+		inst.Rs1 = FReg(rs1)
+		inst.Rs2 = FReg(rs2)
+		inst.Rs3 = FReg(bits(w, 31, 27))
+		inst.RM = uint8(f3)
+	case opFP:
+		return decodeFP(w, addr, inst, rd, f3, rs1, rs2, f7)
+	default:
+		return ill()
+	}
+	if inst.Mn == MnInvalid {
+		return ill()
+	}
+	return inst, nil
+}
+
+var fmaTable = map[uint32][2]Mnemonic{
+	opFMADD:  {MnFMADDS, MnFMADDD},
+	opFMSUB:  {MnFMSUBS, MnFMSUBD},
+	opFNMSUB: {MnFNMSUBS, MnFNMSUBD},
+	opFNMADD: {MnFNMADDS, MnFNMADDD},
+}
+
+func decodeFP(w uint32, addr uint64, inst Inst, rd, f3, rs1, rs2, f7 uint32) (Inst, error) {
+	ill := func() (Inst, error) {
+		inst.Mn = MnInvalid
+		return inst, fmt.Errorf("%w: 0x%08x at 0x%x", ErrIllegal, w, addr)
+	}
+	inst.RM = uint8(f3)
+	// Default register classes; adjusted per instruction below.
+	inst.Rd = FReg(rd)
+	inst.Rs1 = FReg(rs1)
+	inst.Rs2 = FReg(rs2)
+
+	double := f7&1 == 1
+	sel := func(s, d Mnemonic) Mnemonic {
+		if double {
+			return d
+		}
+		return s
+	}
+	switch f7 &^ 1 {
+	case 0b0000000:
+		inst.Mn = sel(MnFADDS, MnFADDD)
+	case 0b0000100:
+		inst.Mn = sel(MnFSUBS, MnFSUBD)
+	case 0b0001000:
+		inst.Mn = sel(MnFMULS, MnFMULD)
+	case 0b0001100:
+		inst.Mn = sel(MnFDIVS, MnFDIVD)
+	case 0b0101100:
+		if rs2 != 0 {
+			return ill()
+		}
+		inst.Mn = sel(MnFSQRTS, MnFSQRTD)
+		inst.Rs2 = RegNone
+	case 0b0010000:
+		inst.RM = 0
+		switch f3 {
+		case 0:
+			inst.Mn = sel(MnFSGNJS, MnFSGNJD)
+		case 1:
+			inst.Mn = sel(MnFSGNJNS, MnFSGNJND)
+		case 2:
+			inst.Mn = sel(MnFSGNJXS, MnFSGNJXD)
+		default:
+			return ill()
+		}
+	case 0b0010100:
+		inst.RM = 0
+		switch f3 {
+		case 0:
+			inst.Mn = sel(MnFMINS, MnFMIND)
+		case 1:
+			inst.Mn = sel(MnFMAXS, MnFMAXD)
+		default:
+			return ill()
+		}
+	case 0b0100000:
+		// fcvt.s.d (f7=0100000, rs2=1) and fcvt.d.s (f7=0100001, rs2=0).
+		switch {
+		case !double && rs2 == 1:
+			inst.Mn = MnFCVTSD
+		case double && rs2 == 0:
+			inst.Mn = MnFCVTDS
+		default:
+			return ill()
+		}
+		inst.Rs2 = RegNone
+	case 0b1100000:
+		// float -> integer
+		inst.Rd = XReg(rd)
+		switch rs2 {
+		case 0:
+			inst.Mn = sel(MnFCVTWS, MnFCVTWD)
+		case 1:
+			inst.Mn = sel(MnFCVTWUS, MnFCVTWUD)
+		case 2:
+			inst.Mn = sel(MnFCVTLS, MnFCVTLD)
+		case 3:
+			inst.Mn = sel(MnFCVTLUS, MnFCVTLUD)
+		default:
+			return ill()
+		}
+		inst.Rs2 = RegNone
+	case 0b1101000:
+		// integer -> float
+		inst.Rs1 = XReg(rs1)
+		switch rs2 {
+		case 0:
+			inst.Mn = sel(MnFCVTSW, MnFCVTDW)
+		case 1:
+			inst.Mn = sel(MnFCVTSWU, MnFCVTDWU)
+		case 2:
+			inst.Mn = sel(MnFCVTSL, MnFCVTDL)
+		case 3:
+			inst.Mn = sel(MnFCVTSLU, MnFCVTDLU)
+		default:
+			return ill()
+		}
+		inst.Rs2 = RegNone
+	case 0b1010000:
+		inst.Rd = XReg(rd)
+		inst.RM = 0
+		switch f3 {
+		case 2:
+			inst.Mn = sel(MnFEQS, MnFEQD)
+		case 1:
+			inst.Mn = sel(MnFLTS, MnFLTD)
+		case 0:
+			inst.Mn = sel(MnFLES, MnFLED)
+		default:
+			return ill()
+		}
+	case 0b1110000:
+		if rs2 != 0 {
+			return ill()
+		}
+		inst.Rd = XReg(rd)
+		inst.Rs2 = RegNone
+		inst.RM = 0
+		switch f3 {
+		case 0:
+			inst.Mn = sel(MnFMVXW, MnFMVXD)
+		case 1:
+			inst.Mn = sel(MnFCLASSS, MnFCLASSD)
+		default:
+			return ill()
+		}
+	case 0b1111000:
+		if rs2 != 0 || f3 != 0 {
+			return ill()
+		}
+		inst.Rs1 = XReg(rs1)
+		inst.Rs2 = RegNone
+		inst.RM = 0
+		inst.Mn = sel(MnFMVWX, MnFMVDX)
+	default:
+		return ill()
+	}
+	return inst, nil
+}

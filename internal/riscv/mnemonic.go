@@ -1,0 +1,469 @@
+package riscv
+
+// Mnemonic identifies an instruction operation. Compressed instructions are
+// decoded to the mnemonic of their 32-bit expansion (the Inst records that it
+// was compressed), so downstream consumers — the parser, the dataflow
+// analyses, the emulator — only ever deal in base mnemonics.
+type Mnemonic uint16
+
+// Category classifies an instruction's structural role. This is the
+// opcode-level classification only; determining the *purpose* of a JAL/JALR
+// (call vs. return vs. jump vs. tail call vs. jump table) requires context
+// and is the job of the parse package, per Section 3.2.3 of the paper.
+type Category uint8
+
+const (
+	CatArith  Category = iota // integer/float computation, moves, csr
+	CatLoad                   // memory read
+	CatStore                  // memory write
+	CatBranch                 // conditional branch
+	CatJAL                    // jal: pc-relative jump-and-link
+	CatJALR                   // jalr: indirect jump-and-link
+	CatAMO                    // atomic memory operation (incl. lr/sc)
+	CatFence                  // fence, fence.i
+	CatSystem                 // ecall, ebreak, csr side effects
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatArith:
+		return "arith"
+	case CatLoad:
+		return "load"
+	case CatStore:
+		return "store"
+	case CatBranch:
+		return "branch"
+	case CatJAL:
+		return "jal"
+	case CatJALR:
+		return "jalr"
+	case CatAMO:
+		return "amo"
+	case CatFence:
+		return "fence"
+	case CatSystem:
+		return "system"
+	}
+	return "unknown"
+}
+
+// The mnemonic space, grouped by extension.
+const (
+	MnInvalid Mnemonic = iota
+
+	// RV32I / RV64I base integer ISA.
+	MnLUI
+	MnAUIPC
+	MnJAL
+	MnJALR
+	MnBEQ
+	MnBNE
+	MnBLT
+	MnBGE
+	MnBLTU
+	MnBGEU
+	MnLB
+	MnLH
+	MnLW
+	MnLBU
+	MnLHU
+	MnLWU
+	MnLD
+	MnSB
+	MnSH
+	MnSW
+	MnSD
+	MnADDI
+	MnSLTI
+	MnSLTIU
+	MnXORI
+	MnORI
+	MnANDI
+	MnSLLI
+	MnSRLI
+	MnSRAI
+	MnADD
+	MnSUB
+	MnSLL
+	MnSLT
+	MnSLTU
+	MnXOR
+	MnSRL
+	MnSRA
+	MnOR
+	MnAND
+	MnADDIW
+	MnSLLIW
+	MnSRLIW
+	MnSRAIW
+	MnADDW
+	MnSUBW
+	MnSLLW
+	MnSRLW
+	MnSRAW
+	MnFENCE
+	MnECALL
+	MnEBREAK
+
+	// Zifencei.
+	MnFENCEI
+
+	// Zicsr.
+	MnCSRRW
+	MnCSRRS
+	MnCSRRC
+	MnCSRRWI
+	MnCSRRSI
+	MnCSRRCI
+
+	// M extension.
+	MnMUL
+	MnMULH
+	MnMULHSU
+	MnMULHU
+	MnDIV
+	MnDIVU
+	MnREM
+	MnREMU
+	MnMULW
+	MnDIVW
+	MnDIVUW
+	MnREMW
+	MnREMUW
+
+	// A extension.
+	MnLRW
+	MnSCW
+	MnAMOSWAPW
+	MnAMOADDW
+	MnAMOXORW
+	MnAMOANDW
+	MnAMOORW
+	MnAMOMINW
+	MnAMOMAXW
+	MnAMOMINUW
+	MnAMOMAXUW
+	MnLRD
+	MnSCD
+	MnAMOSWAPD
+	MnAMOADDD
+	MnAMOXORD
+	MnAMOANDD
+	MnAMOORD
+	MnAMOMIND
+	MnAMOMAXD
+	MnAMOMINUD
+	MnAMOMAXUD
+
+	// F extension.
+	MnFLW
+	MnFSW
+	MnFMADDS
+	MnFMSUBS
+	MnFNMSUBS
+	MnFNMADDS
+	MnFADDS
+	MnFSUBS
+	MnFMULS
+	MnFDIVS
+	MnFSQRTS
+	MnFSGNJS
+	MnFSGNJNS
+	MnFSGNJXS
+	MnFMINS
+	MnFMAXS
+	MnFCVTWS
+	MnFCVTWUS
+	MnFMVXW
+	MnFEQS
+	MnFLTS
+	MnFLES
+	MnFCLASSS
+	MnFCVTSW
+	MnFCVTSWU
+	MnFMVWX
+	MnFCVTLS
+	MnFCVTLUS
+	MnFCVTSL
+	MnFCVTSLU
+
+	// D extension.
+	MnFLD
+	MnFSD
+	MnFMADDD
+	MnFMSUBD
+	MnFNMSUBD
+	MnFNMADDD
+	MnFADDD
+	MnFSUBD
+	MnFMULD
+	MnFDIVD
+	MnFSQRTD
+	MnFSGNJD
+	MnFSGNJND
+	MnFSGNJXD
+	MnFMIND
+	MnFMAXD
+	MnFCVTSD
+	MnFCVTDS
+	MnFEQD
+	MnFLTD
+	MnFLED
+	MnFCLASSD
+	MnFCVTWD
+	MnFCVTWUD
+	MnFCVTDW
+	MnFCVTDWU
+	MnFCVTLD
+	MnFCVTLUD
+	MnFMVXD
+	MnFCVTDL
+	MnFCVTDLU
+	MnFMVDX
+
+	// Zicond (RVA23 profile; see rva23.go).
+	MnCZEROEQZ
+	MnCZERONEZ
+	// Zba.
+	MnSH1ADD
+	MnSH2ADD
+	MnSH3ADD
+	// Zbb subset.
+	MnANDN
+	MnORN
+	MnXNOR
+	MnMIN
+	MnMINU
+	MnMAX
+	MnMAXU
+
+	numMnemonics
+)
+
+// mnInfo carries the static per-mnemonic metadata.
+type mnInfo struct {
+	name string
+	ext  ExtSet
+	cat  Category
+}
+
+var mnTable = [numMnemonics]mnInfo{
+	MnInvalid: {"invalid", 0, CatArith},
+
+	MnLUI:    {"lui", ExtI, CatArith},
+	MnAUIPC:  {"auipc", ExtI, CatArith},
+	MnJAL:    {"jal", ExtI, CatJAL},
+	MnJALR:   {"jalr", ExtI, CatJALR},
+	MnBEQ:    {"beq", ExtI, CatBranch},
+	MnBNE:    {"bne", ExtI, CatBranch},
+	MnBLT:    {"blt", ExtI, CatBranch},
+	MnBGE:    {"bge", ExtI, CatBranch},
+	MnBLTU:   {"bltu", ExtI, CatBranch},
+	MnBGEU:   {"bgeu", ExtI, CatBranch},
+	MnLB:     {"lb", ExtI, CatLoad},
+	MnLH:     {"lh", ExtI, CatLoad},
+	MnLW:     {"lw", ExtI, CatLoad},
+	MnLBU:    {"lbu", ExtI, CatLoad},
+	MnLHU:    {"lhu", ExtI, CatLoad},
+	MnLWU:    {"lwu", ExtI, CatLoad},
+	MnLD:     {"ld", ExtI, CatLoad},
+	MnSB:     {"sb", ExtI, CatStore},
+	MnSH:     {"sh", ExtI, CatStore},
+	MnSW:     {"sw", ExtI, CatStore},
+	MnSD:     {"sd", ExtI, CatStore},
+	MnADDI:   {"addi", ExtI, CatArith},
+	MnSLTI:   {"slti", ExtI, CatArith},
+	MnSLTIU:  {"sltiu", ExtI, CatArith},
+	MnXORI:   {"xori", ExtI, CatArith},
+	MnORI:    {"ori", ExtI, CatArith},
+	MnANDI:   {"andi", ExtI, CatArith},
+	MnSLLI:   {"slli", ExtI, CatArith},
+	MnSRLI:   {"srli", ExtI, CatArith},
+	MnSRAI:   {"srai", ExtI, CatArith},
+	MnADD:    {"add", ExtI, CatArith},
+	MnSUB:    {"sub", ExtI, CatArith},
+	MnSLL:    {"sll", ExtI, CatArith},
+	MnSLT:    {"slt", ExtI, CatArith},
+	MnSLTU:   {"sltu", ExtI, CatArith},
+	MnXOR:    {"xor", ExtI, CatArith},
+	MnSRL:    {"srl", ExtI, CatArith},
+	MnSRA:    {"sra", ExtI, CatArith},
+	MnOR:     {"or", ExtI, CatArith},
+	MnAND:    {"and", ExtI, CatArith},
+	MnADDIW:  {"addiw", ExtI, CatArith},
+	MnSLLIW:  {"slliw", ExtI, CatArith},
+	MnSRLIW:  {"srliw", ExtI, CatArith},
+	MnSRAIW:  {"sraiw", ExtI, CatArith},
+	MnADDW:   {"addw", ExtI, CatArith},
+	MnSUBW:   {"subw", ExtI, CatArith},
+	MnSLLW:   {"sllw", ExtI, CatArith},
+	MnSRLW:   {"srlw", ExtI, CatArith},
+	MnSRAW:   {"sraw", ExtI, CatArith},
+	MnFENCE:  {"fence", ExtI, CatFence},
+	MnECALL:  {"ecall", ExtI, CatSystem},
+	MnEBREAK: {"ebreak", ExtI, CatSystem},
+
+	MnFENCEI: {"fence.i", ExtZifencei, CatFence},
+
+	MnCSRRW:  {"csrrw", ExtZicsr, CatSystem},
+	MnCSRRS:  {"csrrs", ExtZicsr, CatSystem},
+	MnCSRRC:  {"csrrc", ExtZicsr, CatSystem},
+	MnCSRRWI: {"csrrwi", ExtZicsr, CatSystem},
+	MnCSRRSI: {"csrrsi", ExtZicsr, CatSystem},
+	MnCSRRCI: {"csrrci", ExtZicsr, CatSystem},
+
+	MnMUL:    {"mul", ExtM, CatArith},
+	MnMULH:   {"mulh", ExtM, CatArith},
+	MnMULHSU: {"mulhsu", ExtM, CatArith},
+	MnMULHU:  {"mulhu", ExtM, CatArith},
+	MnDIV:    {"div", ExtM, CatArith},
+	MnDIVU:   {"divu", ExtM, CatArith},
+	MnREM:    {"rem", ExtM, CatArith},
+	MnREMU:   {"remu", ExtM, CatArith},
+	MnMULW:   {"mulw", ExtM, CatArith},
+	MnDIVW:   {"divw", ExtM, CatArith},
+	MnDIVUW:  {"divuw", ExtM, CatArith},
+	MnREMW:   {"remw", ExtM, CatArith},
+	MnREMUW:  {"remuw", ExtM, CatArith},
+
+	MnLRW:      {"lr.w", ExtA, CatAMO},
+	MnSCW:      {"sc.w", ExtA, CatAMO},
+	MnAMOSWAPW: {"amoswap.w", ExtA, CatAMO},
+	MnAMOADDW:  {"amoadd.w", ExtA, CatAMO},
+	MnAMOXORW:  {"amoxor.w", ExtA, CatAMO},
+	MnAMOANDW:  {"amoand.w", ExtA, CatAMO},
+	MnAMOORW:   {"amoor.w", ExtA, CatAMO},
+	MnAMOMINW:  {"amomin.w", ExtA, CatAMO},
+	MnAMOMAXW:  {"amomax.w", ExtA, CatAMO},
+	MnAMOMINUW: {"amominu.w", ExtA, CatAMO},
+	MnAMOMAXUW: {"amomaxu.w", ExtA, CatAMO},
+	MnLRD:      {"lr.d", ExtA, CatAMO},
+	MnSCD:      {"sc.d", ExtA, CatAMO},
+	MnAMOSWAPD: {"amoswap.d", ExtA, CatAMO},
+	MnAMOADDD:  {"amoadd.d", ExtA, CatAMO},
+	MnAMOXORD:  {"amoxor.d", ExtA, CatAMO},
+	MnAMOANDD:  {"amoand.d", ExtA, CatAMO},
+	MnAMOORD:   {"amoor.d", ExtA, CatAMO},
+	MnAMOMIND:  {"amomin.d", ExtA, CatAMO},
+	MnAMOMAXD:  {"amomax.d", ExtA, CatAMO},
+	MnAMOMINUD: {"amominu.d", ExtA, CatAMO},
+	MnAMOMAXUD: {"amomaxu.d", ExtA, CatAMO},
+
+	MnFLW:     {"flw", ExtF, CatLoad},
+	MnFSW:     {"fsw", ExtF, CatStore},
+	MnFMADDS:  {"fmadd.s", ExtF, CatArith},
+	MnFMSUBS:  {"fmsub.s", ExtF, CatArith},
+	MnFNMSUBS: {"fnmsub.s", ExtF, CatArith},
+	MnFNMADDS: {"fnmadd.s", ExtF, CatArith},
+	MnFADDS:   {"fadd.s", ExtF, CatArith},
+	MnFSUBS:   {"fsub.s", ExtF, CatArith},
+	MnFMULS:   {"fmul.s", ExtF, CatArith},
+	MnFDIVS:   {"fdiv.s", ExtF, CatArith},
+	MnFSQRTS:  {"fsqrt.s", ExtF, CatArith},
+	MnFSGNJS:  {"fsgnj.s", ExtF, CatArith},
+	MnFSGNJNS: {"fsgnjn.s", ExtF, CatArith},
+	MnFSGNJXS: {"fsgnjx.s", ExtF, CatArith},
+	MnFMINS:   {"fmin.s", ExtF, CatArith},
+	MnFMAXS:   {"fmax.s", ExtF, CatArith},
+	MnFCVTWS:  {"fcvt.w.s", ExtF, CatArith},
+	MnFCVTWUS: {"fcvt.wu.s", ExtF, CatArith},
+	MnFMVXW:   {"fmv.x.w", ExtF, CatArith},
+	MnFEQS:    {"feq.s", ExtF, CatArith},
+	MnFLTS:    {"flt.s", ExtF, CatArith},
+	MnFLES:    {"fle.s", ExtF, CatArith},
+	MnFCLASSS: {"fclass.s", ExtF, CatArith},
+	MnFCVTSW:  {"fcvt.s.w", ExtF, CatArith},
+	MnFCVTSWU: {"fcvt.s.wu", ExtF, CatArith},
+	MnFMVWX:   {"fmv.w.x", ExtF, CatArith},
+	MnFCVTLS:  {"fcvt.l.s", ExtF, CatArith},
+	MnFCVTLUS: {"fcvt.lu.s", ExtF, CatArith},
+	MnFCVTSL:  {"fcvt.s.l", ExtF, CatArith},
+	MnFCVTSLU: {"fcvt.s.lu", ExtF, CatArith},
+
+	MnFLD:     {"fld", ExtD, CatLoad},
+	MnFSD:     {"fsd", ExtD, CatStore},
+	MnFMADDD:  {"fmadd.d", ExtD, CatArith},
+	MnFMSUBD:  {"fmsub.d", ExtD, CatArith},
+	MnFNMSUBD: {"fnmsub.d", ExtD, CatArith},
+	MnFNMADDD: {"fnmadd.d", ExtD, CatArith},
+	MnFADDD:   {"fadd.d", ExtD, CatArith},
+	MnFSUBD:   {"fsub.d", ExtD, CatArith},
+	MnFMULD:   {"fmul.d", ExtD, CatArith},
+	MnFDIVD:   {"fdiv.d", ExtD, CatArith},
+	MnFSQRTD:  {"fsqrt.d", ExtD, CatArith},
+	MnFSGNJD:  {"fsgnj.d", ExtD, CatArith},
+	MnFSGNJND: {"fsgnjn.d", ExtD, CatArith},
+	MnFSGNJXD: {"fsgnjx.d", ExtD, CatArith},
+	MnFMIND:   {"fmin.d", ExtD, CatArith},
+	MnFMAXD:   {"fmax.d", ExtD, CatArith},
+	MnFCVTSD:  {"fcvt.s.d", ExtD, CatArith},
+	MnFCVTDS:  {"fcvt.d.s", ExtD, CatArith},
+	MnFEQD:    {"feq.d", ExtD, CatArith},
+	MnFLTD:    {"flt.d", ExtD, CatArith},
+	MnFLED:    {"fle.d", ExtD, CatArith},
+	MnFCLASSD: {"fclass.d", ExtD, CatArith},
+	MnFCVTWD:  {"fcvt.w.d", ExtD, CatArith},
+	MnFCVTWUD: {"fcvt.wu.d", ExtD, CatArith},
+	MnFCVTDW:  {"fcvt.d.w", ExtD, CatArith},
+	MnFCVTDWU: {"fcvt.d.wu", ExtD, CatArith},
+	MnFCVTLD:  {"fcvt.l.d", ExtD, CatArith},
+	MnFCVTLUD: {"fcvt.lu.d", ExtD, CatArith},
+	MnFMVXD:   {"fmv.x.d", ExtD, CatArith},
+	MnFCVTDL:  {"fcvt.d.l", ExtD, CatArith},
+	MnFCVTDLU: {"fcvt.d.lu", ExtD, CatArith},
+	MnFMVDX:   {"fmv.d.x", ExtD, CatArith},
+}
+
+// String returns the canonical assembly spelling of the mnemonic.
+func (m Mnemonic) String() string {
+	if m < numMnemonics {
+		return mnTable[m].name
+	}
+	return "invalid"
+}
+
+// Ext returns the extension that defines the mnemonic.
+func (m Mnemonic) Ext() ExtSet {
+	if m < numMnemonics {
+		return mnTable[m].ext
+	}
+	return 0
+}
+
+// Cat returns the structural category of the mnemonic.
+func (m Mnemonic) Cat() Category {
+	if m < numMnemonics {
+		return mnTable[m].cat
+	}
+	return CatArith
+}
+
+// NumMnemonics reports the number of defined mnemonics (for table-driven
+// tests that want to sweep the whole space).
+func NumMnemonics() int { return int(numMnemonics) }
+
+// LookupMnemonic resolves an assembly spelling to its Mnemonic.
+func LookupMnemonic(name string) (Mnemonic, bool) {
+	m, ok := mnByName[name]
+	return m, ok
+}
+
+var mnByName = func() map[string]Mnemonic {
+	m := make(map[string]Mnemonic, int(numMnemonics))
+	for i := Mnemonic(1); i < numMnemonics; i++ {
+		if mnTable[i].name != "" {
+			m[mnTable[i].name] = i
+		}
+	}
+	return m
+}()
+
+// registerMnemonic installs the metadata for a mnemonic defined by an
+// extension module (see rva23.go). Called from init functions so extension
+// modules stay self-contained — the property Section 3.1.1 of the paper
+// demands of an extensible port.
+func registerMnemonic(mn Mnemonic, name string, ext ExtSet, cat Category) {
+	mnTable[mn] = mnInfo{name: name, ext: ext, cat: cat}
+	mnByName[name] = mn
+}

@@ -1,0 +1,319 @@
+// Package riscv models the RV64GC instruction set architecture: registers,
+// ISA extensions, instruction mnemonics, and a full machine-code decoder and
+// encoder with per-operand access information.
+//
+// The package plays the role that the Capstone disassembler plays for
+// Dyninst's InstructionAPI on RISC-V: it turns raw bytes into structured
+// instruction objects that report their operands, which registers they read
+// and write, and their control-flow category, and it turns structured
+// instruction objects back into bytes for the code generator and patcher.
+//
+// The supported profile is RV64GC: the RV64I base ISA plus the M (integer
+// multiply/divide), A (atomics), F (single-precision float), D
+// (double-precision float), Zicsr (CSR access), Zifencei (instruction-fetch
+// fence), and C (compressed) extensions.
+package riscv
+
+import "fmt"
+
+// Reg identifies a RISC-V register. Values 0-31 are the integer registers
+// x0-x31, values 32-63 are the floating-point registers f0-f31, and RegPC is
+// a pseudo-register used by the dataflow toolkits to talk about the program
+// counter. RegNone marks an absent operand.
+type Reg uint8
+
+// Integer register constants. X0 is hardwired to zero.
+const (
+	X0 Reg = iota
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+	X16
+	X17
+	X18
+	X19
+	X20
+	X21
+	X22
+	X23
+	X24
+	X25
+	X26
+	X27
+	X28
+	X29
+	X30
+	X31
+)
+
+// Floating-point register constants.
+const (
+	F0 Reg = iota + 32
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+	F8
+	F9
+	F10
+	F11
+	F12
+	F13
+	F14
+	F15
+	F16
+	F17
+	F18
+	F19
+	F20
+	F21
+	F22
+	F23
+	F24
+	F25
+	F26
+	F27
+	F28
+	F29
+	F30
+	F31
+)
+
+// ABI aliases for the integer registers.
+const (
+	RegZero = X0 // hardwired zero
+	RegRA   = X1 // return address (the conventional link register)
+	RegSP   = X2 // stack pointer
+	RegGP   = X3 // global pointer
+	RegTP   = X4 // thread pointer
+	RegT0   = X5 // temporary / alternate link register
+	RegT1   = X6
+	RegT2   = X7
+	RegFP   = X8 // frame pointer (s0)
+	RegS0   = X8
+	RegS1   = X9
+	RegA0   = X10 // argument / return value
+	RegA1   = X11
+	RegA2   = X12
+	RegA3   = X13
+	RegA4   = X14
+	RegA5   = X15
+	RegA6   = X16
+	RegA7   = X17 // syscall number
+	RegS2   = X18
+	RegS3   = X19
+	RegS4   = X20
+	RegS5   = X21
+	RegS6   = X22
+	RegS7   = X23
+	RegS8   = X24
+	RegS9   = X25
+	RegS10  = X26
+	RegS11  = X27
+	RegT3   = X28
+	RegT4   = X29
+	RegT5   = X30
+	RegT6   = X31
+)
+
+// Special pseudo-register values.
+const (
+	RegPC   Reg = 64 // program counter pseudo-register
+	RegNone Reg = 255
+)
+
+// NumXRegs and NumFRegs report the size of the two register files.
+const (
+	NumXRegs = 32
+	NumFRegs = 32
+)
+
+var xABINames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+var fABINames = [32]string{
+	"ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+	"fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+	"fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+	"fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+}
+
+// IsX reports whether r is one of the integer registers x0-x31.
+func (r Reg) IsX() bool { return r < 32 }
+
+// IsF reports whether r is one of the floating-point registers f0-f31.
+func (r Reg) IsF() bool { return r >= 32 && r < 64 }
+
+// Num returns the 5-bit encoding number of the register within its file.
+func (r Reg) Num() uint32 {
+	if r.IsF() {
+		return uint32(r - 32)
+	}
+	return uint32(r)
+}
+
+// String returns the ABI name of the register ("a0", "sp", "fa0", ...).
+func (r Reg) String() string {
+	switch {
+	case r.IsX():
+		return xABINames[r]
+	case r.IsF():
+		return fABINames[r-32]
+	case r == RegPC:
+		return "pc"
+	case r == RegNone:
+		return "none"
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// XReg returns the integer register with encoding number n (0-31).
+func XReg(n uint32) Reg { return Reg(n & 31) }
+
+// FReg returns the floating-point register with encoding number n (0-31).
+func FReg(n uint32) Reg { return Reg(n&31) + 32 }
+
+// LookupReg resolves an assembly register name — either an ABI name
+// ("a0", "fs1", "fp") or an architectural name ("x10", "f9") — to a Reg.
+func LookupReg(name string) (Reg, bool) {
+	if r, ok := regNameTable[name]; ok {
+		return r, true
+	}
+	return RegNone, false
+}
+
+var regNameTable = func() map[string]Reg {
+	m := make(map[string]Reg, 132)
+	for i := 0; i < 32; i++ {
+		m[xABINames[i]] = Reg(i)
+		m[fABINames[i]] = Reg(i + 32)
+		m[fmt.Sprintf("x%d", i)] = Reg(i)
+		m[fmt.Sprintf("f%d", i)] = Reg(i + 32)
+	}
+	m["fp"] = RegFP
+	m["pc"] = RegPC
+	return m
+}()
+
+// RegSet is a bit set over the 64 architectural registers plus the PC
+// pseudo-register. It is the currency of the liveness and slicing analyses.
+type RegSet struct {
+	bits [2]uint64 // [0]: x0-x31 | f0-f31 packed low/high, [1]: pc in bit 0
+}
+
+// Add inserts r into the set.
+func (s *RegSet) Add(r Reg) {
+	switch {
+	case r < 64:
+		s.bits[0] |= 1 << r
+	case r == RegPC:
+		s.bits[1] |= 1
+	}
+}
+
+// Remove deletes r from the set.
+func (s *RegSet) Remove(r Reg) {
+	switch {
+	case r < 64:
+		s.bits[0] &^= 1 << r
+	case r == RegPC:
+		s.bits[1] &^= 1
+	}
+}
+
+// Contains reports whether r is in the set.
+func (s RegSet) Contains(r Reg) bool {
+	switch {
+	case r < 64:
+		return s.bits[0]&(1<<r) != 0
+	case r == RegPC:
+		return s.bits[1]&1 != 0
+	}
+	return false
+}
+
+// Union returns the union of s and t.
+func (s RegSet) Union(t RegSet) RegSet {
+	return RegSet{bits: [2]uint64{s.bits[0] | t.bits[0], s.bits[1] | t.bits[1]}}
+}
+
+// Intersect returns the intersection of s and t.
+func (s RegSet) Intersect(t RegSet) RegSet {
+	return RegSet{bits: [2]uint64{s.bits[0] & t.bits[0], s.bits[1] & t.bits[1]}}
+}
+
+// Minus returns the elements of s not in t.
+func (s RegSet) Minus(t RegSet) RegSet {
+	return RegSet{bits: [2]uint64{s.bits[0] &^ t.bits[0], s.bits[1] &^ t.bits[1]}}
+}
+
+// Equal reports whether the two sets hold the same registers.
+func (s RegSet) Equal(t RegSet) bool { return s.bits == t.bits }
+
+// Empty reports whether the set holds no registers.
+func (s RegSet) Empty() bool { return s.bits[0] == 0 && s.bits[1] == 0 }
+
+// Count returns the number of registers in the set.
+func (s RegSet) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Regs returns the members of the set in ascending register order.
+func (s RegSet) Regs() []Reg {
+	var out []Reg
+	for r := Reg(0); r < 64; r++ {
+		if s.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	if s.Contains(RegPC) {
+		out = append(out, RegPC)
+	}
+	return out
+}
+
+// String renders the set as a comma-separated list in braces.
+func (s RegSet) String() string {
+	out := "{"
+	for i, r := range s.Regs() {
+		if i > 0 {
+			out += ","
+		}
+		out += r.String()
+	}
+	return out + "}"
+}
+
+// NewRegSet builds a set from the given registers.
+func NewRegSet(regs ...Reg) RegSet {
+	var s RegSet
+	for _, r := range regs {
+		s.Add(r)
+	}
+	return s
+}

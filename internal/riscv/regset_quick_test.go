@@ -1,0 +1,116 @@
+package riscv
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests for RegSet: the register-set algebra underlies
+// liveness and the dead-register optimization, so its laws get quick
+// checks rather than examples.
+
+func regsFrom(bits uint64, pc bool) RegSet {
+	var s RegSet
+	for r := Reg(0); r < 64; r++ {
+		if bits&(1<<r) != 0 {
+			s.Add(r)
+		}
+	}
+	if pc {
+		s.Add(RegPC)
+	}
+	return s
+}
+
+func TestRegSetAlgebraQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+
+	// Union is commutative and idempotent; Minus then Union restores.
+	if err := quick.Check(func(a, b uint64, pa, pb bool) bool {
+		A, B := regsFrom(a, pa), regsFrom(b, pb)
+		if !A.Union(B).Equal(B.Union(A)) {
+			return false
+		}
+		if !A.Union(A).Equal(A) {
+			return false
+		}
+		// (A - B) ∪ (A ∩ B) == A
+		if !A.Minus(B).Union(A.Intersect(B)).Equal(A) {
+			return false
+		}
+		// De Morgan-ish: (A ∪ B) - B == A - B
+		if !A.Union(B).Minus(B).Equal(A.Minus(B)) {
+			return false
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Count is |Regs()|, and Contains agrees with membership in Regs().
+	if err := quick.Check(func(a uint64, pa bool) bool {
+		A := regsFrom(a, pa)
+		regs := A.Regs()
+		if len(regs) != A.Count() {
+			return false
+		}
+		for _, r := range regs {
+			if !A.Contains(r) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// Add/Remove round trip.
+	if err := quick.Check(func(a uint64, rn uint8) bool {
+		A := regsFrom(a, false)
+		r := Reg(rn % 64)
+		B := A
+		B.Add(r)
+		if !B.Contains(r) {
+			return false
+		}
+		B.Remove(r)
+		return !B.Contains(r)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInstAccessDisjointnessQuick: for every decodable instruction, the
+// read and written register sets must be consistent with the operand model
+// (no register can be "written" by a store, PC is written by every control
+// transfer, and x0 never appears as written).
+func TestInstAccessDisjointnessQuick(t *testing.T) {
+	f := func(w uint32) bool {
+		w |= 3
+		inst, err := decode32(w, 0x1000)
+		if err != nil {
+			return true
+		}
+		written := inst.RegsWritten()
+		if written.Contains(X0) {
+			t.Logf("%v writes x0", inst)
+			return false
+		}
+		switch inst.Cat() {
+		case CatStore:
+			if written.Count() != 0 {
+				t.Logf("store %v writes %v", inst, written)
+				return false
+			}
+		case CatBranch, CatJAL, CatJALR:
+			if !written.Contains(RegPC) {
+				t.Logf("control transfer %v does not write pc", inst)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package riscv
+
+import "testing"
+
+// Tests for the RVA23-profile extension module (Zicond + Zba + Zbb subset)
+// — the paper's Section 3.4 next step, added here to exercise the
+// modularity requirement of Section 3.1.1.
+
+func TestRVA23RoundTrip(t *testing.T) {
+	for _, mn := range []Mnemonic{
+		MnCZEROEQZ, MnCZERONEZ, MnSH1ADD, MnSH2ADD, MnSH3ADD,
+		MnANDN, MnORN, MnXNOR, MnMIN, MnMINU, MnMAX, MnMAXU,
+	} {
+		in := Inst{Mn: mn, Rd: RegA0, Rs1: RegA1, Rs2: RegA2, Rs3: RegNone}
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", mn, err)
+		}
+		out, err := decode32(w, 0)
+		if err != nil {
+			t.Fatalf("decode(%v = 0x%08x): %v", mn, w, err)
+		}
+		if out.Mn != mn || out.Rd != RegA0 || out.Rs1 != RegA1 || out.Rs2 != RegA2 {
+			t.Errorf("%v round trip: %v", mn, out)
+		}
+	}
+}
+
+func TestRVA23Metadata(t *testing.T) {
+	cases := []struct {
+		mn   Mnemonic
+		name string
+		ext  ExtSet
+	}{
+		{MnCZEROEQZ, "czero.eqz", ExtZicond},
+		{MnCZERONEZ, "czero.nez", ExtZicond},
+		{MnSH3ADD, "sh3add", ExtZba},
+		{MnANDN, "andn", ExtZbb},
+		{MnMAXU, "maxu", ExtZbb},
+	}
+	for _, c := range cases {
+		if got := c.mn.String(); got != c.name {
+			t.Errorf("%d name = %q, want %q", c.mn, got, c.name)
+		}
+		if got := c.mn.Ext(); got != c.ext {
+			t.Errorf("%s ext = %v, want %v", c.name, got, c.ext)
+		}
+		back, ok := LookupMnemonic(c.name)
+		if !ok || back != c.mn {
+			t.Errorf("LookupMnemonic(%q) = %v, %v", c.name, back, ok)
+		}
+	}
+}
+
+func TestRVA23ArchString(t *testing.T) {
+	set := RVA23Subset
+	back, err := ParseArchString(set.ArchString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != set {
+		t.Errorf("round trip %q -> %v, want %v", set.ArchString(), back, set)
+	}
+	parsed, err := ParseArchString("rv64gc_zba_zbb_zicond")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != RVA23Subset {
+		t.Errorf("parsed = %v", parsed)
+	}
+}
+
+func TestRVA23DoesNotCollideWithBase(t *testing.T) {
+	// The claimed funct combinations must not shadow any base encoding:
+	// every base R-type instruction still decodes to itself.
+	for _, mn := range []Mnemonic{MnADD, MnSUB, MnSLL, MnSLT, MnSLTU, MnXOR,
+		MnSRL, MnSRA, MnOR, MnAND, MnMUL, MnDIV, MnREM} {
+		in := Inst{Mn: mn, Rd: RegA0, Rs1: RegA1, Rs2: RegA2, Rs3: RegNone}
+		w := MustEncode(in)
+		out, err := decode32(w, 0)
+		if err != nil || out.Mn != mn {
+			t.Errorf("base %v decodes to %v (err %v) after extension registration", mn, out.Mn, err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package semantics
+
+import (
+	"testing"
+
+	"rvdyn/internal/riscv"
+)
+
+func env(inst riscv.Inst, regs map[riscv.Reg]uint64) *Env {
+	return &Env{
+		Inst: inst,
+		Reg: func(r riscv.Reg) (uint64, bool) {
+			v, ok := regs[r]
+			return v, ok
+		},
+	}
+}
+
+func TestEvalArith(t *testing.T) {
+	cases := []struct {
+		inst riscv.Inst
+		regs map[riscv.Reg]uint64
+		want uint64
+	}{
+		{riscv.Inst{Mn: riscv.MnADDI, Rs1: riscv.RegA0, Imm: 5}, map[riscv.Reg]uint64{riscv.RegA0: 10}, 15},
+		{riscv.Inst{Mn: riscv.MnADD, Rs1: riscv.RegA0, Rs2: riscv.RegA1}, map[riscv.Reg]uint64{riscv.RegA0: 3, riscv.RegA1: 4}, 7},
+		{riscv.Inst{Mn: riscv.MnSUB, Rs1: riscv.RegA0, Rs2: riscv.RegA1}, map[riscv.Reg]uint64{riscv.RegA0: 3, riscv.RegA1: 4}, ^uint64(0)},
+		{riscv.Inst{Mn: riscv.MnLUI, Imm: 0x12345}, nil, 0x12345000},
+		{riscv.Inst{Mn: riscv.MnAUIPC, Addr: 0x10000, Imm: 2}, nil, 0x12000},
+		{riscv.Inst{Mn: riscv.MnSLLI, Rs1: riscv.RegT0, Imm: 3}, map[riscv.Reg]uint64{riscv.RegT0: 5}, 40},
+		{riscv.Inst{Mn: riscv.MnADDIW, Rs1: riscv.RegT0, Imm: 1}, map[riscv.Reg]uint64{riscv.RegT0: 0xffffffff}, 0},
+		{riscv.Inst{Mn: riscv.MnANDI, Rs1: riscv.RegT0, Imm: 0xff}, map[riscv.Reg]uint64{riscv.RegT0: 0x1234}, 0x34},
+		{riscv.Inst{Mn: riscv.MnSLTU, Rs1: riscv.RegT0, Rs2: riscv.RegT1}, map[riscv.Reg]uint64{riscv.RegT0: 1, riscv.RegT1: 2}, 1},
+	}
+	for _, c := range cases {
+		got, ok := EvalRd(env(c.inst, c.regs))
+		if !ok {
+			t.Errorf("%v: not evaluable", c.inst.Mn)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%v = %#x, want %#x", c.inst.Mn, got, c.want)
+		}
+	}
+}
+
+func TestEvalX0AlwaysKnown(t *testing.T) {
+	inst := riscv.Inst{Mn: riscv.MnADDI, Rs1: riscv.X0, Imm: 42}
+	got, ok := EvalRd(&Env{Inst: inst}) // no Reg oracle at all
+	if !ok || got != 42 {
+		t.Errorf("li via x0 = %d, %v", got, ok)
+	}
+}
+
+func TestEvalUnknownInput(t *testing.T) {
+	inst := riscv.Inst{Mn: riscv.MnADDI, Rs1: riscv.RegA0, Imm: 5}
+	if _, ok := EvalRd(env(inst, nil)); ok {
+		t.Error("evaluated with unknown rs1")
+	}
+}
+
+func TestEvalLoad(t *testing.T) {
+	inst := riscv.Inst{Mn: riscv.MnLD, Rs1: riscv.RegT0, Imm: 8}
+	e := env(inst, map[riscv.Reg]uint64{riscv.RegT0: 0x1000})
+	e.Load = func(addr uint64, w int) (uint64, bool) {
+		if addr == 0x1008 && w == 8 {
+			return 0xdeadbeef, true
+		}
+		return 0, false
+	}
+	got, ok := EvalRd(e)
+	if !ok || got != 0xdeadbeef {
+		t.Errorf("ld = %#x, %v", got, ok)
+	}
+	// Without a memory oracle the load is unknown.
+	if _, ok := EvalRd(env(inst, map[riscv.Reg]uint64{riscv.RegT0: 0x1000})); ok {
+		t.Error("load evaluated without memory oracle")
+	}
+}
+
+func TestOpaqueInstructions(t *testing.T) {
+	for _, mn := range []riscv.Mnemonic{riscv.MnFADDD, riscv.MnECALL, riscv.MnFENCE, riscv.MnSD} {
+		if _, ok := For(mn); ok {
+			t.Errorf("%v unexpectedly has value semantics", mn)
+		}
+	}
+}
+
+func TestUsesLoad(t *testing.T) {
+	if !UsesLoad(riscv.MnLD) || !UsesLoad(riscv.MnLW) {
+		t.Error("ld/lw should report loads")
+	}
+	if UsesLoad(riscv.MnADD) || UsesLoad(riscv.MnJALR) {
+		t.Error("add/jalr should not report loads")
+	}
+}
+
+func TestSpecCoversSlicingCore(t *testing.T) {
+	// The mnemonics the jalr classifier's backward slice depends on must all
+	// have semantics.
+	for _, mn := range []riscv.Mnemonic{
+		riscv.MnLUI, riscv.MnAUIPC, riscv.MnADDI, riscv.MnADD, riscv.MnSLLI,
+		riscv.MnLD, riscv.MnLW, riscv.MnJAL, riscv.MnJALR,
+	} {
+		if _, ok := For(mn); !ok {
+			t.Errorf("no semantics for %v", mn)
+		}
+	}
+}

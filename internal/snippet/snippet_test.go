@@ -1,0 +1,145 @@
+package snippet
+
+import (
+	"strings"
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/parse"
+	"rvdyn/internal/symtab"
+	"rvdyn/internal/workload"
+)
+
+func parseMatmul(t *testing.T) *parse.CFG {
+	t.Helper()
+	f, err := asm.Assemble(workload.MatmulSource(10, 1), asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := symtab.FromFile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := parse.Parse(st, parse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestPointFinders(t *testing.T) {
+	cfg := parseMatmul(t)
+	fn, _ := cfg.FuncByName("multiply")
+
+	entry := FuncEntry(fn)
+	if entry.Kind != PointFuncEntry || entry.Addr != fn.Entry || entry.Block != fn.EntryBlock() {
+		t.Errorf("entry point = %+v", entry)
+	}
+
+	exits := FuncExits(fn)
+	if len(exits) != 1 {
+		t.Fatalf("multiply exits = %v", exits)
+	}
+	if exits[0].Kind != PointFuncExit {
+		t.Errorf("exit kind = %v", exits[0].Kind)
+	}
+	// The exit point sits at the block's terminating instruction.
+	if exits[0].Addr != exits[0].Block.Last().Addr {
+		t.Errorf("exit addr %#x != terminator %#x", exits[0].Addr, exits[0].Block.Last().Addr)
+	}
+
+	blocks := BlockEntries(fn)
+	if len(blocks) != len(fn.Blocks) {
+		t.Errorf("%d block points for %d blocks", len(blocks), len(fn.Blocks))
+	}
+	for i, pt := range blocks {
+		if pt.Addr != fn.Blocks[i].Start {
+			t.Errorf("block point %d at %#x, block starts %#x", i, pt.Addr, fn.Blocks[i].Start)
+		}
+	}
+
+	loops := LoopBegins(fn)
+	if len(loops) != 3 {
+		t.Errorf("loop points = %d, want 3", len(loops))
+	}
+
+	start, _ := cfg.FuncByName("_start")
+	calls := CallSites(start)
+	if len(calls) < 2 {
+		t.Errorf("_start call sites = %d, want >= 2 (init + multiply)", len(calls))
+	}
+	for _, pt := range calls {
+		if pt.Kind != PointCallSite || pt.Block.Purpose != parse.PurposeCall {
+			t.Errorf("call point %+v", pt)
+		}
+	}
+}
+
+func TestBeforePoint(t *testing.T) {
+	cfg := parseMatmul(t)
+	fn, _ := cfg.FuncByName("multiply")
+	mid := fn.Blocks[2].Insts[0]
+	pt, err := Before(fn, mid.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Kind != PointInsnBefore || pt.Addr != mid.Addr || pt.Block != fn.Blocks[2] {
+		t.Errorf("point = %+v", pt)
+	}
+	if _, err := Before(fn, 0xdeadbeef); err == nil {
+		t.Error("Before accepted an address outside the function")
+	}
+}
+
+func TestSnippetStrings(t *testing.T) {
+	v := &Var{Name: "counter", Width: 8}
+	cases := []struct {
+		sn   Snippet
+		want string
+	}{
+		{ConstInt{42}, "42"},
+		{v, "counter"},
+		{ParamReg{2}, "arg2"},
+		{Increment(v), "counter = (counter + 1)"},
+		{BinOp{OpMul, ConstInt{2}, ConstInt{3}}, "(2 * 3)"},
+		{Sequence{[]Snippet{ConstInt{1}, ConstInt{2}}}, "{1; 2}"},
+		{If{Cond: ConstInt{1}, Then: Increment(v)}, "if 1 then counter = (counter + 1)"},
+		{CallFunc{Entry: 0x1000}, "call 0x1000([])"},
+	}
+	for _, c := range cases {
+		if got := c.sn.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	// All operator glyphs render.
+	ops := []BinOpKind{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		if op.String() == "" {
+			t.Errorf("operator %d has no glyph", op)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	cfg := parseMatmul(t)
+	fn, _ := cfg.FuncByName("multiply")
+	s := FuncEntry(fn).String()
+	if !strings.Contains(s, "multiply") || !strings.Contains(s, "func-entry") {
+		t.Errorf("point string = %q", s)
+	}
+	for _, k := range []PointKind{PointFuncEntry, PointFuncExit, PointBlockEntry,
+		PointCallSite, PointLoopBegin, PointInsnBefore} {
+		if k.String() == "?" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestAddTo(t *testing.T) {
+	v := &Var{Name: "sum", Width: 8}
+	sn := AddTo(v, ParamReg{0})
+	if sn.String() != "sum = (sum + arg0)" {
+		t.Errorf("AddTo = %q", sn.String())
+	}
+}

@@ -1,0 +1,224 @@
+// Package symtab is the SymtabAPI analog (paper Section 3.2.1): an abstract,
+// format-independent view of how a binary is structured — symbols, code and
+// data regions, the entry point — plus the RISC-V-specific extension
+// discovery the paper describes:
+//
+//  1. If the binary carries a .riscv.attributes section, the target
+//     architecture string (Tag_RISCV_arch) enumerates every extension the
+//     binary may use.
+//  2. Otherwise fall back to e_flags, which every ELF file has: the RVC bit
+//     reveals the C extension and the float-ABI field reveals F/D.
+//
+// The detected extension set flows to CodeGenAPI so instrumentation never
+// uses instructions the mutatee's processor might not implement.
+package symtab
+
+import (
+	"fmt"
+	"sort"
+
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/riscv"
+)
+
+// Function is one STT_FUNC symbol.
+type Function struct {
+	Name   string
+	Addr   uint64
+	Size   uint64
+	Global bool
+}
+
+// Region is a contiguous mapped range of the binary.
+type Region struct {
+	Name  string
+	Addr  uint64
+	Data  []byte // nil for zero-initialized regions
+	Size  uint64
+	Exec  bool
+	Write bool
+}
+
+// ExtSource records where the extension set was learned from.
+type ExtSource int
+
+const (
+	// ExtFromAttributes: the .riscv.attributes arch string (preferred).
+	ExtFromAttributes ExtSource = iota
+	// ExtFromEFlags: the e_flags fallback used when the attribute section is
+	// absent (it is optional; e_flags is always present).
+	ExtFromEFlags
+)
+
+func (s ExtSource) String() string {
+	if s == ExtFromAttributes {
+		return ".riscv.attributes"
+	}
+	return "e_flags"
+}
+
+// Symtab is the parsed symbol-table view of one binary.
+type Symtab struct {
+	File *elfrv.File
+
+	Entry      uint64
+	Extensions riscv.ExtSet
+	ExtSource  ExtSource
+	Arch       string // raw arch string when available
+
+	Functions []*Function // sorted by address
+	Objects   []elfrv.Symbol
+	Regions   []Region
+}
+
+// Open parses raw ELF bytes.
+func Open(data []byte) (*Symtab, error) {
+	f, err := elfrv.Read(data)
+	if err != nil {
+		return nil, err
+	}
+	return FromFile(f)
+}
+
+// FromFile builds the Symtab view over an already-loaded file.
+func FromFile(f *elfrv.File) (*Symtab, error) {
+	st := &Symtab{File: f, Entry: f.Entry}
+
+	if err := st.detectExtensions(); err != nil {
+		return nil, err
+	}
+
+	for _, s := range f.Symbols {
+		switch s.Type {
+		case elfrv.STTFunc:
+			st.Functions = append(st.Functions, &Function{
+				Name: s.Name, Addr: s.Value, Size: s.Size,
+				Global: s.Bind == elfrv.STBGlobal,
+			})
+		case elfrv.STTObject:
+			st.Objects = append(st.Objects, s)
+		}
+	}
+	sort.Slice(st.Functions, func(i, j int) bool { return st.Functions[i].Addr < st.Functions[j].Addr })
+
+	for _, s := range f.Sections {
+		if s.Flags&elfrv.SHFAlloc == 0 || s.Size() == 0 {
+			continue
+		}
+		st.Regions = append(st.Regions, Region{
+			Name:  s.Name,
+			Addr:  s.Addr,
+			Data:  s.Data,
+			Size:  s.Size(),
+			Exec:  s.Flags&elfrv.SHFExecinstr != 0,
+			Write: s.Flags&elfrv.SHFWrite != 0,
+		})
+	}
+	sort.Slice(st.Regions, func(i, j int) bool { return st.Regions[i].Addr < st.Regions[j].Addr })
+	return st, nil
+}
+
+// detectExtensions implements the paper's two-step discovery.
+func (st *Symtab) detectExtensions() error {
+	attrs, present, err := st.File.RISCVAttributes()
+	if err != nil {
+		return fmt.Errorf("symtab: parsing .riscv.attributes: %w", err)
+	}
+	if present && attrs.Arch != "" {
+		set, err := riscv.ParseArchString(attrs.Arch)
+		if err != nil {
+			return fmt.Errorf("symtab: bad arch string: %w", err)
+		}
+		st.Extensions = set
+		st.ExtSource = ExtFromAttributes
+		st.Arch = attrs.Arch
+		return nil
+	}
+	// e_flags fallback: assume the general-purpose integer baseline and add
+	// what the flags reveal. (e_flags cannot distinguish M/A, so we take the
+	// conservative-for-analysis, standard-practice IMA baseline; the code
+	// generator restricts itself further to I unless told otherwise.)
+	set := riscv.ExtI | riscv.ExtM | riscv.ExtA | riscv.ExtZicsr | riscv.ExtZifencei
+	flags := st.File.Flags
+	if flags&elfrv.EFRiscVRVC != 0 {
+		set |= riscv.ExtC
+	}
+	switch flags & elfrv.EFRiscVFloatABIMask {
+	case elfrv.EFRiscVFloatABIDouble:
+		set |= riscv.ExtF | riscv.ExtD
+	case elfrv.EFRiscVFloatABISingle:
+		set |= riscv.ExtF
+	}
+	st.Extensions = set
+	st.ExtSource = ExtFromEFlags
+	return nil
+}
+
+// FuncByName finds a function symbol.
+func (st *Symtab) FuncByName(name string) (*Function, bool) {
+	for _, f := range st.Functions {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// FuncContaining returns the function whose [Addr, Addr+Size) range covers
+// addr.
+func (st *Symtab) FuncContaining(addr uint64) (*Function, bool) {
+	i := sort.Search(len(st.Functions), func(i int) bool {
+		return st.Functions[i].Addr > addr
+	})
+	if i == 0 {
+		return nil, false
+	}
+	f := st.Functions[i-1]
+	if addr < f.Addr+f.Size {
+		return f, true
+	}
+	return nil, false
+}
+
+// CodeRegions returns the executable regions.
+func (st *Symtab) CodeRegions() []Region {
+	var out []Region
+	for _, r := range st.Regions {
+		if r.Exec {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RegionContaining returns the region covering addr.
+func (st *Symtab) RegionContaining(addr uint64) (Region, bool) {
+	for _, r := range st.Regions {
+		if addr >= r.Addr && addr < r.Addr+r.Size {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// InCode reports whether addr lies in an executable region — the "valid
+// code region" predicate of the paper's jalr classifier.
+func (st *Symtab) InCode(addr uint64) bool {
+	r, ok := st.RegionContaining(addr)
+	return ok && r.Exec
+}
+
+// ReadMem reads initialized bytes at a virtual address from the file image
+// (the memory oracle for jump-table analysis).
+func (st *Symtab) ReadMem(addr uint64, w int) (uint64, bool) {
+	r, ok := st.RegionContaining(addr)
+	if !ok || r.Data == nil || addr+uint64(w) > r.Addr+uint64(len(r.Data)) {
+		return 0, false
+	}
+	off := addr - r.Addr
+	var v uint64
+	for i := w - 1; i >= 0; i-- {
+		v = v<<8 | uint64(r.Data[off+uint64(i)])
+	}
+	return v, true
+}

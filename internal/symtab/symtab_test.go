@@ -1,0 +1,162 @@
+package symtab
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/workload"
+)
+
+func openSrc(t *testing.T, src string, opts asm.Options) *Symtab {
+	t.Helper()
+	f, err := asm.Assemble(src, opts)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	raw, err := f.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestExtensionsFromAttributes(t *testing.T) {
+	st := openSrc(t, workload.MatmulSource(8, 1), asm.Options{})
+	if st.ExtSource != ExtFromAttributes {
+		t.Errorf("extension source = %v, want attributes", st.ExtSource)
+	}
+	if st.Extensions != riscv.RV64GC {
+		t.Errorf("extensions = %v, want rv64gc", st.Extensions)
+	}
+	if st.Arch == "" {
+		t.Error("raw arch string empty")
+	}
+}
+
+func TestExtensionsEFlagsFallback(t *testing.T) {
+	// Without .riscv.attributes the paper's fallback applies: e_flags is
+	// always present and reveals C and the float ABI.
+	st := openSrc(t, workload.MatmulSource(8, 1), asm.Options{NoAttributes: true})
+	if st.ExtSource != ExtFromEFlags {
+		t.Fatalf("extension source = %v, want e_flags", st.ExtSource)
+	}
+	if !st.Extensions.Has(riscv.ExtC) {
+		t.Error("RVC flag not detected from e_flags")
+	}
+	if !st.Extensions.Has(riscv.ExtD) || !st.Extensions.Has(riscv.ExtF) {
+		t.Error("double-float ABI not detected from e_flags")
+	}
+	// An integer-only, uncompressed binary advertises neither.
+	st2 := openSrc(t, "\t.text\n_start:\n\tnop\n\tli a7, 93\n\tecall\n",
+		asm.Options{NoAttributes: true, NoCompress: true, Arch: riscv.ExtI | riscv.ExtM})
+	if st2.Extensions.Has(riscv.ExtC) || st2.Extensions.Has(riscv.ExtF) {
+		t.Errorf("plain binary advertises %v", st2.Extensions)
+	}
+}
+
+func TestRestrictedArchAttributes(t *testing.T) {
+	st := openSrc(t, "\t.text\n_start:\n\tnop\n", asm.Options{Arch: riscv.ExtI | riscv.ExtM | riscv.ExtA})
+	if st.Extensions != riscv.ExtI|riscv.ExtM|riscv.ExtA {
+		t.Errorf("extensions = %v", st.Extensions)
+	}
+}
+
+func TestFunctionLookup(t *testing.T) {
+	st := openSrc(t, workload.MatmulSource(8, 1), asm.Options{})
+	fn, ok := st.FuncByName("multiply")
+	if !ok {
+		t.Fatal("multiply not found")
+	}
+	if fn.Size == 0 {
+		t.Error("multiply has zero size")
+	}
+	got, ok := st.FuncContaining(fn.Addr + fn.Size/2)
+	if !ok || got.Name != "multiply" {
+		t.Errorf("FuncContaining(mid) = %v, %v", got, ok)
+	}
+	if _, ok := st.FuncContaining(fn.Addr + fn.Size); ok {
+		// One past the end belongs to the next function (or nothing).
+		if f2, _ := st.FuncContaining(fn.Addr + fn.Size); f2 != nil && f2.Name == "multiply" {
+			t.Error("FuncContaining includes one-past-the-end")
+		}
+	}
+	// Sorted by address.
+	for i := 1; i < len(st.Functions); i++ {
+		if st.Functions[i-1].Addr > st.Functions[i].Addr {
+			t.Fatal("functions not sorted")
+		}
+	}
+}
+
+func TestRegionsAndInCode(t *testing.T) {
+	st := openSrc(t, workload.MatmulSource(8, 1), asm.Options{})
+	code := st.CodeRegions()
+	if len(code) != 1 || code[0].Name != ".text" {
+		t.Fatalf("code regions = %+v", code)
+	}
+	if !st.InCode(st.Entry) {
+		t.Error("entry not in code")
+	}
+	dsec, ok := st.RegionContaining(mustSym(t, st, "elapsed_ns"))
+	if !ok || dsec.Exec {
+		t.Errorf("elapsed_ns region = %+v", dsec)
+	}
+	if st.InCode(0xdeadbeef) {
+		t.Error("wild address reported in code")
+	}
+}
+
+func mustSym(t *testing.T, st *Symtab, name string) uint64 {
+	t.Helper()
+	for _, o := range st.Objects {
+		if o.Name == name {
+			return o.Value
+		}
+	}
+	s, ok := st.File.Symbol(name)
+	if !ok {
+		t.Fatalf("no symbol %s", name)
+	}
+	return s.Value
+}
+
+func TestReadMem(t *testing.T) {
+	st := openSrc(t, `
+	.data
+val:
+	.dword 0x1122334455667788
+	.text
+_start:
+	nop
+`, asm.Options{})
+	addr := mustSym(t, st, "val")
+	v, ok := st.ReadMem(addr, 8)
+	if !ok || v != 0x1122334455667788 {
+		t.Errorf("ReadMem = %#x, %v", v, ok)
+	}
+	v, ok = st.ReadMem(addr, 4)
+	if !ok || v != 0x55667788 {
+		t.Errorf("ReadMem 4 = %#x, %v", v, ok)
+	}
+	if _, ok := st.ReadMem(0xffffffff, 8); ok {
+		t.Error("ReadMem of unmapped succeeded")
+	}
+}
+
+func TestObjectsListed(t *testing.T) {
+	st := openSrc(t, workload.MatmulSource(8, 1), asm.Options{})
+	found := false
+	for _, o := range st.Objects {
+		if o.Name == "elapsed_ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("elapsed_ns object symbol missing")
+	}
+}

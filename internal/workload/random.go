@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RandomProgram generates a random, always-terminating, ABI-clean program
+// with nFuncs functions, for differential testing and parse benchmarking.
+// Control flow uses only forward branches and fixed-count loops, so every
+// generated program halts; every temporary is written before it is read,
+// so instrumentation is free to treat caller-saved registers as dead at
+// ABI boundaries (the assumption Dyninst — and this reproduction — makes).
+func RandomProgram(seed int64, nFuncs int) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("\t.text\n\t.globl _start\n_start:\n")
+	fmt.Fprintf(&b, "\tli a0, %d\n", rng.Intn(1000))
+	for i := 0; i < nFuncs; i++ {
+		fmt.Fprintf(&b, "\tcall fz%d\n", i)
+	}
+	// Clamp the accumulated value into a tame exit code.
+	b.WriteString("\tandi a0, a0, 255\n\tli a7, 93\n\tecall\n\n")
+	for i := 0; i < nFuncs; i++ {
+		var callable []string
+		// Only higher-numbered functions are callable: no recursion.
+		for j := i + 1; j < nFuncs && j < i+4; j++ {
+			callable = append(callable, fmt.Sprintf("fz%d", j))
+		}
+		writeRandomFunc(&b, rng, fmt.Sprintf("fz%d", i), callable)
+	}
+	return b.String()
+}
+
+// writeRandomFunc emits one random function that transforms a0 and returns.
+func writeRandomFunc(b *strings.Builder, rng *rand.Rand, name string, callable []string) {
+	fmt.Fprintf(b, "\t.globl %s\n\t.type %s, @function\n%s:\n", name, name, name)
+
+	hasCall := len(callable) > 0 && rng.Intn(2) == 0
+	if hasCall {
+		b.WriteString("\taddi sp, sp, -16\n\tsd ra, 8(sp)\n")
+	}
+
+	regs := []string{"t0", "t1", "t2", "t3", "t4", "t5"}
+	for i, r := range regs {
+		fmt.Fprintf(b, "\taddi %s, a0, %d\n", r, i*7)
+	}
+
+	labels := 0
+	nOps := 4 + rng.Intn(10)
+	rr := func() string { return regs[rng.Intn(len(regs))] }
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			fmt.Fprintf(b, "\taddi %s, %s, %d\n", rr(), rr(), rng.Intn(256)-128)
+		case 2:
+			fmt.Fprintf(b, "\tadd %s, %s, %s\n", rr(), rr(), rr())
+		case 3:
+			fmt.Fprintf(b, "\tsub %s, %s, %s\n", rr(), rr(), rr())
+		case 4:
+			fmt.Fprintf(b, "\txor %s, %s, %s\n", rr(), rr(), rr())
+		case 5:
+			fmt.Fprintf(b, "\tmul %s, %s, %s\n", rr(), rr(), rr())
+		case 6:
+			fmt.Fprintf(b, "\tslli %s, %s, %d\n", rr(), rr(), 1+rng.Intn(5))
+		case 7:
+			// Forward branch over the next chunk.
+			labels++
+			cond := []string{"beq", "bne", "blt", "bge"}[rng.Intn(4)]
+			fmt.Fprintf(b, "\t%s %s, %s, %s_l%d\n", cond, rr(), rr(), name, labels)
+			fmt.Fprintf(b, "\taddi %s, %s, 1\n", rr(), rr())
+			fmt.Fprintf(b, "%s_l%d:\n", name, labels)
+		case 8:
+			// Fixed-count loop on t6 (reserved for loop counters).
+			labels++
+			fmt.Fprintf(b, "\tli t6, %d\n%s_loop%d:\n", 2+rng.Intn(4), name, labels)
+			fmt.Fprintf(b, "\tadd %s, %s, %s\n", rr(), rr(), rr())
+			fmt.Fprintf(b, "\taddi t6, t6, -1\n\tbnez t6, %s_loop%d\n", name, labels)
+		case 9:
+			fmt.Fprintf(b, "\tand %s, %s, %s\n", rr(), rr(), rr())
+		}
+	}
+
+	b.WriteString("\tadd a0, t0, t1\n\txor a0, a0, t2\n")
+	if hasCall {
+		fmt.Fprintf(b, "\tcall %s\n", callable[rng.Intn(len(callable))])
+		b.WriteString("\tld ra, 8(sp)\n\taddi sp, sp, 16\n")
+	}
+	b.WriteString("\tret\n")
+	fmt.Fprintf(b, "\t.size %s, .-%s\n\n", name, name)
+}

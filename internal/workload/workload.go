@@ -1,0 +1,471 @@
+// Package workload provides the assembly programs the experiments run.
+//
+// The central one is Matmul: the paper's Section 4.1 application — "a simple
+// program that contains a function that performs a 100 x 100 matrix
+// multiplication of double precision floating point numbers", called
+// repeatedly in a loop from main, with clock_gettime sampled before and
+// after the loop and the elapsed time recorded. The multiply function is
+// written so its CFG has exactly 11 basic blocks, matching the paper, and a
+// 100×100 run executes about 2 million basic blocks per call, also matching
+// the paper.
+//
+// The remaining workloads exercise the control-flow shapes Section 3.2.3
+// discusses: jump tables, tail calls (near and far auipc+jalr forms),
+// multi-instruction far calls, and functions shorter than four bytes.
+package workload
+
+import (
+	"fmt"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/elfrv"
+)
+
+// MatmulN and MatmulReps are the paper's parameters.
+const (
+	MatmulN    = 100
+	MatmulReps = 10
+)
+
+// MatmulSource returns the benchmark program for an n×n multiply called
+// reps times. The symbol elapsed_ns receives the application-measured
+// elapsed nanoseconds of the timed loop, and mat_c holds the result matrix.
+func MatmulSource(n, reps int) string {
+	return fmt.Sprintf(`
+# Matrix-multiply benchmark (paper Section 4.1).
+	.equ N, %d
+	.equ REPS, %d
+
+	.bss
+	.globl mat_a
+mat_a:	.zero N*N*8
+	.globl mat_b
+mat_b:	.zero N*N*8
+	.globl mat_c
+mat_c:	.zero N*N*8
+	.data
+	.globl elapsed_ns
+	.type elapsed_ns, @object
+elapsed_ns:
+	.dword 0
+
+	.text
+	.globl _start
+_start:
+	call init_matrices
+	addi sp, sp, -32
+	# start = clock_gettime(CLOCK_MONOTONIC)
+	li a0, 1
+	mv a1, sp
+	li a7, 113
+	ecall
+	ld s2, 0(sp)
+	ld s3, 8(sp)
+	li s4, REPS
+reps_loop:
+	la a0, mat_a
+	la a1, mat_b
+	la a2, mat_c
+	li a3, N
+	call multiply
+	addi s4, s4, -1
+	bnez s4, reps_loop
+	# end = clock_gettime(CLOCK_MONOTONIC)
+	li a0, 1
+	mv a1, sp
+	li a7, 113
+	ecall
+	ld s5, 0(sp)
+	ld s6, 8(sp)
+	sub s5, s5, s2
+	li t0, 1000000000
+	mul s5, s5, t0
+	add s5, s5, s6
+	sub s5, s5, s3
+	la t1, elapsed_ns
+	sd s5, 0(t1)
+	addi sp, sp, 32
+	li a0, 0
+	li a7, 93
+	ecall
+
+# multiply(a0=A, a1=B, a2=C, a3=n): C = A*B, row-major doubles.
+# Written to parse into exactly 11 basic blocks (paper Section 4.1).
+	.globl multiply
+	.type multiply, @function
+multiply:
+	blez a3, mm_done        # B1: degenerate-size guard
+	li t0, 0                # B2: i = 0
+mm_i:
+	bge t0, a3, mm_done     # B3: outer loop condition
+	li t1, 0                # B4: j = 0
+mm_j:
+	bge t1, a3, mm_i_inc    # B5: middle loop condition
+	fcvt.d.l ft0, zero      # B6: acc = 0.0, k = 0, row base
+	li t2, 0
+	mul t3, t0, a3
+	slli t3, t3, 3
+	add t3, t3, a0
+mm_k:
+	bge t2, a3, mm_k_done   # B7: inner loop condition
+	slli t4, t2, 3          # B8: acc += A[i][k] * B[k][j]
+	add t4, t4, t3
+	fld ft1, 0(t4)
+	mul t5, t2, a3
+	add t5, t5, t1
+	slli t5, t5, 3
+	add t5, t5, a1
+	fld ft2, 0(t5)
+	fmadd.d ft0, ft1, ft2, ft0
+	addi t2, t2, 1
+	j mm_k
+mm_k_done:
+	mul t6, t0, a3          # B9: C[i][j] = acc, j++
+	add t6, t6, t1
+	slli t6, t6, 3
+	add t6, t6, a2
+	fsd ft0, 0(t6)
+	addi t1, t1, 1
+	j mm_j
+mm_i_inc:
+	addi t0, t0, 1          # B10: i++
+	j mm_i
+mm_done:
+	ret                     # B11
+	.size multiply, .-multiply
+
+# init_matrices: A[i][j] = (i+j) %% 7, B[i][j] = (i*j+1) %% 5, as doubles.
+	.type init_matrices, @function
+init_matrices:
+	la t0, mat_a
+	la t1, mat_b
+	li t2, 0                # i
+init_i:
+	li t3, N
+	bge t2, t3, init_done
+	li t4, 0                # j
+init_j:
+	li t3, N
+	bge t4, t3, init_i_inc
+	# idx = (i*N + j) * 8
+	li t3, N
+	mul t5, t2, t3
+	add t5, t5, t4
+	slli t5, t5, 3
+	# A value
+	add t6, t2, t4
+	li t3, 7
+	rem t6, t6, t3
+	fcvt.d.l ft0, t6
+	add t6, t0, t5
+	fsd ft0, 0(t6)
+	# B value
+	mul t6, t2, t4
+	addi t6, t6, 1
+	li t3, 5
+	rem t6, t6, t3
+	fcvt.d.l ft0, t6
+	add t6, t1, t5
+	fsd ft0, 0(t6)
+	addi t4, t4, 1
+	j init_j
+init_i_inc:
+	addi t2, t2, 1
+	j init_i
+init_done:
+	ret
+	.size init_matrices, .-init_matrices
+`, n, reps)
+}
+
+// BuildMatmul assembles the matmul workload.
+func BuildMatmul(n, reps int, opts asm.Options) (*elfrv.File, error) {
+	return asm.Assemble(MatmulSource(n, reps), opts)
+}
+
+// RefMatmul computes the reference result of the workload's multiply for
+// validating instrumented and uninstrumented runs.
+func RefMatmul(n int) []float64 {
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i*n+j] = float64((i + j) % 7)
+			b[i*n+j] = float64((i*j + 1) % 5)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}
+
+// JumpTableSource is a program whose dispatch function implements a dense
+// switch through a bona fide jump table: a bounds check, an indexed load
+// from .rodata, and an indirect jalr — the pattern ParseAPI's jump-table
+// analysis must recover (Section 3.2.3, last classifier rule).
+//
+// It sums dispatch(i) for i in 0..5 (the out-of-range 5 takes the default
+// arm) and exits with the total: 10+21+32+43+99 + 99 = in-program check.
+const JumpTableSource = `
+	.text
+	.globl _start
+_start:
+	li s0, 0          # i
+	li s1, 0          # sum
+jt_loop:
+	li t0, 6
+	bge s0, t0, jt_done
+	mv a0, s0
+	call dispatch
+	add s1, s1, a0
+	addi s0, s0, 1
+	j jt_loop
+jt_done:
+	mv a0, s1
+	li a7, 93
+	ecall
+
+	.globl dispatch
+	.type dispatch, @function
+dispatch:
+	li t0, 4
+	bgeu a0, t0, case_default
+	la t1, table
+	slli t2, a0, 3
+	add t1, t1, t2
+	ld t3, 0(t1)
+	jr t3
+case0:
+	li a0, 10
+	ret
+case1:
+	li a0, 21
+	ret
+case2:
+	li a0, 32
+	ret
+case3:
+	li a0, 43
+	ret
+case_default:
+	li a0, 99
+	ret
+	.size dispatch, .-dispatch
+
+	.rodata
+	.balign 8
+table:
+	.dword case0
+	.dword case1
+	.dword case2
+	.dword case3
+`
+
+// JumpTableExpected is the exit code of JumpTableSource.
+const JumpTableExpected = 10 + 21 + 32 + 43 + 99 + 99
+
+// TailCallSource exercises near tail calls (jal x0 to another function) and
+// far tail calls (the auipc+jalr t1 pair): Section 3.2.3's tail-call rule.
+const TailCallSource = `
+	.text
+	.globl _start
+_start:
+	li a0, 5
+	call f_outer
+	li a7, 93
+	ecall
+
+	.globl f_outer
+	.type f_outer, @function
+f_outer:
+	addi a0, a0, 1
+	tail f_middle          # near tail call: jal x0, f_middle
+	.size f_outer, .-f_outer
+
+	.globl f_middle
+	.type f_middle, @function
+f_middle:
+	slli a0, a0, 1
+	tailfar f_inner        # far tail call: auipc t1 + jalr x0
+	.size f_middle, .-f_middle
+
+	.globl f_inner
+	.type f_inner, @function
+f_inner:
+	addi a0, a0, 100
+	ret
+	.size f_inner, .-f_inner
+`
+
+// TailCallExpected is the exit code of TailCallSource: ((5+1)*2)+100.
+const TailCallExpected = 112
+
+// FarCallSource exercises the multi-instruction auipc+jalr call sequence
+// that ParseAPI must fuse into a single call (Section 3.2.3).
+const FarCallSource = `
+	.text
+	.globl _start
+_start:
+	li a0, 3
+	callfar square         # auipc ra + jalr ra
+	callfar square
+	li a7, 93
+	ecall
+
+	.globl square
+	.type square, @function
+square:
+	mul a0, a0, a0
+	ret
+	.size square, .-square
+`
+
+// FarCallExpected is the exit code of FarCallSource: (3^2)^2.
+const FarCallExpected = 81
+
+// TinyFuncSource contains a 2-byte function (a single compressed ret): the
+// degenerate case of Section 3.1.2 where no jump instruction fits and the
+// patcher must fall back to a trap.
+const TinyFuncSource = `
+	.text
+	.globl _start
+_start:
+	li a0, 7
+	call tiny
+	call work
+	li a7, 93
+	ecall
+
+	.globl tiny
+	.type tiny, @function
+tiny:
+	ret
+	.size tiny, .-tiny
+
+	.globl work
+	.type work, @function
+work:
+	addi a0, a0, 1
+	ret
+	.size work, .-work
+`
+
+// TinyFuncExpected is the exit code of TinyFuncSource.
+const TinyFuncExpected = 8
+
+// FibSource is a recursive workload with real stack frames, used by the
+// stack-walking examples and tests. fib(12) = 144.
+const FibSource = `
+	.text
+	.globl _start
+_start:
+	li a0, 12
+	call fib
+	li a7, 93
+	ecall
+
+	.globl fib
+	.type fib, @function
+fib:
+	li t0, 2
+	blt a0, t0, fib_base
+	addi sp, sp, -32
+	sd ra, 24(sp)
+	sd s0, 16(sp)
+	sd s1, 8(sp)
+	mv s0, a0
+	addi a0, s0, -1
+	call fib
+	mv s1, a0
+	addi a0, s0, -2
+	call fib
+	add a0, a0, s1
+	ld ra, 24(sp)
+	ld s0, 16(sp)
+	ld s1, 8(sp)
+	addi sp, sp, 32
+fib_base:
+	ret
+	.size fib, .-fib
+`
+
+// FibExpected is the exit code of FibSource.
+const FibExpected = 144
+
+// FramePointerSource is a call chain whose functions maintain the frame
+// pointer (s0) chain, for the frame-pointer stack stepper. Functions leaf3
+// deliberately omits the frame pointer, exercising stepper fallback — the
+// paper notes most RISC-V compilers treat x8 as a general register.
+const FramePointerSource = `
+	.text
+	.globl _start
+_start:
+	li a0, 1
+	call level1
+	li a7, 93
+	ecall
+
+	.globl level1
+	.type level1, @function
+level1:
+	addi sp, sp, -16
+	sd ra, 8(sp)
+	sd s0, 0(sp)
+	addi s0, sp, 16
+	call level2
+	addi a0, a0, 1
+	ld ra, 8(sp)
+	ld s0, 0(sp)
+	addi sp, sp, 16
+	ret
+	.size level1, .-level1
+
+	.globl level2
+	.type level2, @function
+level2:
+	addi sp, sp, -16
+	sd ra, 8(sp)
+	sd s0, 0(sp)
+	addi s0, sp, 16
+	call level3
+	addi a0, a0, 2
+	ld ra, 8(sp)
+	ld s0, 0(sp)
+	addi sp, sp, 16
+	ret
+	.size level2, .-level2
+
+	.globl level3
+	.type level3, @function
+level3:
+	addi sp, sp, -16
+	sd ra, 8(sp)
+	call spin
+	addi a0, a0, 4
+	ld ra, 8(sp)
+	addi sp, sp, 16
+	ret
+	.size level3, .-level3
+
+	.globl spin
+	.type spin, @function
+spin:
+	li t0, 64
+spin_loop:
+	addi t0, t0, -1
+	bnez t0, spin_loop
+	addi a0, a0, 8
+	ret
+	.size spin, .-spin
+`
+
+// FramePointerExpected is the exit code of FramePointerSource: 1+8+4+2+1.
+const FramePointerExpected = 16

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/emu"
+)
+
+func runSource(t *testing.T, src string) *emu.CPU {
+	t.Helper()
+	f, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := emu.New(f, emu.P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(200_000_000); r != emu.StopExit {
+		t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+	}
+	return c
+}
+
+func TestMatmulCorrectness(t *testing.T) {
+	n := 16
+	f, err := BuildMatmul(n, 1, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := emu.New(f, emu.P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != emu.StopExit {
+		t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+	}
+	sym, ok := f.Symbol("mat_c")
+	if !ok {
+		t.Fatal("no mat_c symbol")
+	}
+	want := RefMatmul(n)
+	for i := 0; i < n*n; i++ {
+		raw, err := c.Mem.Read64(sym.Value + uint64(i*8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := math.Float64frombits(raw)
+		if got != want[i] {
+			t.Fatalf("c[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestMatmulElapsedRecorded(t *testing.T) {
+	f, err := BuildMatmul(8, 3, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := emu.New(f, emu.P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := c.Run(0); r != emu.StopExit {
+		t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+	}
+	sym, _ := f.Symbol("elapsed_ns")
+	ns, err := c.Mem.Read64(sym.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns == 0 {
+		t.Error("elapsed_ns not recorded")
+	}
+	// The recorded app time must be at most the total virtual time.
+	if ns > c.VirtualNanos() {
+		t.Errorf("elapsed %d > total %d", ns, c.VirtualNanos())
+	}
+}
+
+func TestJumpTableWorkload(t *testing.T) {
+	c := runSource(t, JumpTableSource)
+	if c.ExitCode != JumpTableExpected {
+		t.Errorf("exit = %d, want %d", c.ExitCode, JumpTableExpected)
+	}
+}
+
+func TestTailCallWorkload(t *testing.T) {
+	c := runSource(t, TailCallSource)
+	if c.ExitCode != TailCallExpected {
+		t.Errorf("exit = %d, want %d", c.ExitCode, TailCallExpected)
+	}
+}
+
+func TestFarCallWorkload(t *testing.T) {
+	c := runSource(t, FarCallSource)
+	if c.ExitCode != FarCallExpected {
+		t.Errorf("exit = %d, want %d", c.ExitCode, FarCallExpected)
+	}
+}
+
+func TestTinyFuncWorkload(t *testing.T) {
+	c := runSource(t, TinyFuncSource)
+	if c.ExitCode != TinyFuncExpected {
+		t.Errorf("exit = %d, want %d", c.ExitCode, TinyFuncExpected)
+	}
+	f, err := asm.Assemble(TinyFuncSource, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, _ := f.Symbol("tiny")
+	if sym.Size != 2 {
+		t.Errorf("tiny size = %d, want 2 (compressed ret)", sym.Size)
+	}
+}
+
+func TestFibWorkload(t *testing.T) {
+	c := runSource(t, FibSource)
+	if c.ExitCode != FibExpected {
+		t.Errorf("exit = %d, want %d", c.ExitCode, FibExpected)
+	}
+}
+
+func TestFramePointerWorkload(t *testing.T) {
+	c := runSource(t, FramePointerSource)
+	if c.ExitCode != FramePointerExpected {
+		t.Errorf("exit = %d, want %d", c.ExitCode, FramePointerExpected)
+	}
+}
+
+func TestMatmulDeterminism(t *testing.T) {
+	// The virtual clock must be exactly reproducible run to run.
+	var times [2]uint64
+	for i := range times {
+		f, err := BuildMatmul(8, 2, asm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := emu.New(f, emu.P550())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := c.Run(0); r != emu.StopExit {
+			t.Fatalf("stopped: %v", r)
+		}
+		times[i] = c.VirtualNanos()
+	}
+	if times[0] != times[1] {
+		t.Errorf("non-deterministic timing: %d vs %d", times[0], times[1])
+	}
+}
+
+func TestMatmulNoCompressVariant(t *testing.T) {
+	// The uncompressed build must compute the same matrix.
+	n := 8
+	for _, opts := range []asm.Options{{}, {NoCompress: true}} {
+		f, err := BuildMatmul(n, 1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := emu.New(f, emu.P550())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := c.Run(0); r != emu.StopExit {
+			t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+		}
+		sym, _ := f.Symbol("mat_c")
+		want := RefMatmul(n)
+		raw, _ := c.Mem.Read64(sym.Value + uint64((n*n-1)*8))
+		if math.Float64frombits(raw) != want[n*n-1] {
+			t.Errorf("last element mismatch (opts %+v)", opts)
+		}
+	}
+}
+
+func TestRandomProgramDeterministicAndRunnable(t *testing.T) {
+	if RandomProgram(3, 4) != RandomProgram(3, 4) {
+		t.Fatal("RandomProgram not deterministic for equal seeds")
+	}
+	if RandomProgram(3, 4) == RandomProgram(4, 4) {
+		t.Fatal("different seeds produced identical programs")
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		src := RandomProgram(seed, 3)
+		f, err := asm.Assemble(src, asm.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		c, err := emu.New(f, emu.P550())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := c.Run(2_000_000); r != emu.StopExit {
+			t.Fatalf("seed %d: stopped %v (%v)", seed, r, c.LastTrap())
+		}
+		if c.ExitCode < 0 || c.ExitCode > 255 {
+			t.Errorf("seed %d: exit %d outside clamp", seed, c.ExitCode)
+		}
+	}
+}
