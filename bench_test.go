@@ -106,6 +106,9 @@ func runCell(b *testing.B, file *elfrv.File, model *emu.CostModel) uint64 {
 
 // benchTable is the harness for one cell of the Section 4.3 table.
 func benchTable(b *testing.B, cell tableCell) {
+	if testing.Short() {
+		b.Skip("full-table cell: skipped in -short mode")
+	}
 	file := buildCell(b, cell)
 	baseFile := file
 	if cell.points != "" {
@@ -159,6 +162,9 @@ func BenchmarkTableBBCountRISCV(b *testing.B) {
 
 func fig1Workload(b *testing.B) *elfrv.File {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("end-to-end variant benchmark: skipped in -short mode")
+	}
 	file, err := workload.BuildMatmul(12, 2, asm.Options{})
 	if err != nil {
 		b.Fatal(err)
@@ -246,6 +252,9 @@ func BenchmarkFig1DynamicAttach(b *testing.B) {
 // isolated to snippet code size and runtime.
 
 func benchAblationRegAlloc(b *testing.B, mode codegen.Mode) {
+	if testing.Short() {
+		b.Skip("full-run ablation: skipped in -short mode")
+	}
 	file, err := workload.BuildMatmul(16, 1, asm.Options{})
 	if err != nil {
 		b.Fatal(err)
@@ -325,6 +334,9 @@ func BenchmarkAblationCompressedPatch(b *testing.B) {
 // has real fan-out.
 
 func benchParse(b *testing.B, workers int) {
+	if testing.Short() {
+		b.Skip("200-function parse benchmark: skipped in -short mode")
+	}
 	file, err := asm.Assemble(workload.RandomProgram(7, 200), asm.Options{})
 	if err != nil {
 		b.Fatal(err)
@@ -369,6 +381,9 @@ func BenchmarkDecodeCompressed(b *testing.B) {
 }
 
 func BenchmarkEmulatorThroughput(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full matmul emulation: skipped in -short mode")
+	}
 	file, err := workload.BuildMatmul(24, 1, asm.Options{})
 	if err != nil {
 		b.Fatal(err)

@@ -15,6 +15,8 @@
 //	      [-o out.elf] prog.elf              static instrumentation (counter)
 //	rvdyn run [-mode static|spawn|attach] -func f prog.elf
 //	                                         instrument + execute, print count
+//	rvdyn oracle [-mode sweep|replay|equiv] [flags] [prog.elf]
+//	                                         differential-execution oracle
 //	rvdyn components                         the Figure 2 component graph
 package main
 
@@ -32,6 +34,7 @@ import (
 	"rvdyn/internal/dataflow"
 	"rvdyn/internal/emu"
 	"rvdyn/internal/instruction"
+	"rvdyn/internal/oracle"
 	"rvdyn/internal/parse"
 	"rvdyn/internal/proc"
 	"rvdyn/internal/riscv"
@@ -60,6 +63,8 @@ func main() {
 		cmdRewrite(args)
 	case "run":
 		cmdRun(args)
+	case "oracle":
+		cmdOracle(args)
 	case "components":
 		cmdComponents()
 	default:
@@ -68,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rvdyn {symbols|disasm|cfg|liveness|slice|rewrite|run|components} [flags] prog.elf")
+	fmt.Fprintln(os.Stderr, "usage: rvdyn {symbols|disasm|cfg|liveness|slice|rewrite|run|oracle|components} [flags] prog.elf")
 	os.Exit(2)
 }
 
@@ -382,6 +387,66 @@ func cmdRun(args []string) {
 			*mode, kind, *fname, v, ev.ExitCode)
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func cmdOracle(args []string) {
+	fs := flag.NewFlagSet("oracle", flag.ExitOnError)
+	mode := fs.String("mode", "sweep", "sweep, replay, or equiv")
+	seed := fs.Int64("seed", 1, "generator seed (replay)")
+	seeds := fs.Int("seeds", 50, "number of seeds to run (sweep)")
+	length := fs.Int("len", 300, "generated program body length")
+	dump := fs.Bool("dump", false, "print the generated assembly before running (replay)")
+	funcs := fs.String("func", "", "comma-separated functions to instrument (equiv, required)")
+	cg := fs.String("cgmode", "dead", "register allocation for equiv: dead or spill")
+	fs.Parse(args)
+	switch *mode {
+	case "sweep":
+		var total uint64
+		exits := 0
+		for s := int64(1); s <= int64(*seeds); s++ {
+			res, div, err := oracle.LockstepSeed(s, *length)
+			if err != nil {
+				log.Fatalf("seed %d: %v", s, err)
+			}
+			if div != nil {
+				fmt.Println(div.Error())
+				os.Exit(1)
+			}
+			total += res.Steps
+			if res.Stop == "exit" {
+				exits++
+			}
+		}
+		fmt.Printf("sweep: %d seeds, %d lockstep instructions, %d clean exits, 0 divergences\n",
+			*seeds, total, exits)
+	case "replay":
+		if *dump {
+			fmt.Print(oracle.GenerateProgram(*seed, *length))
+		}
+		res, div, err := oracle.LockstepSeed(*seed, *length)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if div != nil {
+			fmt.Println(div.Error())
+			os.Exit(1)
+		}
+		fmt.Printf("seed %d: %d lockstep instructions, stop=%s, exit code %d, 0 divergences\n",
+			*seed, res.Steps, res.Stop, res.ExitCode)
+	case "equiv":
+		if *funcs == "" {
+			log.Fatal("equiv mode needs -func f1,f2,...")
+		}
+		b := openArg(fs)
+		rep, err := oracle.CheckEquivalence(b.File, strings.Split(*funcs, ","), parseMode(*cg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("equivalent: %d points across %v; exit code %d; %d original vs %d instrumented instructions\n",
+			rep.Points, rep.Funcs, rep.ExitCode, rep.OrigSteps, rep.InstrSteps)
+	default:
+		log.Fatalf("unknown oracle mode %q", *mode)
 	}
 }
 

@@ -1,0 +1,181 @@
+package asm
+
+import (
+	"fmt"
+	"testing"
+
+	"rvdyn/internal/riscv"
+)
+
+// rtTemplates are candidate operand shapes for building one representative
+// instruction per mnemonic. The register bank in the template does not have
+// to match the instruction (only 5-bit field numbers are encoded); what
+// matters is that immediates satisfy every form's range/alignment rules and
+// that the fixed-field instructions (fence) carry their canonical operands.
+func rtTemplates(mn riscv.Mnemonic) []riscv.Inst {
+	base := riscv.Inst{
+		Mn: mn, Rd: riscv.X5, Rs1: riscv.X6, Rs2: riscv.X7, Rs3: riscv.X28,
+		Imm: 16, CSR: 0xc00, RM: riscv.RMDyn,
+	}
+	switch mn {
+	case riscv.MnFENCE:
+		// The bare "fence" spelling always assembles to the full barrier.
+		base.Imm = 0x0ff
+	case riscv.MnFENCEI:
+		base.Imm = 0
+	}
+	return []riscv.Inst{base}
+}
+
+// TestRoundTrip32 proves, for every defined mnemonic, that the encoder, the
+// decoder, the disassembly printer, and the assembler agree: encode a
+// representative instruction, decode it, print it, assemble the printed text
+// (compression off), and demand the identical 32-bit word back.
+func TestRoundTrip32(t *testing.T) {
+	covered := 0
+	for m := 1; m < riscv.NumMnemonics(); m++ {
+		mn := riscv.Mnemonic(m)
+		var d1 riscv.Inst
+		var word uint32
+		found := false
+		for _, tmpl := range rtTemplates(mn) {
+			w, err := riscv.Encode(tmpl)
+			if err != nil {
+				continue
+			}
+			d, err := riscv.Decode([]byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}, 0)
+			if err != nil || d.Mn != mn {
+				continue
+			}
+			d1, word, found = d, w, true
+			break
+		}
+		if !found {
+			t.Errorf("%v: no template encodes and decodes back", mn)
+			continue
+		}
+		covered++
+
+		src := fmt.Sprintf("\t.text\n\t.globl _start\n_start:\n\t%s\n", d1)
+		f, err := Assemble(src, Options{Arch: riscv.RVA23Subset, NoCompress: true, NoAttributes: true})
+		if err != nil {
+			t.Errorf("%v: assembling %q: %v", mn, d1.String(), err)
+			continue
+		}
+		sec := f.Section(".text")
+		if sec == nil || len(sec.Data) != 4 {
+			t.Errorf("%v: %q assembled to %d bytes, want 4", mn, d1.String(), len(sec.Data))
+			continue
+		}
+		d2, err := riscv.Decode(sec.Data, sec.Addr)
+		if err != nil {
+			t.Errorf("%v: decoding assembled bytes: %v", mn, err)
+			continue
+		}
+		if d2.Raw != word {
+			t.Errorf("%v: %q assembled to %#08x, encoder produced %#08x", mn, d1.String(), d2.Raw, word)
+			continue
+		}
+		if !sameOperands(d1, d2) {
+			t.Errorf("%v: operand mismatch after round trip:\n  encoded:   %+v\n  assembled: %+v", mn, d1, d2)
+		}
+	}
+	if covered < riscv.NumMnemonics()-1 {
+		t.Errorf("round-tripped %d of %d mnemonics", covered, riscv.NumMnemonics()-1)
+	}
+	t.Logf("round-tripped %d mnemonics through encode -> decode -> print -> assemble", covered)
+}
+
+func sameOperands(a, b riscv.Inst) bool {
+	return a.Mn == b.Mn && a.Rd == b.Rd && a.Rs1 == b.Rs1 && a.Rs2 == b.Rs2 &&
+		a.Rs3 == b.Rs3 && a.Imm == b.Imm && a.CSR == b.CSR && a.RM == b.RM &&
+		a.Aq == b.Aq && a.Rl == b.Rl
+}
+
+// rvcTemplates are operand shapes that fit the RVC sub-formats: x8-x15
+// (s0/a0..a5) and f8-f15 register windows, rd==rs1 destructive ALU forms,
+// scaled short immediates, and the sp-based load/store/addi idioms.
+func rvcTemplates(mn riscv.Mnemonic) []riscv.Inst {
+	sp, zero, ra := riscv.RegSP, riscv.X0, riscv.X1
+	return []riscv.Inst{
+		{Mn: mn, Rd: riscv.X8, Rs1: riscv.X8, Rs2: riscv.X9, Imm: 8}, // destructive ALU / c.addi
+		{Mn: mn, Rd: riscv.X8, Rs1: riscv.X9, Imm: 8},                // c.lw/c.ld
+		{Mn: mn, Rs1: riscv.X9, Rs2: riscv.X8, Imm: 8},               // c.sw/c.sd
+		{Mn: mn, Rd: riscv.F8, Rs1: riscv.X9, Imm: 8},                // c.fld
+		{Mn: mn, Rs1: riscv.X9, Rs2: riscv.F8, Imm: 8},               // c.fsd
+		{Mn: mn, Rd: riscv.X8, Rs1: sp, Imm: 8},                      // c.lwsp/c.ldsp/c.addi4spn
+		{Mn: mn, Rd: riscv.F8, Rs1: sp, Imm: 8},                      // c.fldsp
+		{Mn: mn, Rs1: sp, Rs2: riscv.X8, Imm: 8},                     // c.swsp/c.sdsp
+		{Mn: mn, Rs1: sp, Rs2: riscv.F8, Imm: 8},                     // c.fsdsp
+		{Mn: mn, Rd: sp, Rs1: sp, Imm: 16},                           // c.addi16sp
+		{Mn: mn, Rd: riscv.X8, Rs1: zero, Imm: 4},                    // c.li
+		{Mn: mn, Rd: riscv.X8, Rs1: zero, Rs2: riscv.X9},             // c.mv
+		{Mn: mn, Rd: riscv.X8, Rs1: riscv.X8, Rs2: riscv.X9, Imm: 0}, // c.add
+		{Mn: mn, Rd: riscv.X8, Imm: 1},                               // c.lui
+		{Mn: mn, Rs1: riscv.X8, Rs2: zero, Imm: 16},                  // c.beqz/c.bnez
+		{Mn: mn, Rd: zero, Imm: 16},                                  // c.j
+		{Mn: mn, Rd: zero, Rs1: riscv.X8, Imm: 0},                    // c.jr
+		{Mn: mn, Rd: ra, Rs1: riscv.X8, Imm: 0},                      // c.jalr
+		{Mn: mn},                                                     // c.ebreak / c.nop
+	}
+}
+
+// TestRoundTripCompressed finds, for every mnemonic with an RVC form, a
+// template that compresses; the 16-bit encoding must decode back to the same
+// expansion, re-compress to the same halfword, and — printed and fed through
+// the assembler with compression on — assemble back to those 2 bytes.
+func TestRoundTripCompressed(t *testing.T) {
+	compressed := map[riscv.Mnemonic]bool{}
+	for m := 1; m < riscv.NumMnemonics(); m++ {
+		mn := riscv.Mnemonic(m)
+		for _, tmpl := range rvcTemplates(mn) {
+			half, ok := riscv.Compress(tmpl)
+			if !ok {
+				continue
+			}
+			d, err := riscv.Decode([]byte{byte(half), byte(half >> 8)}, 0)
+			if err != nil {
+				t.Errorf("%v: compressed %#04x does not decode: %v", mn, half, err)
+				continue
+			}
+			if d.Mn != mn || !d.Compressed || d.Len != 2 {
+				t.Errorf("%v: compressed %#04x decoded to %v (compressed=%v len=%d)",
+					mn, half, d.Mn, d.Compressed, d.Len)
+				continue
+			}
+			re, ok := riscv.Compress(d)
+			if !ok || re != half {
+				t.Errorf("%v: recompress mismatch: %#04x -> %v -> %#04x", mn, half, d, re)
+				continue
+			}
+			src := fmt.Sprintf("\t.text\n\t.globl _start\n_start:\n\t%s\n", d)
+			f, err := Assemble(src, Options{Arch: riscv.RVA23Subset, NoAttributes: true})
+			if err != nil {
+				t.Errorf("%v: assembling %q: %v", mn, d.String(), err)
+				continue
+			}
+			sec := f.Section(".text")
+			if len(sec.Data) != 2 || sec.Data[0] != byte(half) || sec.Data[1] != byte(half>>8) {
+				t.Errorf("%v: %q assembled to % x, want % x", mn, d.String(),
+					sec.Data, []byte{byte(half), byte(half >> 8)})
+				continue
+			}
+			compressed[mn] = true
+			break
+		}
+	}
+	// Every RV64GC compressed expansion class must be represented.
+	want := []riscv.Mnemonic{
+		riscv.MnADDI, riscv.MnADDIW, riscv.MnADD, riscv.MnSUB, riscv.MnAND,
+		riscv.MnOR, riscv.MnXOR, riscv.MnANDI, riscv.MnSLLI, riscv.MnSRLI,
+		riscv.MnSRAI, riscv.MnLW, riscv.MnLD, riscv.MnSW, riscv.MnSD,
+		riscv.MnFLD, riscv.MnFSD, riscv.MnLUI, riscv.MnBEQ, riscv.MnBNE,
+		riscv.MnJAL, riscv.MnJALR, riscv.MnADDW, riscv.MnSUBW, riscv.MnEBREAK,
+	}
+	for _, mn := range want {
+		if !compressed[mn] {
+			t.Errorf("no template produced a compressed form of %v", mn)
+		}
+	}
+	t.Logf("compressed round trip covered %d mnemonics", len(compressed))
+}

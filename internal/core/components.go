@@ -36,6 +36,8 @@ func Components() []Component {
 		{Name: "core", Role: "mutator facade (BPatch layer)", Uses: []string{
 			"codegen", "dataflow", "elfrv", "emu", "parse", "patch", "proc",
 			"riscv", "snippet", "stackwalk", "symtab"}},
+		{Name: "oracle", Role: "differential-execution oracle (QEMU/hardware cross-check substitute)", Uses: []string{
+			"asm", "codegen", "core", "elfrv", "emu", "riscv", "snippet"}, Substrate: true},
 	}
 	for i := range comps {
 		sort.Strings(comps[i].Uses)

@@ -9,11 +9,14 @@ import (
 	"rvdyn/internal/riscv"
 )
 
-// Stack and heap placement for emulated processes.
+// Stack and heap placement for emulated processes. MmapBase is exported so
+// alternative engines (the oracle's reference interpreter) can mirror the
+// process layout exactly.
 const (
 	StackTop  = 0x7fff_f000
 	StackSize = 1 << 20
-	mmapBase  = 0x4000_0000
+	MmapBase  = 0x4000_0000
+	mmapBase  = MmapBase
 )
 
 // StopReason reports why Run returned.
@@ -62,6 +65,16 @@ type CPU struct {
 	// Trace, when non-nil, runs before each instruction executes. Tools
 	// (and the trap-based instrumentation mode) hook here.
 	Trace func(c *CPU, inst riscv.Inst)
+
+	// TimeFn, when non-nil, overrides the cost-model-derived virtual clock
+	// for clock_gettime/gettimeofday and the time CSR. The equivalence
+	// oracle pins both the original and the instrumented run to one clock so
+	// timing-derived state cannot differ.
+	TimeFn func() uint64
+
+	// SyscallTrace, when non-nil, observes every serviced syscall after its
+	// return value is known. Exit syscalls report ret == a0.
+	SyscallTrace func(num, a0, a1, a2, ret uint64)
 
 	resValid bool
 	resAddr  uint64
@@ -619,7 +632,7 @@ func (c *CPU) csrOp(inst riscv.Inst) error {
 	case 0xC00: // cycle
 		old = c.Cycles
 	case 0xC01: // time
-		old = c.Model.Nanos(c.Cycles)
+		old = c.VirtualNanos()
 	case 0xC02: // instret
 		old = c.Instret
 	case 0x001: // fflags

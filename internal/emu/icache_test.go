@@ -1,0 +1,75 @@
+package emu
+
+import (
+	"testing"
+
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/riscv"
+)
+
+// TestDecodeCacheInvalidation pins the coherence contract of the decode
+// cache: patching through CPU.WriteMem (the mutator's path) must invalidate
+// the cached decode so re-execution sees the new instruction, while writing
+// the backing memory directly leaves the stale decode in place until
+// FlushICache (fence.i) is issued.
+func TestDecodeCacheInvalidation(t *testing.T) {
+	enc := func(imm int64) []byte {
+		w := riscv.MustEncode(riscv.Inst{Mn: riscv.MnADDI, Rd: riscv.RegA0, Rs1: riscv.X0, Imm: imm})
+		return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+	}
+	eb := riscv.MustEncode(riscv.Inst{Mn: riscv.MnEBREAK})
+	code := append(enc(2), byte(eb), byte(eb>>8), byte(eb>>16), byte(eb>>24))
+	f := &elfrv.File{
+		Entry: 0x10000,
+		Sections: []*elfrv.Section{
+			{Name: ".text", Type: elfrv.SHTProgbits, Flags: elfrv.SHFAlloc | elfrv.SHFExecinstr,
+				Addr: 0x10000, Data: code, Align: 4},
+		},
+	}
+	c, err := New(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerun := func() uint64 {
+		t.Helper()
+		c.PC = 0x10000
+		if r := c.Run(10); r != StopBreakpoint {
+			t.Fatalf("stopped %v (%v)", r, c.LastTrap())
+		}
+		return c.X[riscv.RegA0]
+	}
+
+	// First run populates the decode cache.
+	if got := rerun(); got != 2 {
+		t.Fatalf("initial run: a0 = %d, want 2", got)
+	}
+
+	// Patch through WriteMem: the cache entry must be invalidated.
+	if err := c.WriteMem(0x10000, enc(42)); err != nil {
+		t.Fatal(err)
+	}
+	if got := rerun(); got != 42 {
+		t.Fatalf("after WriteMem patch: a0 = %d, want 42 (stale decode executed)", got)
+	}
+
+	// Write the backing page directly, bypassing the CPU: the stale decode
+	// must still execute — this is what makes the cache observable at all,
+	// and what fence.i exists to fix.
+	raw := enc(77)
+	for i, b := range raw {
+		c.Mem.Write8(0x10000+uint64(i), b)
+	}
+	if got := rerun(); got != 77 {
+		if got != 42 {
+			t.Fatalf("after raw write: a0 = %d, want 42 (stale) or 77", got)
+		}
+	} else {
+		t.Log("note: direct memory writes are visible without a flush (no stale window)")
+	}
+
+	// fence.i: the new bytes must be decoded now.
+	c.FlushICache()
+	if got := rerun(); got != 77 {
+		t.Fatalf("after FlushICache: a0 = %d, want 77", got)
+	}
+}

@@ -239,3 +239,164 @@ func TestShiftEdgeCases(t *testing.T) {
 		t.Errorf("srlw truncation = %#x", c.X[riscv.RegA0])
 	}
 }
+
+// execRaw runs prepared raw code bytes (compressed forms included) until the
+// terminating ebreak — the variant of execOne for RVC encodings, which
+// riscv.Encode cannot produce.
+func execRaw(t *testing.T, code []byte, setup func(*CPU)) *CPU {
+	t.Helper()
+	eb := riscv.MustEncode(riscv.Inst{Mn: riscv.MnEBREAK})
+	code = append(append([]byte{}, code...),
+		byte(eb), byte(eb>>8), byte(eb>>16), byte(eb>>24))
+	f := &elfrv.File{
+		Entry: 0x10000,
+		Sections: []*elfrv.Section{
+			{Name: ".text", Type: elfrv.SHTProgbits, Flags: elfrv.SHFAlloc | elfrv.SHFExecinstr,
+				Addr: 0x10000, Data: code, Align: 4},
+			{Name: ".data", Type: elfrv.SHTProgbits, Flags: elfrv.SHFAlloc | elfrv.SHFWrite,
+				Addr: 0x20000, Data: make([]byte, 256), Align: 8},
+		},
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup != nil {
+		setup(c)
+	}
+	if r := c.Run(64); r != StopBreakpoint {
+		t.Fatalf("stopped %v (%v)", r, c.LastTrap())
+	}
+	return c
+}
+
+func mustCompress(t *testing.T, inst riscv.Inst) []byte {
+	t.Helper()
+	half, ok := riscv.Compress(inst)
+	if !ok {
+		t.Fatalf("%v does not compress", inst)
+	}
+	return []byte{byte(half), byte(half >> 8)}
+}
+
+// TestCompressedFPLoadStore executes the RVC double-precision memory forms —
+// c.fld, c.fsd, c.fldsp, c.fsdsp — from their genuine 16-bit encodings.
+func TestCompressedFPLoadStore(t *testing.T) {
+	const val = 0x400921fb54442d18 // bits of float64 pi
+
+	// c.fld f8, 8(s0); base in the RVC x8-x15 window.
+	code := mustCompress(t, riscv.Inst{Mn: riscv.MnFLD, Rd: riscv.F8, Rs1: riscv.X8, Imm: 8})
+	c := execRaw(t, code, func(c *CPU) {
+		c.X[riscv.X8] = 0x20000
+		c.Mem.Write64(0x20008, val)
+	})
+	if c.F[8] != val {
+		t.Errorf("c.fld: F8 = %#x, want %#x", c.F[8], val)
+	}
+
+	// c.fsd f9, 16(s0).
+	code = mustCompress(t, riscv.Inst{Mn: riscv.MnFSD, Rs1: riscv.X8, Rs2: riscv.F9, Imm: 16})
+	c = execRaw(t, code, func(c *CPU) {
+		c.X[riscv.X8] = 0x20000
+		c.F[9] = val
+	})
+	if got, _ := c.Mem.Read64(0x20010); got != val {
+		t.Errorf("c.fsd: mem = %#x, want %#x", got, val)
+	}
+
+	// c.fldsp f10, 24(sp); the stack is mapped by New.
+	code = mustCompress(t, riscv.Inst{Mn: riscv.MnFLD, Rd: riscv.F10, Rs1: riscv.RegSP, Imm: 24})
+	c = execRaw(t, code, func(c *CPU) {
+		c.Mem.Write64(c.X[riscv.RegSP]+24, val)
+	})
+	if c.F[10] != val {
+		t.Errorf("c.fldsp: F10 = %#x, want %#x", c.F[10], val)
+	}
+
+	// c.fsdsp f11, 32(sp).
+	code = mustCompress(t, riscv.Inst{Mn: riscv.MnFSD, Rs1: riscv.RegSP, Rs2: riscv.F11, Imm: 32})
+	c = execRaw(t, code, func(c *CPU) {
+		c.F[11] = val
+	})
+	if got, _ := c.Mem.Read64(c.X[riscv.RegSP] + 32); got != val {
+		t.Errorf("c.fsdsp: mem = %#x, want %#x", got, val)
+	}
+}
+
+// TestAMOWordSignExtension: the old word loaded into rd is sign-extended for
+// every .w AMO — including the unsigned min/max flavours, whose comparison
+// is unsigned but whose rd write-back still sign-extends.
+func TestAMOWordSignExtension(t *testing.T) {
+	amo := func(mn riscv.Mnemonic, old uint32, src uint64) *CPU {
+		return execOne(t, rr(mn), func(c *CPU) {
+			c.X[riscv.RegA1] = 0x20000
+			c.X[riscv.RegA2] = src
+			c.Mem.Write32(0x20000, old)
+		})
+	}
+	cases := []struct {
+		mn      riscv.Mnemonic
+		old     uint32
+		src     uint64
+		wantRd  uint64
+		wantMem uint32
+	}{
+		{riscv.MnAMOADDW, 0xffffffff, 1, ^uint64(0), 0},                            // wrap + sext
+		{riscv.MnAMOSWAPW, 0x80000000, 7, 0xffffffff80000000, 7},                   // sext of old
+		{riscv.MnAMOMAXW, 0x80000000, 5, 0xffffffff80000000, 5},                    // signed: 5 wins
+		{riscv.MnAMOMINW, 0x7fffffff, ^uint64(0), 0x7fffffff, 0xffffffff},          // signed: -1 wins
+		{riscv.MnAMOMAXUW, 0x80000000, 1, 0xffffffff80000000, 0x80000000},          // unsigned: old wins
+		{riscv.MnAMOMINUW, 0xfffffffe, ^uint64(0), 0xfffffffffffffffe, 0xfffffffe}, // unsigned min keeps old
+		{riscv.MnAMOANDW, 0xf0f0f0f0, 0xffffffffffff0000, 0xfffffffff0f0f0f0, 0xf0f00000},
+		{riscv.MnAMOORW, 0x80000001, 2, 0xffffffff80000001, 0x80000003},
+		{riscv.MnAMOXORW, 0xffffffff, 0x0f, ^uint64(0), 0xfffffff0},
+	}
+	for _, tc := range cases {
+		c := amo(tc.mn, tc.old, tc.src)
+		if c.X[riscv.RegA0] != tc.wantRd {
+			t.Errorf("%v: rd = %#x, want %#x", tc.mn, c.X[riscv.RegA0], tc.wantRd)
+		}
+		if got, _ := c.Mem.Read32(0x20000); got != tc.wantMem {
+			t.Errorf("%v: mem = %#x, want %#x", tc.mn, got, tc.wantMem)
+		}
+	}
+}
+
+// TestDivRemSpecialCases: RISC-V division never traps — by-zero and the lone
+// signed overflow have architected results, in both 64-bit and word widths.
+func TestDivRemSpecialCases(t *testing.T) {
+	run := func(mn riscv.Mnemonic, a, b uint64) uint64 {
+		c := execOne(t, rr(mn), func(c *CPU) {
+			c.X[riscv.RegA1] = a
+			c.X[riscv.RegA2] = b
+		})
+		return c.X[riscv.RegA0]
+	}
+	minI64 := uint64(1) << 63
+	minI32 := uint64(0xffffffff80000000)
+	neg1 := ^uint64(0)
+	cases := []struct {
+		name string
+		mn   riscv.Mnemonic
+		a, b uint64
+		want uint64
+	}{
+		{"div overflow", riscv.MnDIV, minI64, neg1, minI64},
+		{"rem overflow", riscv.MnREM, minI64, neg1, 0},
+		{"div by zero", riscv.MnDIV, 42, 0, neg1},
+		{"rem by zero", riscv.MnREM, 42, 0, 42},
+		{"divu by zero", riscv.MnDIVU, 42, 0, neg1},
+		{"remu by zero", riscv.MnREMU, 42, 0, 42},
+		{"divw overflow", riscv.MnDIVW, minI32, neg1, minI32},
+		{"remw overflow", riscv.MnREMW, minI32, neg1, 0},
+		{"divw by zero", riscv.MnDIVW, 7, 0, neg1},
+		{"remw by zero", riscv.MnREMW, 7, 0, 7},
+		{"divuw by zero", riscv.MnDIVUW, 7, 0, neg1},
+		{"remuw by zero sext", riscv.MnREMUW, minI32, 0, minI32},
+	}
+	for _, tc := range cases {
+		if got := run(tc.mn, tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: %v(%#x, %#x) = %#x, want %#x", tc.name, tc.mn, tc.a, tc.b, got, tc.want)
+		}
+	}
+}

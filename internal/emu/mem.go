@@ -12,6 +12,7 @@ package emu
 
 import (
 	"fmt"
+	"sort"
 
 	"rvdyn/internal/elfrv"
 )
@@ -77,6 +78,28 @@ func (m *Memory) Map(addr, size uint64) {
 
 // Mapped reports whether addr is backed.
 func (m *Memory) Mapped(addr uint64) bool { return m.pageFor(addr, false) != nil }
+
+// PageAddrs returns the base address of every mapped page in ascending
+// order. Differential-testing tools use it to compare two address spaces
+// exhaustively without knowing the mapping history.
+func (m *Memory) PageAddrs() []uint64 {
+	addrs := make([]uint64, 0, len(m.pages))
+	for idx := range m.pages {
+		addrs = append(addrs, idx<<pageBits)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// Page returns the 4 KiB page backing addr, or nil if unmapped. The slice
+// aliases live memory; callers must not retain it across writes.
+func (m *Memory) Page(addr uint64) []byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return nil
+	}
+	return p[:]
+}
 
 // ReadBytes copies n bytes at addr into dst (dst length gives n).
 func (m *Memory) ReadBytes(addr uint64, dst []byte) error {

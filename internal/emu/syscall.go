@@ -24,8 +24,14 @@ const (
 )
 
 // VirtualNanos returns the current virtual time in nanoseconds, derived
-// deterministically from the cycle counter and the cost model's clock.
-func (c *CPU) VirtualNanos() uint64 { return c.Model.Nanos(c.Cycles) }
+// deterministically from the cycle counter and the cost model's clock, or
+// from TimeFn when a tool has pinned the clock.
+func (c *CPU) VirtualNanos() uint64 {
+	if c.TimeFn != nil {
+		return c.TimeFn()
+	}
+	return c.Model.Nanos(c.Cycles)
+}
 
 // syscall services an ecall. It returns exited=true for exit/exit_group.
 func (c *CPU) syscall() (exited bool, err error) {
@@ -38,6 +44,9 @@ func (c *CPU) syscall() (exited bool, err error) {
 	case sysExit, sysExitGroup:
 		c.Exited = true
 		c.ExitCode = int(int64(a0))
+		if c.SyscallTrace != nil {
+			c.SyscallTrace(num, a0, a1, a2, a0)
+		}
 		return true, nil
 	case sysWrite:
 		if a2 > 1<<20 {
@@ -100,6 +109,9 @@ func (c *CPU) syscall() (exited bool, err error) {
 		ret = 0
 	default:
 		return false, fmt.Errorf("emu: unimplemented syscall %d at pc=%#x", num, c.PC)
+	}
+	if c.SyscallTrace != nil {
+		c.SyscallTrace(num, a0, a1, a2, ret)
 	}
 	c.X[riscv.RegA0] = ret
 	return false, nil

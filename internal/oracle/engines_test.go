@@ -1,0 +1,213 @@
+package oracle
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/riscv"
+)
+
+// runPair assembles src and runs it to completion on both engines
+// independently, so tests can assert the spec-mandated architectural result
+// on each engine directly (the lockstep comparison would only prove they
+// agree — both could be wrong together).
+func runPair(t *testing.T, src string) (*emu.CPU, *Ref) {
+	t.Helper()
+	f, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	cpu, err := emu.New(f, nil)
+	if err != nil {
+		t.Fatalf("emu.New: %v", err)
+	}
+	if stop := cpu.Run(100_000); stop != emu.StopExit {
+		t.Fatalf("fast engine stopped with %v (%v)", stop, cpu.LastTrap())
+	}
+	ref, err := NewRef(f)
+	if err != nil {
+		t.Fatalf("NewRef: %v", err)
+	}
+	for i := 0; i < 100_000; i++ {
+		res, err := ref.Step()
+		if err != nil {
+			t.Fatalf("reference trapped: %v", err)
+		}
+		if res == StepExited {
+			return cpu, ref
+		}
+	}
+	t.Fatal("reference engine did not exit")
+	return nil, nil
+}
+
+func checkRegs(t *testing.T, cpu *emu.CPU, ref *Ref, checks []struct {
+	reg  riscv.Reg
+	want uint64
+}) {
+	t.Helper()
+	for _, c := range checks {
+		i := uint32(c.reg)
+		if got := cpu.X[i]; got != c.want {
+			t.Errorf("fast engine %v = %#x, want %#x", c.reg, got, c.want)
+		}
+		if got := ref.X[i]; got != c.want {
+			t.Errorf("reference engine %v = %#x, want %#x", c.reg, got, c.want)
+		}
+	}
+}
+
+// TestDivRemCornersBothEngines pins the RISC-V division special cases —
+// divide-by-zero never traps (quotient all-ones, remainder = dividend) and
+// the lone signed overflow MinInt/-1 wraps — on both engines, in both the
+// 64-bit and the word forms.
+func TestDivRemCornersBothEngines(t *testing.T) {
+	src := `
+	.text
+	.globl _start
+_start:
+	li t0, -9223372036854775808
+	li t1, -1
+	div s2, t0, t1
+	rem s3, t0, t1
+	li t2, 0
+	div s4, t0, t2
+	rem s5, t0, t2
+	divu s6, t0, t2
+	remu s7, t0, t2
+	li t3, -2147483648
+	divw s8, t3, t1
+	remw s9, t3, t1
+	divuw s10, t3, t2
+	remuw s11, t3, t2
+	li a0, 0
+	li a7, 93
+	ecall
+`
+	cpu, ref := runPair(t, src)
+	checkRegs(t, cpu, ref, []struct {
+		reg  riscv.Reg
+		want uint64
+	}{
+		{riscv.RegS2, 1 << 63},             // MinInt64 / -1 overflows back to MinInt64
+		{riscv.RegS3, 0},                   // MinInt64 % -1 = 0
+		{riscv.RegS4, ^uint64(0)},          // signed div by zero = -1
+		{riscv.RegS5, 1 << 63},             // signed rem by zero = dividend
+		{riscv.RegS6, ^uint64(0)},          // unsigned div by zero = all ones
+		{riscv.RegS7, 1 << 63},             // unsigned rem by zero = dividend
+		{riscv.RegS8, 0xffffffff80000000},  // MinInt32 / -1, sign-extended
+		{riscv.RegS9, 0},                   // MinInt32 % -1 = 0
+		{riscv.RegS10, ^uint64(0)},         // divuw by zero
+		{riscv.RegS11, 0xffffffff80000000}, // remuw by zero = zext32 dividend, sign-extended
+	})
+}
+
+// TestAMOWordCornersBothEngines pins the subtle half of the word AMOs: the
+// old value loaded into rd is sign-extended even for the unsigned min/max
+// flavours, and the min/max comparison itself is on the 32-bit value.
+func TestAMOWordCornersBothEngines(t *testing.T) {
+	src := `
+	.text
+	.globl _start
+_start:
+	la t0, buf
+	li t1, -1
+	sw t1, 0(t0)
+	li t2, 1
+	amoadd.w s2, t2, (t0)     # old 0xffffffff -> rd sign-extends to -1; mem wraps to 0
+	lw s3, 0(t0)
+
+	addi t0, t0, 8
+	li t3, -2147483648
+	sw t3, 0(t0)
+	li t4, 5
+	amomax.w s4, t4, (t0)     # old MinInt32 -> rd 0xffffffff80000000; signed max keeps 5
+	lw s5, 0(t0)
+
+	addi t0, t0, 8
+	li t5, 0x80000000
+	sw t5, 0(t0)
+	li t6, 1
+	amomaxu.w s6, t6, (t0)    # unsigned: 0x80000000 > 1, mem unchanged; rd still sign-extends
+	lw s7, 0(t0)
+
+	addi t0, t0, 8
+	li t1, 0x7fffffff
+	sw t1, 0(t0)
+	li t2, -1
+	amomin.w s8, t2, (t0)     # signed min picks -1
+	lw s9, 0(t0)
+
+	addi t0, t0, 8
+	li t3, -2
+	sw t3, 0(t0)
+	li t4, 3
+	amoswap.w s10, t4, (t0)
+	lw s11, 0(t0)
+
+	li a0, 0
+	li a7, 93
+	ecall
+
+	.data
+	.balign 8
+buf:
+	.zero 64
+`
+	cpu, ref := runPair(t, src)
+	checkRegs(t, cpu, ref, []struct {
+		reg  riscv.Reg
+		want uint64
+	}{
+		{riscv.RegS2, ^uint64(0)},          // amoadd.w old value, sign-extended
+		{riscv.RegS3, 0},                   // 0xffffffff + 1 wraps to 0 in 32 bits
+		{riscv.RegS4, 0xffffffff80000000},  // amomax.w old value
+		{riscv.RegS5, 5},                   // max(MinInt32, 5) = 5
+		{riscv.RegS6, 0xffffffff80000000},  // amomaxu.w old value still sign-extends into rd
+		{riscv.RegS7, 0xffffffff80000000},  // maxu(0x80000000, 1) keeps 0x80000000 (lw sign-extends)
+		{riscv.RegS8, 0x7fffffff},          // amomin.w old value
+		{riscv.RegS9, ^uint64(0)},          // min(0x7fffffff, -1) = -1
+		{riscv.RegS10, 0xfffffffffffffffe}, // amoswap.w old value -2
+		{riscv.RegS11, 3},
+	})
+}
+
+// TestLrScBothEngines: a successful LR/SC pair writes memory and returns 0;
+// an SC with no reservation fails, returns non-zero, and leaves memory alone.
+func TestLrScBothEngines(t *testing.T) {
+	src := `
+	.text
+	.globl _start
+_start:
+	la t0, buf
+	li t1, 77
+	sd t1, 0(t0)
+	lr.d s2, (t0)             # s2 = 77, reservation set
+	li t2, 88
+	sc.d s3, t2, (t0)         # succeeds: s3 = 0, mem = 88
+	ld s4, 0(t0)
+	li t3, 99
+	sc.d s5, t3, (t0)         # no reservation: fails, s5 != 0, mem still 88
+	ld s6, 0(t0)
+	li a0, 0
+	li a7, 93
+	ecall
+
+	.data
+	.balign 8
+buf:
+	.zero 16
+`
+	cpu, ref := runPair(t, src)
+	checkRegs(t, cpu, ref, []struct {
+		reg  riscv.Reg
+		want uint64
+	}{
+		{riscv.RegS2, 77},
+		{riscv.RegS3, 0},
+		{riscv.RegS4, 88},
+		{riscv.RegS5, 1},
+		{riscv.RegS6, 88},
+	})
+}

@@ -1,0 +1,173 @@
+package oracle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/core"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/snippet"
+)
+
+// Instrumentation equivalence: the paper's implicit correctness contract is
+// that inserting a snippet changes nothing about the program except the
+// snippet's own effect. With the identity snippet (zero instructions) the
+// effect is empty, so the original and the rewritten binary must be
+// observationally indistinguishable — same exit code, same output, same
+// syscall trace, same final contents of the program's own writable memory.
+// Everything the rewriter does (relocation, entry patching, jump-table
+// repointing) is on trial; the virtual clock is pinned so that the only
+// legitimate difference between the runs, timing, is neutralised.
+
+// SyscallRecord is one serviced syscall in an observed run.
+type SyscallRecord struct {
+	Num, A0, A1, A2, Ret uint64
+}
+
+// Observation captures everything externally visible about one run.
+type Observation struct {
+	ExitCode int
+	Stdout   []byte
+	Trace    []SyscallRecord
+	MemHash  [sha256.Size]byte // hash of the watched sections' final bytes
+	Steps    uint64
+}
+
+// pinnedClock is the fixed virtual time both equivalence runs observe.
+const pinnedClock = 1_000_000_007
+
+// Observe runs f to completion under a pinned virtual clock, hashing the
+// final contents of the watch sections (address ranges from the *original*
+// binary, so original and instrumented runs hash the same region).
+func Observe(f *elfrv.File, watch []*elfrv.Section, maxInst uint64) (*Observation, error) {
+	cpu, err := emu.New(f, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	obs := &Observation{}
+	cpu.Stdout = &out
+	cpu.TimeFn = func() uint64 { return pinnedClock }
+	cpu.SyscallTrace = func(num, a0, a1, a2, ret uint64) {
+		obs.Trace = append(obs.Trace, SyscallRecord{num, a0, a1, a2, ret})
+	}
+	if maxInst == 0 {
+		maxInst = 1 << 26
+	}
+	if stop := cpu.Run(maxInst); stop != emu.StopExit {
+		return nil, fmt.Errorf("oracle: run stopped with %v (%v)", stop, cpu.LastTrap())
+	}
+	h := sha256.New()
+	for _, s := range watch {
+		b, err := cpu.ReadMem(s.Addr, int(s.Size()))
+		if err != nil {
+			return nil, fmt.Errorf("oracle: hashing %s: %w", s.Name, err)
+		}
+		h.Write(b)
+	}
+	copy(obs.MemHash[:], h.Sum(nil))
+	obs.ExitCode = cpu.ExitCode
+	obs.Stdout = out.Bytes()
+	obs.Steps = cpu.Instret
+	return obs, nil
+}
+
+// WritableSections returns f's writable alloc sections — the program's own
+// mutable memory, excluding anything the rewriter appends (.dyninst.*).
+func WritableSections(f *elfrv.File) []*elfrv.Section {
+	var out []*elfrv.Section
+	for _, s := range f.Sections {
+		if s.Flags&elfrv.SHFAlloc != 0 && s.Flags&elfrv.SHFWrite != 0 && s.Size() > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EquivReport summarises a passing equivalence check.
+type EquivReport struct {
+	Funcs      []string
+	Points     int // instrumentation points inserted
+	ExitCode   int
+	OrigSteps  uint64
+	InstrSteps uint64
+}
+
+// CheckEquivalence rewrites f with the identity snippet at the entry and
+// every basic block of the named functions, runs both binaries, and returns
+// an error describing the first observable difference (nil report) or a
+// passing report (nil error).
+func CheckEquivalence(f *elfrv.File, funcs []string, mode codegen.Mode) (*EquivReport, error) {
+	bin, err := core.FromFile(f)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: analyze: %w", err)
+	}
+	m := bin.NewMutator(mode)
+	points := 0
+	for _, name := range funcs {
+		fn, err := bin.FindFunction(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.AtFuncEntry(fn, snippet.Empty()); err != nil {
+			return nil, fmt.Errorf("oracle: instrument %s entry: %w", name, err)
+		}
+		points++
+		if err := m.AtBlockEntries(fn, snippet.Empty()); err != nil {
+			return nil, fmt.Errorf("oracle: instrument %s blocks: %w", name, err)
+		}
+		points += len(fn.Blocks)
+	}
+	instrumented, err := m.Rewrite()
+	if err != nil {
+		return nil, fmt.Errorf("oracle: rewrite: %w", err)
+	}
+	watch := WritableSections(f)
+	orig, err := Observe(f, watch, 0)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: original run: %w", err)
+	}
+	instr, err := Observe(instrumented, watch, 0)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: instrumented run: %w", err)
+	}
+	if err := compareObservations(orig, instr); err != nil {
+		return nil, err
+	}
+	return &EquivReport{
+		Funcs:      funcs,
+		Points:     points,
+		ExitCode:   orig.ExitCode,
+		OrigSteps:  orig.Steps,
+		InstrSteps: instr.Steps,
+	}, nil
+}
+
+func compareObservations(orig, instr *Observation) error {
+	if orig.ExitCode != instr.ExitCode {
+		return fmt.Errorf("oracle: exit code diverged: original %d, instrumented %d",
+			orig.ExitCode, instr.ExitCode)
+	}
+	if !bytes.Equal(orig.Stdout, instr.Stdout) {
+		return fmt.Errorf("oracle: stdout diverged: original %q, instrumented %q",
+			orig.Stdout, instr.Stdout)
+	}
+	if len(orig.Trace) != len(instr.Trace) {
+		return fmt.Errorf("oracle: syscall trace length diverged: original %d, instrumented %d",
+			len(orig.Trace), len(instr.Trace))
+	}
+	for i := range orig.Trace {
+		if orig.Trace[i] != instr.Trace[i] {
+			return fmt.Errorf("oracle: syscall %d diverged: original %+v, instrumented %+v",
+				i, orig.Trace[i], instr.Trace[i])
+		}
+	}
+	if orig.MemHash != instr.MemHash {
+		return fmt.Errorf("oracle: final memory hash diverged: original %x, instrumented %x",
+			orig.MemHash[:8], instr.MemHash[:8])
+	}
+	return nil
+}

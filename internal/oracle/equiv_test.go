@@ -1,0 +1,63 @@
+package oracle
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/workload"
+)
+
+// TestInstrumentationEquivalence rewrites every workload with the identity
+// snippet at each listed function's entry and at every basic block, then
+// demands the instrumented binary be observationally identical to the
+// original: exit code, stdout, syscall trace, and the final contents of the
+// program's own writable memory.
+func TestInstrumentationEquivalence(t *testing.T) {
+	for _, p := range workload.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			f, err := asm.Assemble(p.Source, asm.Options{})
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			rep, err := CheckEquivalence(f, p.Funcs, codegen.ModeDeadRegister)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ExitCode != p.ExitCode {
+				t.Fatalf("exit code = %d, want %d", rep.ExitCode, p.ExitCode)
+			}
+			if rep.Points < 2 {
+				t.Fatalf("only %d instrumentation points inserted — check is vacuous", rep.Points)
+			}
+			t.Logf("points=%d exit=%d orig=%d instr=%d steps",
+				rep.Points, rep.ExitCode, rep.OrigSteps, rep.InstrSteps)
+		})
+	}
+}
+
+// TestInstrumentationEquivalenceSpillMode repeats the check under the
+// always-spill code generator, which emits a different (larger) trampoline
+// shape around each point.
+func TestInstrumentationEquivalenceSpillMode(t *testing.T) {
+	for _, p := range workload.Programs() {
+		if p.Name != "matmul" && p.Name != "fib" && p.Name != "jumptable" {
+			continue
+		}
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			f, err := asm.Assemble(p.Source, asm.Options{})
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			rep, err := CheckEquivalence(f, p.Funcs, codegen.ModeSpillAlways)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ExitCode != p.ExitCode {
+				t.Fatalf("exit code = %d, want %d", rep.ExitCode, p.ExitCode)
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package oracle
+
+import "testing"
+
+// FuzzLockstep feeds generator seeds through the differential oracle. The
+// fuzzer mutates (seed, length) pairs; every pair must assemble, run on both
+// engines without divergence, and stop cleanly. The committed corpus under
+// testdata/fuzz/FuzzLockstep also runs as ordinary sub-tests of `go test`.
+func FuzzLockstep(f *testing.F) {
+	f.Add(int64(1), uint16(150))
+	f.Add(int64(2), uint16(300))
+	f.Add(int64(77), uint16(60))
+	f.Add(int64(123456789), uint16(220))
+	f.Add(int64(-1), uint16(100))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16) {
+		// Clamp the body length: long enough to hit every generator
+		// production, short enough to keep the fuzzing loop fast.
+		length := int(n)%400 + 20
+		res, div, err := LockstepSeed(seed, length)
+		if err != nil {
+			t.Fatalf("seed %d len %d: %v", seed, length, err)
+		}
+		if div != nil {
+			t.Fatalf("seed %d len %d diverged:\n%v", seed, length, div)
+		}
+		if res.Stop == "trap" {
+			t.Fatalf("seed %d len %d: generated program trapped after %d steps",
+				seed, length, res.Steps)
+		}
+	})
+}

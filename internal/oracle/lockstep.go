@@ -1,0 +1,292 @@
+package oracle
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/riscv"
+)
+
+// historyDepth is how many disassembled instructions a divergence report
+// carries as context.
+const historyDepth = 8
+
+// Divergence describes the first architectural-state mismatch between the
+// fast engine and the reference interpreter. Seed is the generator seed when
+// the program came from GenerateProgram (-1 otherwise); everything else
+// identifies the exact instruction and the first field that disagreed.
+type Divergence struct {
+	Seed   int64
+	Step   uint64 // instructions retired before the diverging one
+	PC     uint64
+	Disasm string
+	Field  string // "pc", "x10/a0", "f4/ft4", "fcsr", "mem[0x...]", "exit", ...
+	Fast   uint64
+	Ref    uint64
+	// History holds up to historyDepth disassembled instructions leading to
+	// (and including) the diverging one, oldest first.
+	History []string
+}
+
+// Error renders the full report; Divergence satisfies error so callers can
+// thread it through normal error paths.
+func (d *Divergence) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle: divergence at step %d, pc=%#x\n", d.Step, d.PC)
+	fmt.Fprintf(&b, "  inst:  %s\n", d.Disasm)
+	fmt.Fprintf(&b, "  field: %s\n", d.Field)
+	fmt.Fprintf(&b, "  fast:  %#x\n", d.Fast)
+	fmt.Fprintf(&b, "  ref:   %#x\n", d.Ref)
+	if d.Seed >= 0 {
+		fmt.Fprintf(&b, "  seed:  %d (reproduce: rvdyn oracle -mode replay -seed %d)\n", d.Seed, d.Seed)
+	}
+	if len(d.History) > 0 {
+		b.WriteString("  recent:\n")
+		for _, h := range d.History {
+			fmt.Fprintf(&b, "    %s\n", h)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// LockstepResult summarises a clean lockstep run.
+type LockstepResult struct {
+	Steps    uint64
+	ExitCode int
+	Stop     string // "exit", "breakpoint", "trap", or "max-inst"
+	Stdout   []byte
+}
+
+// RunLockstep executes f on both engines, comparing PC, the integer and FP
+// register files, and FCSR after every instruction, plus the touched bytes
+// after every store. On a clean stop it additionally compares exit state,
+// captured stdout, and the entire final memory image. maxInst of 0 means
+// the default budget of 1<<20 instructions.
+//
+// The reference interpreter steps first each iteration, with its clock and
+// cycle counter wired to read the fast CPU's counters before the fast CPU
+// retires the same instruction — both engines therefore observe identical
+// counter values, and any surviving mismatch is a genuine semantics bug.
+func RunLockstep(f *elfrv.File, maxInst uint64) (*LockstepResult, *Divergence, error) {
+	if maxInst == 0 {
+		maxInst = 1 << 20
+	}
+	cpu, err := emu.New(f, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle: fast engine: %w", err)
+	}
+	ref, err := NewRef(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("oracle: reference engine: %w", err)
+	}
+	var fastOut, refOut bytes.Buffer
+	cpu.Stdout = &fastOut
+	ref.Stdout = &refOut
+	ref.TimeFn = cpu.VirtualNanos
+	ref.CycleFn = func() uint64 { return cpu.Cycles }
+
+	ls := &lockstep{cpu: cpu, ref: ref, seed: -1}
+	res, div := ls.run(maxInst)
+	if div == nil && res != nil {
+		if !bytes.Equal(fastOut.Bytes(), refOut.Bytes()) {
+			div = ls.diverge("stdout", uint64(fastOut.Len()), uint64(refOut.Len()))
+		}
+		res.Stdout = fastOut.Bytes()
+	}
+	return res, div, nil
+}
+
+type lockstep struct {
+	cpu     *emu.CPU
+	ref     *Ref
+	seed    int64
+	steps   uint64
+	history []string
+	lastPC  uint64
+	lastDis string
+}
+
+func (l *lockstep) diverge(field string, fast, ref uint64) *Divergence {
+	return &Divergence{
+		Seed:    l.seed,
+		Step:    l.steps,
+		PC:      l.lastPC,
+		Disasm:  l.lastDis,
+		Field:   field,
+		Fast:    fast,
+		Ref:     ref,
+		History: append([]string(nil), l.history...),
+	}
+}
+
+func (l *lockstep) note(inst riscv.Inst) {
+	l.lastPC = inst.Addr
+	l.lastDis = inst.String()
+	line := fmt.Sprintf("%#x: %s", inst.Addr, inst)
+	if len(l.history) == historyDepth {
+		copy(l.history, l.history[1:])
+		l.history[historyDepth-1] = line
+	} else {
+		l.history = append(l.history, line)
+	}
+}
+
+// storeSpan returns the memory span inst will write given the reference
+// engine's pre-step register state (width 0 when inst is not a store).
+func (l *lockstep) storeSpan(inst riscv.Inst) (addr uint64, width int) {
+	rs1 := l.ref.X[inst.Rs1&31]
+	switch inst.Mn {
+	case riscv.MnSB:
+		return rs1 + uint64(inst.Imm), 1
+	case riscv.MnSH:
+		return rs1 + uint64(inst.Imm), 2
+	case riscv.MnSW, riscv.MnFSW:
+		return rs1 + uint64(inst.Imm), 4
+	case riscv.MnSD, riscv.MnFSD:
+		return rs1 + uint64(inst.Imm), 8
+	case riscv.MnSCW:
+		return rs1, 4
+	case riscv.MnSCD:
+		return rs1, 8
+	case riscv.MnAMOSWAPW, riscv.MnAMOADDW, riscv.MnAMOXORW, riscv.MnAMOANDW,
+		riscv.MnAMOORW, riscv.MnAMOMINW, riscv.MnAMOMAXW, riscv.MnAMOMINUW, riscv.MnAMOMAXUW:
+		return rs1, 4
+	case riscv.MnAMOSWAPD, riscv.MnAMOADDD, riscv.MnAMOXORD, riscv.MnAMOANDD,
+		riscv.MnAMOORD, riscv.MnAMOMIND, riscv.MnAMOMAXD, riscv.MnAMOMINUD, riscv.MnAMOMAXUD:
+		return rs1, 8
+	}
+	return 0, 0
+}
+
+func (l *lockstep) run(maxInst uint64) (*LockstepResult, *Divergence) {
+	for l.steps = 0; l.steps < maxInst; l.steps++ {
+		inst, ferr := l.ref.fetch()
+		if ferr == nil {
+			l.note(inst)
+		} else {
+			l.lastPC, l.lastDis = l.ref.PC, "<fetch fault>"
+		}
+		var stAddr uint64
+		var stWidth int
+		if ferr == nil {
+			stAddr, stWidth = l.storeSpan(inst)
+		}
+
+		refRes, refErr := l.ref.Step()
+		fastStop := l.cpu.Run(1)
+
+		switch {
+		case refRes == StepBreakpoint:
+			if fastStop != emu.StopBreakpoint {
+				return nil, l.diverge("stop: ref=breakpoint fast="+fastStop.String(), uint64(fastStop), 0)
+			}
+			if d := l.compareState(); d != nil {
+				return nil, d
+			}
+			if d := l.compareMemory(); d != nil {
+				return nil, d
+			}
+			return &LockstepResult{Steps: l.steps, Stop: "breakpoint"}, nil
+		case refErr != nil:
+			// The reference trapped; the fast engine must trap at the same
+			// instruction. Agreement on the trap is a clean (if abnormal)
+			// stop — the program is at fault, not the engines.
+			if fastStop != emu.StopTrap {
+				return nil, l.diverge("trap: ref trapped, fast="+fastStop.String(), uint64(fastStop), 0)
+			}
+			return &LockstepResult{Steps: l.steps, Stop: "trap"}, nil
+		case fastStop == emu.StopTrap:
+			return nil, l.diverge("trap: fast trapped, ref did not", 0, 0)
+		case refRes == StepExited:
+			if fastStop != emu.StopExit {
+				return nil, l.diverge("stop: ref=exit fast="+fastStop.String(), uint64(fastStop), 0)
+			}
+			if l.cpu.ExitCode != l.ref.ExitCode {
+				return nil, l.diverge("exit", uint64(l.cpu.ExitCode), uint64(l.ref.ExitCode))
+			}
+			if d := l.compareMemory(); d != nil {
+				return nil, d
+			}
+			return &LockstepResult{Steps: l.steps + 1, ExitCode: l.cpu.ExitCode, Stop: "exit"}, nil
+		case fastStop == emu.StopExit:
+			return nil, l.diverge("stop: fast=exit ref=running", uint64(l.cpu.ExitCode), 0)
+		}
+
+		if d := l.compareState(); d != nil {
+			return nil, d
+		}
+		if stWidth > 0 {
+			fb, ferr := l.cpu.ReadMem(stAddr, stWidth)
+			rb, rerr := l.ref.ReadMem(stAddr, stWidth)
+			if ferr == nil && rerr == nil && !bytes.Equal(fb, rb) {
+				return nil, l.diverge(fmt.Sprintf("mem[%#x]", stAddr), leVal(fb), leVal(rb))
+			}
+		}
+	}
+	return &LockstepResult{Steps: l.steps, Stop: "max-inst"}, nil
+}
+
+func (l *lockstep) compareState() *Divergence {
+	if l.cpu.PC != l.ref.PC {
+		return l.diverge("pc", l.cpu.PC, l.ref.PC)
+	}
+	for i := 1; i < 32; i++ {
+		if l.cpu.X[i] != l.ref.X[i] {
+			return l.diverge(fmt.Sprintf("x%d/%s", i, riscv.XReg(uint32(i))), l.cpu.X[i], l.ref.X[i])
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if l.cpu.F[i] != l.ref.F[i] {
+			return l.diverge(fmt.Sprintf("f%d/%s", i, riscv.FReg(uint32(i))), l.cpu.F[i], l.ref.F[i])
+		}
+	}
+	if l.cpu.FCSR != l.ref.FCSR {
+		return l.diverge("fcsr", uint64(l.cpu.FCSR), uint64(l.ref.FCSR))
+	}
+	return nil
+}
+
+// compareMemory walks the union of both engines' page sets and reports the
+// first differing byte.
+func (l *lockstep) compareMemory() *Divergence {
+	pages := make(map[uint64]bool)
+	for _, a := range l.cpu.Mem.PageAddrs() {
+		pages[a] = true
+	}
+	for idx := range l.ref.mem.pages {
+		pages[idx*refPageSize] = true
+	}
+	addrs := make([]uint64, 0, len(pages))
+	for a := range pages {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fp := l.cpu.Mem.Page(a)
+		rp := l.ref.mem.page(a, false)
+		switch {
+		case fp == nil:
+			return l.diverge(fmt.Sprintf("page[%#x] mapped only in ref engine", a), 0, 1)
+		case rp == nil:
+			return l.diverge(fmt.Sprintf("page[%#x] mapped only in fast engine", a), 1, 0)
+		}
+		for i := range fp {
+			if fp[i] != rp[i] {
+				return l.diverge(fmt.Sprintf("mem[%#x]", a+uint64(i)), uint64(fp[i]), uint64(rp[i]))
+			}
+		}
+	}
+	return nil
+}
+
+func leVal(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

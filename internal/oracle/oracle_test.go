@@ -1,0 +1,124 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/workload"
+)
+
+// TestOracleSweep is the headline differential test: run generated programs
+// on both engines in lockstep until at least 10,000 instructions have been
+// compared, demanding zero divergences. Every program must stop cleanly
+// (exit or hit the instruction budget) — a trap would mean the generator
+// produced an unsound program.
+func TestOracleSweep(t *testing.T) {
+	const wantSteps = 12_000
+	bodyLen := 300
+	if testing.Short() {
+		bodyLen = 150
+	}
+	var total uint64
+	exits := 0
+	seeds := 0
+	for seed := int64(1); total < wantSteps; seed++ {
+		if seed > 500 {
+			t.Fatalf("needed more than 500 seeds to reach %d steps (got %d)", wantSteps, total)
+		}
+		res, div, err := LockstepSeed(seed, bodyLen)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if div != nil {
+			t.Fatalf("seed %d diverged:\n%v", seed, div)
+		}
+		if res.Stop == "trap" {
+			t.Fatalf("seed %d: generated program trapped after %d steps", seed, res.Steps)
+		}
+		total += res.Steps
+		seeds++
+		if res.Stop == "exit" {
+			exits++
+		}
+	}
+	t.Logf("lockstep: %d instructions across %d seeds, %d clean exits, 0 divergences",
+		total, seeds, exits)
+}
+
+// TestLockstepWorkloads runs every hand-written workload binary in lockstep:
+// real structured programs (calls, loops, jump tables, FP arithmetic) rather
+// than generator soup.
+func TestLockstepWorkloads(t *testing.T) {
+	for _, p := range workload.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			f, err := asm.Assemble(p.Source, asm.Options{})
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			res, div, err := RunLockstep(f, 1<<22)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if div != nil {
+				t.Fatalf("divergence:\n%v", div)
+			}
+			if res.Stop != "exit" {
+				t.Fatalf("stop = %q after %d steps, want exit", res.Stop, res.Steps)
+			}
+			if res.ExitCode != p.ExitCode {
+				t.Fatalf("exit code = %d, want %d", res.ExitCode, p.ExitCode)
+			}
+		})
+	}
+}
+
+// TestGeneratorDeterministic: the same seed must yield byte-identical
+// programs (replay depends on it), and different seeds must differ.
+func TestGeneratorDeterministic(t *testing.T) {
+	a := GenerateProgram(42, 200)
+	b := GenerateProgram(42, 200)
+	if a != b {
+		t.Fatal("GenerateProgram(42, 200) is not deterministic")
+	}
+	if c := GenerateProgram(43, 200); c == a {
+		t.Fatal("seeds 42 and 43 generated identical programs")
+	}
+	if !strings.Contains(a, "ecall") {
+		t.Fatal("generated program has no ecall terminator")
+	}
+}
+
+// TestDivergenceReport checks the report format carries everything needed to
+// reproduce and localise a mismatch: seed, step, PC, disassembly, the field
+// name, both values, and recent history.
+func TestDivergenceReport(t *testing.T) {
+	d := &Divergence{
+		Seed:   7,
+		Step:   123,
+		PC:     0x104a2,
+		Disasm: "add a0, a1, a2",
+		Field:  "x10/a0",
+		Fast:   0xdead,
+		Ref:    0xbeef,
+		History: []string{
+			"0x1049e: li a1, 1",
+			"0x104a2: add a0, a1, a2",
+		},
+	}
+	msg := d.Error()
+	for _, want := range []string{
+		"step 123", "pc=0x104a2", "add a0, a1, a2", "x10/a0",
+		"0xdead", "0xbeef", "seed:  7", "-seed 7", "recent:", "li a1, 1",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("report missing %q:\n%s", want, msg)
+		}
+	}
+	// Non-generated programs have no seed to replay.
+	d.Seed = -1
+	if strings.Contains(d.Error(), "reproduce") {
+		t.Error("seedless report should not carry a replay hint")
+	}
+}

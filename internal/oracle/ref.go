@@ -1,0 +1,720 @@
+// Package oracle is rvdyn's differential-testing subsystem. The fast
+// emulator (internal/emu) carries a decode cache and cost-model fast paths,
+// which makes it a poor witness for its own correctness: a shared bug in
+// encode+decode, or a stale cache entry after patching, is invisible to any
+// test that only consults the fast engine. This package supplies the second
+// opinion:
+//
+//   - Ref, a deliberately simple, cache-free reference interpreter for
+//     RV64GC that shares only internal/riscv decoding with the fast CPU;
+//   - RunLockstep, which executes one binary on both engines and compares
+//     architectural state after every instruction;
+//   - GenerateProgram, a constrained random program generator feeding the
+//     seeded sweep and the FuzzLockstep fuzz target;
+//   - CheckEquivalence, which rewrites a workload with an identity snippet
+//     and asserts the instrumented binary is observationally equivalent to
+//     the original (exit code, output, syscall trace, final memory).
+package oracle
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/riscv"
+)
+
+// Ref is the reference interpreter: one RV64GC hart plus minimal process
+// state. Every step fetches from memory and decodes afresh — no instruction
+// cache, no cost model, no fast paths. Semantics are written directly from
+// the ISA manual (M-extension high products go through math/big) so that
+// agreement with the fast engine is evidence, not tautology.
+type Ref struct {
+	X  [32]uint64
+	F  [32]uint64
+	PC uint64
+
+	FCSR uint32
+
+	Exited   bool
+	ExitCode int
+	Instret  uint64
+
+	Stdout io.Writer
+
+	// TimeFn supplies the virtual clock for clock_gettime/gettimeofday and
+	// the time CSR; CycleFn supplies the cycle CSR. The reference engine has
+	// no cost model of its own, so both counters are environment inputs —
+	// the lockstep runner wires them to the fast CPU's counters, and the
+	// equivalence oracle pins them to a fixed clock. When nil they read 0.
+	TimeFn  func() uint64
+	CycleFn func() uint64
+
+	mem      refMem
+	resValid bool
+	resAddr  uint64
+	brk      uint64
+	mmapNext uint64
+}
+
+// StepResult says how a Step ended.
+type StepResult int
+
+const (
+	StepOK         StepResult = iota
+	StepExited                // the program called exit/exit_group
+	StepBreakpoint            // PC sits on an ebreak (not executed)
+)
+
+const refPageSize = 4096
+
+// refMem is a flat paged store with no lookup cache — byte loops only.
+type refMem struct {
+	pages map[uint64]*[refPageSize]byte
+}
+
+func (m *refMem) page(addr uint64, create bool) *[refPageSize]byte {
+	idx := addr / refPageSize
+	p := m.pages[idx]
+	if p == nil && create {
+		p = new([refPageSize]byte)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+func (m *refMem) mapRange(addr, size uint64) {
+	for a := addr - addr%refPageSize; a < addr+size; a += refPageSize {
+		m.page(a, true)
+	}
+}
+
+func (m *refMem) read(addr uint64, dst []byte) error {
+	for i := range dst {
+		p := m.page(addr+uint64(i), false)
+		if p == nil {
+			return fmt.Errorf("oracle: ref read fault at %#x", addr+uint64(i))
+		}
+		dst[i] = p[(addr+uint64(i))%refPageSize]
+	}
+	return nil
+}
+
+func (m *refMem) write(addr uint64, src []byte) error {
+	for i := range src {
+		p := m.page(addr+uint64(i), false)
+		if p == nil {
+			return fmt.Errorf("oracle: ref write fault at %#x", addr+uint64(i))
+		}
+		p[(addr+uint64(i))%refPageSize] = src[i]
+	}
+	return nil
+}
+
+func (m *refMem) load(addr uint64, n int) (uint64, error) {
+	var b [8]byte
+	if err := m.read(addr, b[:n]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v, nil
+}
+
+func (m *refMem) store(addr uint64, v uint64, n int) error {
+	var b [8]byte
+	for i := 0; i < n; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return m.write(addr, b[:n])
+}
+
+// NewRef loads the ELF image and establishes the same process layout the
+// fast engine uses (stack placement, entry PC, initial sp, program break).
+func NewRef(f *elfrv.File) (*Ref, error) {
+	r := &Ref{
+		Stdout:   io.Discard,
+		mmapNext: emu.MmapBase,
+	}
+	r.mem.pages = make(map[uint64]*[refPageSize]byte)
+	var end uint64
+	for _, s := range f.Sections {
+		if s.Flags&elfrv.SHFAlloc == 0 || s.Size() == 0 {
+			continue
+		}
+		r.mem.mapRange(s.Addr, s.Size())
+		if s.Type != elfrv.SHTNobits {
+			if err := r.mem.write(s.Addr, s.Data); err != nil {
+				return nil, err
+			}
+		}
+		if s.Addr+s.Size() > end {
+			end = s.Addr + s.Size()
+		}
+	}
+	r.mem.mapRange(emu.StackTop-emu.StackSize, emu.StackSize+refPageSize)
+	r.PC = f.Entry
+	r.X[riscv.RegSP] = emu.StackTop - 64
+	r.brk = (end + refPageSize - 1) &^ (refPageSize - 1)
+	return r, nil
+}
+
+// ReadMem reads n bytes of process memory.
+func (r *Ref) ReadMem(addr uint64, n int) ([]byte, error) {
+	b := make([]byte, n)
+	if err := r.mem.read(addr, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Step fetches, decodes, and executes exactly one instruction.
+func (r *Ref) Step() (StepResult, error) {
+	if r.Exited {
+		return StepExited, nil
+	}
+	inst, err := r.fetch()
+	if err != nil {
+		return StepOK, err
+	}
+	if inst.Mn == riscv.MnEBREAK {
+		return StepBreakpoint, nil
+	}
+	exited, err := r.exec(inst)
+	if err != nil {
+		return StepOK, fmt.Errorf("oracle: ref at pc=%#x executing %v: %w", inst.Addr, inst, err)
+	}
+	if exited {
+		return StepExited, nil
+	}
+	return StepOK, nil
+}
+
+func (r *Ref) fetch() (riscv.Inst, error) {
+	var buf [4]byte
+	if err := r.mem.read(r.PC, buf[:2]); err != nil {
+		return riscv.Inst{}, err
+	}
+	n := 2
+	if buf[0]&3 == 3 {
+		if err := r.mem.read(r.PC+2, buf[2:]); err != nil {
+			return riscv.Inst{}, err
+		}
+		n = 4
+	}
+	return riscv.Decode(buf[:n], r.PC)
+}
+
+func (r *Ref) setX(reg riscv.Reg, v uint64) {
+	if reg != riscv.X0 {
+		r.X[reg&31] = v
+	}
+}
+
+var bigWordMask = new(big.Int).SetUint64(^uint64(0))
+
+// hiProduct computes bits [127:64] of a*b through arbitrary-precision
+// arithmetic — an implementation path the fast engine does not share.
+func hiProduct(a, b *big.Int) uint64 {
+	p := new(big.Int).Mul(a, b)
+	p.Rsh(p, 64)
+	p.And(p, bigWordMask)
+	return p.Uint64()
+}
+
+func bigS(v uint64) *big.Int { return big.NewInt(int64(v)) }
+func bigU(v uint64) *big.Int { return new(big.Int).SetUint64(v) }
+
+func refSext32(v uint32) uint64 { return uint64(int64(int32(v))) }
+
+func refB2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (r *Ref) exec(inst riscv.Inst) (exited bool, err error) {
+	next := inst.Next()
+	mn := inst.Mn
+	rs1 := r.X[inst.Rs1&31]
+	rs2 := r.X[inst.Rs2&31]
+	imm := uint64(inst.Imm)
+
+	switch mn {
+	case riscv.MnLUI:
+		r.setX(inst.Rd, uint64(inst.Imm<<12))
+	case riscv.MnAUIPC:
+		r.setX(inst.Rd, inst.Addr+uint64(inst.Imm<<12))
+	case riscv.MnADDI:
+		r.setX(inst.Rd, rs1+imm)
+	case riscv.MnSLTI:
+		r.setX(inst.Rd, refB2u(int64(rs1) < inst.Imm))
+	case riscv.MnSLTIU:
+		r.setX(inst.Rd, refB2u(rs1 < imm))
+	case riscv.MnXORI:
+		r.setX(inst.Rd, rs1^imm)
+	case riscv.MnORI:
+		r.setX(inst.Rd, rs1|imm)
+	case riscv.MnANDI:
+		r.setX(inst.Rd, rs1&imm)
+	case riscv.MnSLLI:
+		r.setX(inst.Rd, rs1<<uint(inst.Imm&63))
+	case riscv.MnSRLI:
+		r.setX(inst.Rd, rs1>>uint(inst.Imm&63))
+	case riscv.MnSRAI:
+		r.setX(inst.Rd, uint64(int64(rs1)>>uint(inst.Imm&63)))
+	case riscv.MnADD:
+		r.setX(inst.Rd, rs1+rs2)
+	case riscv.MnSUB:
+		r.setX(inst.Rd, rs1-rs2)
+	case riscv.MnSLL:
+		r.setX(inst.Rd, rs1<<(rs2&63))
+	case riscv.MnSLT:
+		r.setX(inst.Rd, refB2u(int64(rs1) < int64(rs2)))
+	case riscv.MnSLTU:
+		r.setX(inst.Rd, refB2u(rs1 < rs2))
+	case riscv.MnXOR:
+		r.setX(inst.Rd, rs1^rs2)
+	case riscv.MnSRL:
+		r.setX(inst.Rd, rs1>>(rs2&63))
+	case riscv.MnSRA:
+		r.setX(inst.Rd, uint64(int64(rs1)>>(rs2&63)))
+	case riscv.MnOR:
+		r.setX(inst.Rd, rs1|rs2)
+	case riscv.MnAND:
+		r.setX(inst.Rd, rs1&rs2)
+	case riscv.MnADDIW:
+		r.setX(inst.Rd, refSext32(uint32(rs1)+uint32(imm)))
+	case riscv.MnSLLIW:
+		r.setX(inst.Rd, refSext32(uint32(rs1)<<uint(inst.Imm&31)))
+	case riscv.MnSRLIW:
+		r.setX(inst.Rd, refSext32(uint32(rs1)>>uint(inst.Imm&31)))
+	case riscv.MnSRAIW:
+		r.setX(inst.Rd, uint64(int64(int32(rs1)>>uint(inst.Imm&31))))
+	case riscv.MnADDW:
+		r.setX(inst.Rd, refSext32(uint32(rs1)+uint32(rs2)))
+	case riscv.MnSUBW:
+		r.setX(inst.Rd, refSext32(uint32(rs1)-uint32(rs2)))
+	case riscv.MnSLLW:
+		r.setX(inst.Rd, refSext32(uint32(rs1)<<(rs2&31)))
+	case riscv.MnSRLW:
+		r.setX(inst.Rd, refSext32(uint32(rs1)>>(rs2&31)))
+	case riscv.MnSRAW:
+		r.setX(inst.Rd, uint64(int64(int32(rs1)>>(rs2&31))))
+
+	case riscv.MnJAL:
+		r.setX(inst.Rd, next)
+		next = inst.Addr + imm
+	case riscv.MnJALR:
+		t := (rs1 + imm) &^ 1
+		r.setX(inst.Rd, next)
+		next = t
+	case riscv.MnBEQ:
+		if rs1 == rs2 {
+			next = inst.Addr + imm
+		}
+	case riscv.MnBNE:
+		if rs1 != rs2 {
+			next = inst.Addr + imm
+		}
+	case riscv.MnBLT:
+		if int64(rs1) < int64(rs2) {
+			next = inst.Addr + imm
+		}
+	case riscv.MnBGE:
+		if int64(rs1) >= int64(rs2) {
+			next = inst.Addr + imm
+		}
+	case riscv.MnBLTU:
+		if rs1 < rs2 {
+			next = inst.Addr + imm
+		}
+	case riscv.MnBGEU:
+		if rs1 >= rs2 {
+			next = inst.Addr + imm
+		}
+
+	case riscv.MnLB, riscv.MnLBU, riscv.MnLH, riscv.MnLHU, riscv.MnLW, riscv.MnLWU, riscv.MnLD:
+		width := 8
+		switch mn {
+		case riscv.MnLB, riscv.MnLBU:
+			width = 1
+		case riscv.MnLH, riscv.MnLHU:
+			width = 2
+		case riscv.MnLW, riscv.MnLWU:
+			width = 4
+		}
+		v, e := r.mem.load(rs1+imm, width)
+		if e != nil {
+			return false, e
+		}
+		switch mn {
+		case riscv.MnLB:
+			v = uint64(int64(int8(v)))
+		case riscv.MnLH:
+			v = uint64(int64(int16(v)))
+		case riscv.MnLW:
+			v = refSext32(uint32(v))
+		}
+		r.setX(inst.Rd, v)
+	case riscv.MnSB, riscv.MnSH, riscv.MnSW, riscv.MnSD:
+		width := 8
+		switch mn {
+		case riscv.MnSB:
+			width = 1
+		case riscv.MnSH:
+			width = 2
+		case riscv.MnSW:
+			width = 4
+		}
+		if e := r.mem.store(rs1+imm, rs2, width); e != nil {
+			return false, e
+		}
+
+	case riscv.MnMUL:
+		p := new(big.Int).Mul(bigU(rs1), bigU(rs2))
+		r.setX(inst.Rd, p.And(p, bigWordMask).Uint64())
+	case riscv.MnMULH:
+		r.setX(inst.Rd, hiProduct(bigS(rs1), bigS(rs2)))
+	case riscv.MnMULHU:
+		r.setX(inst.Rd, hiProduct(bigU(rs1), bigU(rs2)))
+	case riscv.MnMULHSU:
+		r.setX(inst.Rd, hiProduct(bigS(rs1), bigU(rs2)))
+	case riscv.MnDIV:
+		a, b := int64(rs1), int64(rs2)
+		switch {
+		case b == 0:
+			r.setX(inst.Rd, ^uint64(0))
+		case a == math.MinInt64 && b == -1:
+			r.setX(inst.Rd, uint64(a))
+		default:
+			r.setX(inst.Rd, uint64(a/b))
+		}
+	case riscv.MnDIVU:
+		if rs2 == 0 {
+			r.setX(inst.Rd, ^uint64(0))
+		} else {
+			r.setX(inst.Rd, rs1/rs2)
+		}
+	case riscv.MnREM:
+		a, b := int64(rs1), int64(rs2)
+		switch {
+		case b == 0:
+			r.setX(inst.Rd, uint64(a))
+		case a == math.MinInt64 && b == -1:
+			r.setX(inst.Rd, 0)
+		default:
+			r.setX(inst.Rd, uint64(a%b))
+		}
+	case riscv.MnREMU:
+		if rs2 == 0 {
+			r.setX(inst.Rd, rs1)
+		} else {
+			r.setX(inst.Rd, rs1%rs2)
+		}
+	case riscv.MnMULW:
+		r.setX(inst.Rd, refSext32(uint32(rs1)*uint32(rs2)))
+	case riscv.MnDIVW:
+		a, b := int32(rs1), int32(rs2)
+		switch {
+		case b == 0:
+			r.setX(inst.Rd, ^uint64(0))
+		case a == math.MinInt32 && b == -1:
+			r.setX(inst.Rd, uint64(int64(a)))
+		default:
+			r.setX(inst.Rd, uint64(int64(a/b)))
+		}
+	case riscv.MnDIVUW:
+		if uint32(rs2) == 0 {
+			r.setX(inst.Rd, ^uint64(0))
+		} else {
+			r.setX(inst.Rd, refSext32(uint32(rs1)/uint32(rs2)))
+		}
+	case riscv.MnREMW:
+		a, b := int32(rs1), int32(rs2)
+		switch {
+		case b == 0:
+			r.setX(inst.Rd, uint64(int64(a)))
+		case a == math.MinInt32 && b == -1:
+			r.setX(inst.Rd, 0)
+		default:
+			r.setX(inst.Rd, uint64(int64(a%b)))
+		}
+	case riscv.MnREMUW:
+		if uint32(rs2) == 0 {
+			r.setX(inst.Rd, refSext32(uint32(rs1)))
+		} else {
+			r.setX(inst.Rd, refSext32(uint32(rs1)%uint32(rs2)))
+		}
+
+	case riscv.MnLRW:
+		v, e := r.mem.load(rs1, 4)
+		if e != nil {
+			return false, e
+		}
+		r.resValid, r.resAddr = true, rs1
+		r.setX(inst.Rd, refSext32(uint32(v)))
+	case riscv.MnLRD:
+		v, e := r.mem.load(rs1, 8)
+		if e != nil {
+			return false, e
+		}
+		r.resValid, r.resAddr = true, rs1
+		r.setX(inst.Rd, v)
+	case riscv.MnSCW:
+		if r.resValid && r.resAddr == rs1 {
+			if e := r.mem.store(rs1, rs2, 4); e != nil {
+				return false, e
+			}
+			r.setX(inst.Rd, 0)
+		} else {
+			r.setX(inst.Rd, 1)
+		}
+		r.resValid = false
+	case riscv.MnSCD:
+		if r.resValid && r.resAddr == rs1 {
+			if e := r.mem.store(rs1, rs2, 8); e != nil {
+				return false, e
+			}
+			r.setX(inst.Rd, 0)
+		} else {
+			r.setX(inst.Rd, 1)
+		}
+		r.resValid = false
+	case riscv.MnAMOSWAPW, riscv.MnAMOADDW, riscv.MnAMOXORW, riscv.MnAMOANDW,
+		riscv.MnAMOORW, riscv.MnAMOMINW, riscv.MnAMOMAXW, riscv.MnAMOMINUW, riscv.MnAMOMAXUW:
+		old, e := r.mem.load(rs1, 4)
+		if e != nil {
+			return false, e
+		}
+		nv := refAMO(mn, old, rs2, 32)
+		if e := r.mem.store(rs1, nv, 4); e != nil {
+			return false, e
+		}
+		r.setX(inst.Rd, refSext32(uint32(old)))
+	case riscv.MnAMOSWAPD, riscv.MnAMOADDD, riscv.MnAMOXORD, riscv.MnAMOANDD,
+		riscv.MnAMOORD, riscv.MnAMOMIND, riscv.MnAMOMAXD, riscv.MnAMOMINUD, riscv.MnAMOMAXUD:
+		old, e := r.mem.load(rs1, 8)
+		if e != nil {
+			return false, e
+		}
+		nv := refAMO(mn, old, rs2, 64)
+		if e := r.mem.store(rs1, nv, 8); e != nil {
+			return false, e
+		}
+		r.setX(inst.Rd, old)
+
+	case riscv.MnFENCE, riscv.MnFENCEI:
+		// Nothing to order and nothing to flush: the reference interpreter
+		// re-decodes from memory every step.
+
+	case riscv.MnECALL:
+		exited, e := r.syscall()
+		if e != nil {
+			return false, e
+		}
+		if exited {
+			r.PC = next
+			r.Instret++
+			return true, nil
+		}
+	case riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC,
+		riscv.MnCSRRWI, riscv.MnCSRRSI, riscv.MnCSRRCI:
+		if e := r.csrOp(inst); e != nil {
+			return false, e
+		}
+
+	// RVA23-profile extension subset (Zicond, Zba, Zbb).
+	case riscv.MnCZEROEQZ:
+		if rs2 == 0 {
+			r.setX(inst.Rd, 0)
+		} else {
+			r.setX(inst.Rd, rs1)
+		}
+	case riscv.MnCZERONEZ:
+		if rs2 != 0 {
+			r.setX(inst.Rd, 0)
+		} else {
+			r.setX(inst.Rd, rs1)
+		}
+	case riscv.MnSH1ADD:
+		r.setX(inst.Rd, rs1*2+rs2)
+	case riscv.MnSH2ADD:
+		r.setX(inst.Rd, rs1*4+rs2)
+	case riscv.MnSH3ADD:
+		r.setX(inst.Rd, rs1*8+rs2)
+	case riscv.MnANDN:
+		r.setX(inst.Rd, rs1&^rs2)
+	case riscv.MnORN:
+		r.setX(inst.Rd, rs1|^rs2)
+	case riscv.MnXNOR:
+		r.setX(inst.Rd, ^(rs1 ^ rs2))
+	case riscv.MnMIN:
+		if int64(rs1) < int64(rs2) {
+			r.setX(inst.Rd, rs1)
+		} else {
+			r.setX(inst.Rd, rs2)
+		}
+	case riscv.MnMINU:
+		if rs1 < rs2 {
+			r.setX(inst.Rd, rs1)
+		} else {
+			r.setX(inst.Rd, rs2)
+		}
+	case riscv.MnMAX:
+		if int64(rs1) > int64(rs2) {
+			r.setX(inst.Rd, rs1)
+		} else {
+			r.setX(inst.Rd, rs2)
+		}
+	case riscv.MnMAXU:
+		if rs1 > rs2 {
+			r.setX(inst.Rd, rs1)
+		} else {
+			r.setX(inst.Rd, rs2)
+		}
+
+	default:
+		handled, e := r.execFloat(inst)
+		if e != nil {
+			return false, e
+		}
+		if !handled {
+			return false, fmt.Errorf("unimplemented instruction %v", inst)
+		}
+	}
+
+	r.PC = next
+	r.Instret++
+	return false, nil
+}
+
+func refAMO(mn riscv.Mnemonic, old, src uint64, width int) uint64 {
+	if width == 32 {
+		o, s := uint32(old), uint32(src)
+		switch mn {
+		case riscv.MnAMOSWAPW:
+			return uint64(s)
+		case riscv.MnAMOADDW:
+			return uint64(o + s)
+		case riscv.MnAMOXORW:
+			return uint64(o ^ s)
+		case riscv.MnAMOANDW:
+			return uint64(o & s)
+		case riscv.MnAMOORW:
+			return uint64(o | s)
+		case riscv.MnAMOMINW:
+			if int32(s) < int32(o) {
+				return uint64(s)
+			}
+			return uint64(o)
+		case riscv.MnAMOMAXW:
+			if int32(s) > int32(o) {
+				return uint64(s)
+			}
+			return uint64(o)
+		case riscv.MnAMOMINUW:
+			if s < o {
+				return uint64(s)
+			}
+			return uint64(o)
+		case riscv.MnAMOMAXUW:
+			if s > o {
+				return uint64(s)
+			}
+			return uint64(o)
+		}
+		return old
+	}
+	switch mn {
+	case riscv.MnAMOSWAPD:
+		return src
+	case riscv.MnAMOADDD:
+		return old + src
+	case riscv.MnAMOXORD:
+		return old ^ src
+	case riscv.MnAMOANDD:
+		return old & src
+	case riscv.MnAMOORD:
+		return old | src
+	case riscv.MnAMOMIND:
+		if int64(src) < int64(old) {
+			return src
+		}
+		return old
+	case riscv.MnAMOMAXD:
+		if int64(src) > int64(old) {
+			return src
+		}
+		return old
+	case riscv.MnAMOMINUD:
+		if src < old {
+			return src
+		}
+		return old
+	case riscv.MnAMOMAXUD:
+		if src > old {
+			return src
+		}
+		return old
+	}
+	return old
+}
+
+func (r *Ref) csrOp(inst riscv.Inst) error {
+	var old uint64
+	switch inst.CSR {
+	case 0xC00: // cycle
+		if r.CycleFn != nil {
+			old = r.CycleFn()
+		}
+	case 0xC01: // time
+		if r.TimeFn != nil {
+			old = r.TimeFn()
+		}
+	case 0xC02: // instret
+		old = r.Instret
+	case 0x001: // fflags
+		old = uint64(r.FCSR & 0x1f)
+	case 0x002: // frm
+		old = uint64(r.FCSR >> 5 & 7)
+	case 0x003: // fcsr
+		old = uint64(r.FCSR & 0xff)
+	default:
+		return fmt.Errorf("unimplemented CSR %#x", inst.CSR)
+	}
+	var src uint64
+	switch inst.Mn {
+	case riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC:
+		src = r.X[inst.Rs1&31]
+	default:
+		src = uint64(inst.Imm)
+	}
+	nv, write := old, false
+	switch inst.Mn {
+	case riscv.MnCSRRW, riscv.MnCSRRWI:
+		nv, write = src, true
+	case riscv.MnCSRRS, riscv.MnCSRRSI:
+		nv, write = old|src, src != 0
+	case riscv.MnCSRRC, riscv.MnCSRRCI:
+		nv, write = old&^src, src != 0
+	}
+	if write {
+		switch inst.CSR {
+		case 0x001:
+			r.FCSR = r.FCSR&^0x1f | uint32(nv)&0x1f
+		case 0x002:
+			r.FCSR = r.FCSR&^0xe0 | uint32(nv&7)<<5
+		case 0x003:
+			r.FCSR = uint32(nv) & 0xff
+		}
+	}
+	r.setX(inst.Rd, old)
+	return nil
+}

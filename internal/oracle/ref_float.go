@@ -1,0 +1,345 @@
+package oracle
+
+import (
+	"math"
+
+	"rvdyn/internal/riscv"
+)
+
+// Floating-point semantics for the reference interpreter, written directly
+// from the F/D chapters of the ISA manual: single-precision values are
+// NaN-boxed in the upper-ones pattern, min/max canonicalise double-NaN
+// inputs, and float-to-int conversions saturate and raise NV.
+
+const (
+	refCanonNaN32 = 0x7fc00000
+	refCanonNaN64 = 0x7ff8000000000000
+	refFlagNV     = 0x10
+)
+
+func (r *Ref) getS(reg riscv.Reg) float32 {
+	v := r.F[reg&31]
+	if v>>32 != 0xffffffff {
+		return math.Float32frombits(refCanonNaN32)
+	}
+	return math.Float32frombits(uint32(v))
+}
+
+func (r *Ref) setS(reg riscv.Reg, f float32) {
+	r.F[reg&31] = 0xffffffff00000000 | uint64(math.Float32bits(f))
+}
+
+func (r *Ref) getD(reg riscv.Reg) float64    { return math.Float64frombits(r.F[reg&31]) }
+func (r *Ref) setD(reg riscv.Reg, f float64) { r.F[reg&31] = math.Float64bits(f) }
+
+func (r *Ref) rounding(inst riscv.Inst) uint8 {
+	if inst.RM == riscv.RMDyn {
+		return uint8(r.FCSR >> 5 & 7)
+	}
+	return inst.RM
+}
+
+func refRound(f float64, rm uint8) float64 {
+	switch rm {
+	case 1:
+		return math.Trunc(f)
+	case 2:
+		return math.Floor(f)
+	case 3:
+		return math.Ceil(f)
+	case 4:
+		return math.Round(f)
+	}
+	return math.RoundToEven(f)
+}
+
+func (r *Ref) toI64(f float64, rm uint8) uint64 {
+	if math.IsNaN(f) {
+		r.FCSR |= refFlagNV
+		return math.MaxInt64
+	}
+	v := refRound(f, rm)
+	switch {
+	case v >= 0x1p63:
+		r.FCSR |= refFlagNV
+		return math.MaxInt64
+	case v < -0x1p63:
+		r.FCSR |= refFlagNV
+		return 1 << 63 // MinInt64 bit pattern
+	}
+	return uint64(int64(v))
+}
+
+func (r *Ref) toU64(f float64, rm uint8) uint64 {
+	if math.IsNaN(f) {
+		r.FCSR |= refFlagNV
+		return math.MaxUint64
+	}
+	v := refRound(f, rm)
+	switch {
+	case v >= 0x1p64:
+		r.FCSR |= refFlagNV
+		return math.MaxUint64
+	case v < 0:
+		r.FCSR |= refFlagNV
+		return 0
+	}
+	return uint64(v)
+}
+
+func (r *Ref) toI32(f float64, rm uint8) uint64 {
+	if math.IsNaN(f) {
+		r.FCSR |= refFlagNV
+		return uint64(int64(math.MaxInt32))
+	}
+	v := refRound(f, rm)
+	switch {
+	case v > math.MaxInt32:
+		r.FCSR |= refFlagNV
+		return uint64(int64(math.MaxInt32))
+	case v < math.MinInt32:
+		r.FCSR |= refFlagNV
+		return 0xffffffff80000000 // MinInt32 sign-extended
+	}
+	return uint64(int64(int32(v)))
+}
+
+func (r *Ref) toU32(f float64, rm uint8) uint64 {
+	if math.IsNaN(f) {
+		r.FCSR |= refFlagNV
+		return refSext32(math.MaxUint32)
+	}
+	v := refRound(f, rm)
+	switch {
+	case v > math.MaxUint32:
+		r.FCSR |= refFlagNV
+		return refSext32(math.MaxUint32)
+	case v < 0:
+		r.FCSR |= refFlagNV
+		return 0
+	}
+	return refSext32(uint32(v))
+}
+
+func refFclass(bits uint64, expBits, fracBits uint) uint64 {
+	sign := bits>>(expBits+fracBits)&1 == 1
+	exp := bits >> fracBits & (1<<expBits - 1)
+	frac := bits & (1<<fracBits - 1)
+	switch {
+	case exp == 1<<expBits-1 && frac == 0: // infinity
+		if sign {
+			return 1 << 0
+		}
+		return 1 << 7
+	case exp == 1<<expBits-1: // NaN
+		if frac>>(fracBits-1) == 1 {
+			return 1 << 9 // quiet
+		}
+		return 1 << 8 // signaling
+	case exp == 0 && frac == 0: // zero
+		if sign {
+			return 1 << 3
+		}
+		return 1 << 4
+	case exp == 0: // subnormal
+		if sign {
+			return 1 << 2
+		}
+		return 1 << 5
+	case sign:
+		return 1 << 1
+	}
+	return 1 << 6
+}
+
+func refMin(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) && math.IsNaN(b):
+		return math.Float64frombits(refCanonNaN64)
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a == 0 && b == 0:
+		if math.Signbit(a) {
+			return a
+		}
+		return b
+	case b < a:
+		return b
+	}
+	return a
+}
+
+func refMax(a, b float64) float64 {
+	switch {
+	case math.IsNaN(a) && math.IsNaN(b):
+		return math.Float64frombits(refCanonNaN64)
+	case math.IsNaN(a):
+		return b
+	case math.IsNaN(b):
+		return a
+	case a == 0 && b == 0:
+		if math.Signbit(b) {
+			return a
+		}
+		return b
+	case b > a:
+		return b
+	}
+	return a
+}
+
+func (r *Ref) execFloat(inst riscv.Inst) (handled bool, err error) {
+	rs1x := r.X[inst.Rs1&31]
+	rm := r.rounding(inst)
+	switch inst.Mn {
+	case riscv.MnFLW:
+		v, e := r.mem.load(rs1x+uint64(inst.Imm), 4)
+		if e != nil {
+			return true, e
+		}
+		r.F[inst.Rd&31] = 0xffffffff00000000 | v
+	case riscv.MnFLD:
+		v, e := r.mem.load(rs1x+uint64(inst.Imm), 8)
+		if e != nil {
+			return true, e
+		}
+		r.F[inst.Rd&31] = v
+	case riscv.MnFSW:
+		return true, r.mem.store(rs1x+uint64(inst.Imm), r.F[inst.Rs2&31]&0xffffffff, 4)
+	case riscv.MnFSD:
+		return true, r.mem.store(rs1x+uint64(inst.Imm), r.F[inst.Rs2&31], 8)
+
+	case riscv.MnFADDD:
+		r.setD(inst.Rd, r.getD(inst.Rs1)+r.getD(inst.Rs2))
+	case riscv.MnFSUBD:
+		r.setD(inst.Rd, r.getD(inst.Rs1)-r.getD(inst.Rs2))
+	case riscv.MnFMULD:
+		r.setD(inst.Rd, r.getD(inst.Rs1)*r.getD(inst.Rs2))
+	case riscv.MnFDIVD:
+		r.setD(inst.Rd, r.getD(inst.Rs1)/r.getD(inst.Rs2))
+	case riscv.MnFSQRTD:
+		r.setD(inst.Rd, math.Sqrt(r.getD(inst.Rs1)))
+	case riscv.MnFMADDD:
+		r.setD(inst.Rd, math.FMA(r.getD(inst.Rs1), r.getD(inst.Rs2), r.getD(inst.Rs3)))
+	case riscv.MnFMSUBD:
+		r.setD(inst.Rd, math.FMA(r.getD(inst.Rs1), r.getD(inst.Rs2), -r.getD(inst.Rs3)))
+	case riscv.MnFNMSUBD:
+		r.setD(inst.Rd, math.FMA(-r.getD(inst.Rs1), r.getD(inst.Rs2), r.getD(inst.Rs3)))
+	case riscv.MnFNMADDD:
+		r.setD(inst.Rd, -math.FMA(r.getD(inst.Rs1), r.getD(inst.Rs2), r.getD(inst.Rs3)))
+	case riscv.MnFMIND:
+		r.setD(inst.Rd, refMin(r.getD(inst.Rs1), r.getD(inst.Rs2)))
+	case riscv.MnFMAXD:
+		r.setD(inst.Rd, refMax(r.getD(inst.Rs1), r.getD(inst.Rs2)))
+	case riscv.MnFSGNJD:
+		r.F[inst.Rd&31] = r.F[inst.Rs1&31]&^(1<<63) | r.F[inst.Rs2&31]&(1<<63)
+	case riscv.MnFSGNJND:
+		r.F[inst.Rd&31] = r.F[inst.Rs1&31]&^(1<<63) | ^r.F[inst.Rs2&31]&(1<<63)
+	case riscv.MnFSGNJXD:
+		r.F[inst.Rd&31] = r.F[inst.Rs1&31] ^ r.F[inst.Rs2&31]&(1<<63)
+	case riscv.MnFEQD:
+		r.setX(inst.Rd, refB2u(r.getD(inst.Rs1) == r.getD(inst.Rs2)))
+	case riscv.MnFLTD:
+		r.setX(inst.Rd, refB2u(r.getD(inst.Rs1) < r.getD(inst.Rs2)))
+	case riscv.MnFLED:
+		r.setX(inst.Rd, refB2u(r.getD(inst.Rs1) <= r.getD(inst.Rs2)))
+	case riscv.MnFCLASSD:
+		r.setX(inst.Rd, refFclass(r.F[inst.Rs1&31], 11, 52))
+
+	case riscv.MnFCVTWD:
+		r.setX(inst.Rd, r.toI32(r.getD(inst.Rs1), rm))
+	case riscv.MnFCVTWUD:
+		r.setX(inst.Rd, r.toU32(r.getD(inst.Rs1), rm))
+	case riscv.MnFCVTLD:
+		r.setX(inst.Rd, r.toI64(r.getD(inst.Rs1), rm))
+	case riscv.MnFCVTLUD:
+		r.setX(inst.Rd, r.toU64(r.getD(inst.Rs1), rm))
+	case riscv.MnFCVTDW:
+		r.setD(inst.Rd, float64(int32(rs1x)))
+	case riscv.MnFCVTDWU:
+		r.setD(inst.Rd, float64(uint32(rs1x)))
+	case riscv.MnFCVTDL:
+		r.setD(inst.Rd, float64(int64(rs1x)))
+	case riscv.MnFCVTDLU:
+		r.setD(inst.Rd, float64(rs1x))
+	case riscv.MnFCVTSD:
+		r.setS(inst.Rd, float32(r.getD(inst.Rs1)))
+	case riscv.MnFCVTDS:
+		r.setD(inst.Rd, float64(r.getS(inst.Rs1)))
+	case riscv.MnFMVXD:
+		r.setX(inst.Rd, r.F[inst.Rs1&31])
+	case riscv.MnFMVDX:
+		r.F[inst.Rd&31] = rs1x
+
+	case riscv.MnFADDS:
+		r.setS(inst.Rd, r.getS(inst.Rs1)+r.getS(inst.Rs2))
+	case riscv.MnFSUBS:
+		r.setS(inst.Rd, r.getS(inst.Rs1)-r.getS(inst.Rs2))
+	case riscv.MnFMULS:
+		r.setS(inst.Rd, r.getS(inst.Rs1)*r.getS(inst.Rs2))
+	case riscv.MnFDIVS:
+		r.setS(inst.Rd, r.getS(inst.Rs1)/r.getS(inst.Rs2))
+	case riscv.MnFSQRTS:
+		r.setS(inst.Rd, float32(math.Sqrt(float64(r.getS(inst.Rs1)))))
+	case riscv.MnFMADDS:
+		r.setS(inst.Rd, float32(math.FMA(float64(r.getS(inst.Rs1)), float64(r.getS(inst.Rs2)), float64(r.getS(inst.Rs3)))))
+	case riscv.MnFMSUBS:
+		r.setS(inst.Rd, float32(math.FMA(float64(r.getS(inst.Rs1)), float64(r.getS(inst.Rs2)), -float64(r.getS(inst.Rs3)))))
+	case riscv.MnFNMSUBS:
+		r.setS(inst.Rd, float32(math.FMA(-float64(r.getS(inst.Rs1)), float64(r.getS(inst.Rs2)), float64(r.getS(inst.Rs3)))))
+	case riscv.MnFNMADDS:
+		r.setS(inst.Rd, float32(-math.FMA(float64(r.getS(inst.Rs1)), float64(r.getS(inst.Rs2)), float64(r.getS(inst.Rs3)))))
+	case riscv.MnFMINS:
+		r.setS(inst.Rd, float32(refMin(float64(r.getS(inst.Rs1)), float64(r.getS(inst.Rs2)))))
+	case riscv.MnFMAXS:
+		r.setS(inst.Rd, float32(refMax(float64(r.getS(inst.Rs1)), float64(r.getS(inst.Rs2)))))
+	case riscv.MnFSGNJS:
+		a, b := uint32(r.F[inst.Rs1&31]), uint32(r.F[inst.Rs2&31])
+		r.F[inst.Rd&31] = 0xffffffff00000000 | uint64(a&^(1<<31)|b&(1<<31))
+	case riscv.MnFSGNJNS:
+		a, b := uint32(r.F[inst.Rs1&31]), uint32(r.F[inst.Rs2&31])
+		r.F[inst.Rd&31] = 0xffffffff00000000 | uint64(a&^(1<<31)|^b&(1<<31))
+	case riscv.MnFSGNJXS:
+		a, b := uint32(r.F[inst.Rs1&31]), uint32(r.F[inst.Rs2&31])
+		r.F[inst.Rd&31] = 0xffffffff00000000 | uint64(a^b&(1<<31))
+	case riscv.MnFEQS:
+		r.setX(inst.Rd, refB2u(r.getS(inst.Rs1) == r.getS(inst.Rs2)))
+	case riscv.MnFLTS:
+		r.setX(inst.Rd, refB2u(r.getS(inst.Rs1) < r.getS(inst.Rs2)))
+	case riscv.MnFLES:
+		r.setX(inst.Rd, refB2u(r.getS(inst.Rs1) <= r.getS(inst.Rs2)))
+	case riscv.MnFCLASSS:
+		b := r.F[inst.Rs1&31]
+		if b>>32 != 0xffffffff {
+			b = refCanonNaN32
+		}
+		r.setX(inst.Rd, refFclass(b&0xffffffff, 8, 23))
+
+	case riscv.MnFCVTWS:
+		r.setX(inst.Rd, r.toI32(float64(r.getS(inst.Rs1)), rm))
+	case riscv.MnFCVTWUS:
+		r.setX(inst.Rd, r.toU32(float64(r.getS(inst.Rs1)), rm))
+	case riscv.MnFCVTLS:
+		r.setX(inst.Rd, r.toI64(float64(r.getS(inst.Rs1)), rm))
+	case riscv.MnFCVTLUS:
+		r.setX(inst.Rd, r.toU64(float64(r.getS(inst.Rs1)), rm))
+	case riscv.MnFCVTSW:
+		r.setS(inst.Rd, float32(int32(rs1x)))
+	case riscv.MnFCVTSWU:
+		r.setS(inst.Rd, float32(uint32(rs1x)))
+	case riscv.MnFCVTSL:
+		r.setS(inst.Rd, float32(int64(rs1x)))
+	case riscv.MnFCVTSLU:
+		r.setS(inst.Rd, float32(rs1x))
+	case riscv.MnFMVXW:
+		r.setX(inst.Rd, refSext32(uint32(r.F[inst.Rs1&31])))
+	case riscv.MnFMVWX:
+		r.F[inst.Rd&31] = 0xffffffff00000000 | uint64(uint32(rs1x))
+
+	default:
+		return false, nil
+	}
+	return true, nil
+}

@@ -1,0 +1,111 @@
+package oracle
+
+import (
+	"fmt"
+
+	"rvdyn/internal/emu"
+	"rvdyn/internal/riscv"
+)
+
+// The reference interpreter services the same Linux riscv64 syscall surface
+// as the fast engine, with identical return values and error codes, so that
+// a lockstep run only diverges on genuine execution bugs. Time is the one
+// exception: the reference has no cost model, so clock reads come from
+// TimeFn (wired by the lockstep runner to the fast CPU's virtual clock).
+const (
+	refSysClose        = 57
+	refSysRead         = 63
+	refSysWrite        = 64
+	refSysFstat        = 80
+	refSysExit         = 93
+	refSysExitGroup    = 94
+	refSysClockGettime = 113
+	refSysGettimeofday = 169
+	refSysGetpid       = 172
+	refSysBrk          = 214
+	refSysMmap         = 222
+)
+
+func (r *Ref) timeNanos() uint64 {
+	if r.TimeFn != nil {
+		return r.TimeFn()
+	}
+	return 0
+}
+
+func (r *Ref) syscall() (exited bool, err error) {
+	num := r.X[riscv.RegA7]
+	a0 := r.X[riscv.RegA0]
+	a1 := r.X[riscv.RegA1]
+	a2 := r.X[riscv.RegA2]
+	ret := uint64(0)
+	switch num {
+	case refSysExit, refSysExitGroup:
+		r.Exited = true
+		r.ExitCode = int(int64(a0))
+		return true, nil
+	case refSysWrite:
+		if a2 > 1<<20 {
+			ret = refErrno(22) // EINVAL
+			break
+		}
+		buf := make([]byte, a2)
+		if e := r.mem.read(a1, buf); e != nil {
+			ret = refErrno(14) // EFAULT
+			break
+		}
+		if _, e := r.Stdout.Write(buf); e != nil {
+			ret = refErrno(5) // EIO
+			break
+		}
+		ret = a2
+	case refSysRead:
+		ret = 0 // EOF
+	case refSysClose, refSysFstat:
+		ret = 0
+	case refSysGetpid:
+		ret = 2
+	case refSysBrk:
+		if a0 != 0 && a0 >= r.brk && a0 < emu.MmapBase {
+			r.mem.mapRange(r.brk, a0-r.brk)
+			r.brk = (a0 + refPageSize - 1) &^ (refPageSize - 1)
+		}
+		ret = r.brk
+	case refSysMmap:
+		size := (a1 + refPageSize - 1) &^ (refPageSize - 1)
+		if size == 0 || size > 1<<30 {
+			ret = refErrno(22)
+			break
+		}
+		addr := r.mmapNext
+		r.mmapNext += size
+		r.mem.mapRange(addr, size)
+		ret = addr
+	case refSysClockGettime:
+		ns := r.timeNanos()
+		if e := r.mem.store(a1, ns/1e9, 8); e != nil {
+			ret = refErrno(14)
+			break
+		}
+		if e := r.mem.store(a1+8, ns%1e9, 8); e != nil {
+			ret = refErrno(14)
+			break
+		}
+	case refSysGettimeofday:
+		ns := r.timeNanos()
+		if e := r.mem.store(a0, ns/1e9, 8); e != nil {
+			ret = refErrno(14)
+			break
+		}
+		if e := r.mem.store(a0+8, ns%1e9/1000, 8); e != nil {
+			ret = refErrno(14)
+			break
+		}
+	default:
+		return false, fmt.Errorf("unimplemented syscall %d", num)
+	}
+	r.X[riscv.RegA0] = ret
+	return false, nil
+}
+
+func refErrno(e int64) uint64 { return uint64(-e) }

@@ -140,6 +140,12 @@ func AddTo(v *Var, expr Snippet) Snippet {
 	return Assign{Dst: v, Src: BinOp{Op: OpAdd, L: v, R: expr}}
 }
 
+// Empty returns the identity snippet: it lowers to zero instructions, so
+// inserting it exercises the full relocation-and-patch machinery while the
+// instrumented program must behave exactly like the original. The
+// differential oracle's instrumentation-equivalence check is built on it.
+func Empty() Snippet { return Sequence{} }
+
 // ---------------------------------------------------------------------------
 // Points
 

@@ -469,3 +469,31 @@ spin_loop:
 
 // FramePointerExpected is the exit code of FramePointerSource: 1+8+4+2+1.
 const FramePointerExpected = 16
+
+// Program is one named workload in the suite, with enough metadata for
+// tools that iterate over all of them (the differential oracle, the CLI).
+type Program struct {
+	Name     string
+	Source   string
+	ExitCode int      // expected exit code
+	Funcs    []string // instrumentable functions (entry-patchable)
+}
+
+// Programs returns the workload suite. The matmul entry uses a reduced
+// problem size so suite-wide tools stay fast; its exit code is 0.
+func Programs() []Program {
+	return []Program{
+		{Name: "matmul", Source: MatmulSource(8, 2), ExitCode: 0,
+			Funcs: []string{"multiply", "init_matrices"}},
+		{Name: "jumptable", Source: JumpTableSource, ExitCode: JumpTableExpected,
+			Funcs: []string{"dispatch"}},
+		{Name: "tailcall", Source: TailCallSource, ExitCode: TailCallExpected,
+			Funcs: []string{"f_outer", "f_middle", "f_inner"}},
+		{Name: "farcall", Source: FarCallSource, ExitCode: FarCallExpected,
+			Funcs: []string{"square"}},
+		{Name: "fib", Source: FibSource, ExitCode: FibExpected,
+			Funcs: []string{"fib"}},
+		{Name: "framepointer", Source: FramePointerSource, ExitCode: FramePointerExpected,
+			Funcs: []string{"level1", "level2", "spin"}},
+	}
+}
