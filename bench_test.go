@@ -404,6 +404,33 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "emulated_MIPS")
 }
 
+// BenchmarkEmulatorThroughputSlow forces per-instruction dispatch, giving an
+// in-tree baseline for the fused-block engine's speedup.
+func BenchmarkEmulatorThroughputSlow(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full matmul emulation: skipped in -short mode")
+	}
+	file, err := workload.BuildMatmul(24, 1, asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu, err := emu.New(file, emu.P550())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cpu.SlowDispatch = true
+		if r := cpu.Run(0); r != emu.StopExit {
+			b.Fatal(r)
+		}
+		insts = cpu.Instret
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "emulated_MIPS")
+}
+
 func BenchmarkSnippetGeneration(b *testing.B) {
 	v := &snippet.Var{Name: "v", Width: 8, Addr: 0x200000}
 	sn := snippet.Increment(v)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rvemu [-model p550|x86] [-max N] [-trace] [-histo] prog.elf
+//	rvemu [-model p550|x86] [-max N] [-trace] [-histo] [-slow] prog.elf
 package main
 
 import (
@@ -27,6 +27,7 @@ func main() {
 	maxInst := flag.Uint64("max", 0, "instruction budget (0 = unlimited)")
 	trace := flag.Bool("trace", false, "print every executed instruction")
 	histo := flag.Bool("histo", false, "print a per-mnemonic execution histogram (top 20)")
+	slow := flag.Bool("slow", false, "force per-instruction dispatch (disable the fused block engine)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("need exactly one ELF file")
@@ -53,6 +54,8 @@ func main() {
 		log.Fatal(err)
 	}
 	cpu.Stdout = os.Stdout
+	cpu.Stderr = os.Stderr
+	cpu.SlowDispatch = *slow
 	if *trace {
 		cpu.Trace = func(c *emu.CPU, inst riscv.Inst) {
 			fmt.Fprintf(os.Stderr, "%#010x: %v\n", c.PC, inst)

@@ -1,0 +1,321 @@
+package emu
+
+import (
+	"math"
+
+	"rvdyn/internal/riscv"
+)
+
+// Superblock fused dispatch.
+//
+// The per-instruction interpreter loop pays, for every retired instruction,
+// a fetch (icache probe plus bounds checks), a Trace probe, an Exited and
+// budget check, a cost-model lookup, and the full mnemonic switch. Almost
+// all of that is loop-invariant over a straight-line run of code, so the
+// fast path amortises it: code is decoded once into basic-block descriptors
+// — straight-line pre-decoded runs ending at a control-transfer or system
+// instruction — with the cycle cost and a handler function pointer
+// precomputed per instruction. Run then executes a whole block per
+// dispatch (the same idea MAMBO-V's fragment linking and pre-decoded
+// dispatch tables use to make instrumentation-heavy runs tractable).
+//
+// Coherence with self-modifying code and dynamic patching reuses the
+// icache invalidation machinery: every block records the icache generation
+// (CPU.icGen) it was decoded under; storeCheck/WriteMem/FlushICache bump
+// the generation, and a stale block is re-decoded on its next dispatch.
+// A store inside a block is followed by a generation check so a block that
+// rewrites its own tail (or the next block) retires only the instructions
+// that were executed before the write, then returns to the dispatcher.
+
+// maxBlockLen caps the body of one superblock; blocks longer than this are
+// split, with the continuation picked up by the next dispatch.
+const maxBlockLen = 64
+
+// instFn executes the state effect of one straight-line instruction:
+// registers and memory only — never the PC, counters, or stop state.
+type instFn func(c *CPU, i *riscv.Inst) error
+
+// bodyInst is one pre-decoded straight-line instruction of a block.
+type bodyInst struct {
+	fn    instFn
+	inst  riscv.Inst
+	cost  uint64
+	store bool // writes memory: needs a generation check after executing
+}
+
+// block is one superblock: a straight-line decoded run, optionally ended by
+// a terminator (control-transfer/system instruction, executed through the
+// ordinary exec path). A block without a terminator (split at maxBlockLen,
+// or decode failure mid-run) simply falls through to the next dispatch.
+type block struct {
+	gen  uint64     // icache generation the block was decoded under
+	body []bodyInst // straight-line instructions
+	cum  []uint64   // cum[i]: cycles of body[:i], for mid-block traps
+	cost uint64     // total body cycle cost
+	term riscv.Inst // terminator (valid when hasTerm)
+	end  uint64     // address after the last body instruction
+	n    uint64     // instruction count including the terminator
+
+	hasTerm bool
+}
+
+// blockAt returns a current-generation block starting at pc, building (or
+// rebuilding) it if needed. It returns nil when pc cannot be fetched; the
+// caller falls back to the slow path, which reports the fault.
+func (c *CPU) blockAt(pc uint64) *block {
+	if pc >= c.icBase && pc < c.icEnd {
+		if b := c.blkSlots[(pc-c.icBase)>>1]; b != nil && b.gen == c.icGen {
+			return b
+		}
+	} else if b, ok := c.blkMap[pc]; ok && b.gen == c.icGen {
+		return b
+	}
+	return c.buildBlock(pc)
+}
+
+func (c *CPU) buildBlock(pc uint64) *block {
+	b := &block{gen: c.icGen}
+	a := pc
+	for len(b.body) < maxBlockLen {
+		inst, err := c.fetchAt(a)
+		if err != nil {
+			if len(b.body) == 0 {
+				return nil // slow path refetches and reports the fault
+			}
+			break // fall through; the next dispatch traps at a
+		}
+		fn := handlerFor(inst.Mn)
+		if fn == nil { // control transfer or system: terminator
+			b.term = inst
+			b.hasTerm = true
+			break
+		}
+		b.body = append(b.body, bodyInst{
+			fn:    fn,
+			inst:  inst,
+			cost:  c.Model.Cost(inst.Mn),
+			store: inst.IsStore() || inst.Cat() == riscv.CatAMO,
+		})
+		a = inst.Next()
+	}
+	b.end = a
+	b.cum = make([]uint64, len(b.body))
+	for i := range b.body {
+		b.cum[i] = b.cost
+		b.cost += b.body[i].cost
+	}
+	b.n = uint64(len(b.body))
+	if b.hasTerm {
+		b.n++
+	}
+	if b.n == 0 {
+		return nil
+	}
+	if pc >= c.icBase && pc < c.icEnd {
+		c.blkSlots[(pc-c.icBase)>>1] = b
+	} else {
+		c.blkMap[pc] = b
+	}
+	return b
+}
+
+// runBlock executes b, which must start at the current PC under the current
+// icache generation. It returns the number of instructions retired and a
+// stop reason (stopNone to continue dispatching). Only called with Trace
+// nil, so no per-instruction hooks fire.
+func (c *CPU) runBlock(b *block) (retired uint64, stop StopReason) {
+	for i := range b.body {
+		bi := &b.body[i]
+		if err := bi.fn(c, &bi.inst); err != nil {
+			// Architectural state must look exactly like the slow path's:
+			// the faulting instruction has not retired, PC points at it.
+			c.PC = bi.inst.Addr
+			c.Cycles += b.cum[i]
+			c.Instret += uint64(i)
+			c.lastTrap = &Trap{PC: c.PC, Why: "execute " + bi.inst.String(), Wrap: err}
+			return uint64(i), StopTrap
+		}
+		if bi.store && b.gen != c.icGen {
+			// The store invalidated cached code — possibly the rest of this
+			// very block. Retire the executed prefix and re-dispatch so the
+			// rewritten bytes are re-decoded.
+			c.PC = bi.inst.Next()
+			c.Cycles += b.cum[i] + bi.cost
+			c.Instret += uint64(i) + 1
+			return uint64(i) + 1, stopNone
+		}
+	}
+	n := uint64(len(b.body))
+	c.Cycles += b.cost
+	c.Instret += n
+	if !b.hasTerm {
+		c.PC = b.end
+		return n, stopNone
+	}
+	c.PC = b.term.Addr
+	if b.term.Mn == riscv.MnEBREAK {
+		// Like the slow path: stop before executing, PC at the ebreak.
+		return n, StopBreakpoint
+	}
+	exited, err := c.exec(b.term)
+	if err != nil {
+		c.lastTrap = &Trap{PC: c.PC, Why: "execute " + b.term.String(), Wrap: err}
+		return n, StopTrap
+	}
+	n++
+	if exited {
+		return n, StopExit
+	}
+	return n, stopNone
+}
+
+// handlerFor returns the body handler for a mnemonic, or nil when the
+// instruction must terminate a block: control transfers (the block is over),
+// ecall/ebreak (stop state, syscalls), fence.i (invalidates the very cache
+// the block lives in), and CSR ops (they read the live cycle/instret
+// counters, which are only up to date at block boundaries).
+func handlerFor(mn riscv.Mnemonic) instFn {
+	switch mn.Cat() {
+	case riscv.CatBranch, riscv.CatJAL, riscv.CatJALR:
+		return nil
+	}
+	switch mn {
+	case riscv.MnInvalid, riscv.MnECALL, riscv.MnEBREAK, riscv.MnFENCEI,
+		riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC,
+		riscv.MnCSRRWI, riscv.MnCSRRSI, riscv.MnCSRRCI:
+		return nil
+
+	// Dedicated handlers for the hot mnemonics skip the generic dispatch
+	// switch entirely; everything else straight-line funnels through
+	// execStraight, exactly as the slow path does.
+	case riscv.MnADDI:
+		return fnADDI
+	case riscv.MnADD:
+		return fnADD
+	case riscv.MnSUB:
+		return fnSUB
+	case riscv.MnSLLI:
+		return fnSLLI
+	case riscv.MnLUI:
+		return fnLUI
+	case riscv.MnAUIPC:
+		return fnAUIPC
+	case riscv.MnMUL:
+		return fnMUL
+	case riscv.MnLD:
+		return fnLD
+	case riscv.MnLW:
+		return fnLW
+	case riscv.MnSD:
+		return fnSD
+	case riscv.MnSW:
+		return fnSW
+	case riscv.MnFLD:
+		return fnFLD
+	case riscv.MnFSD:
+		return fnFSD
+	case riscv.MnFMADDD:
+		return fnFMADDD
+	case riscv.MnFADDD:
+		return fnFADDD
+	case riscv.MnFMULD:
+		return fnFMULD
+	}
+	return (*CPU).execStraight
+}
+
+// The dedicated handlers mirror the corresponding execStraight cases
+// exactly; any semantic change must be made in both places (the fast/slow
+// equivalence test in block_test.go enforces this).
+
+func fnADDI(c *CPU, i *riscv.Inst) error {
+	c.setX(i.Rd, c.X[i.Rs1&31]+uint64(i.Imm))
+	return nil
+}
+
+func fnADD(c *CPU, i *riscv.Inst) error {
+	c.setX(i.Rd, c.X[i.Rs1&31]+c.X[i.Rs2&31])
+	return nil
+}
+
+func fnSUB(c *CPU, i *riscv.Inst) error {
+	c.setX(i.Rd, c.X[i.Rs1&31]-c.X[i.Rs2&31])
+	return nil
+}
+
+func fnSLLI(c *CPU, i *riscv.Inst) error {
+	c.setX(i.Rd, c.X[i.Rs1&31]<<uint(i.Imm))
+	return nil
+}
+
+func fnLUI(c *CPU, i *riscv.Inst) error {
+	c.setX(i.Rd, uint64(i.Imm<<12))
+	return nil
+}
+
+func fnAUIPC(c *CPU, i *riscv.Inst) error {
+	c.setX(i.Rd, i.Addr+uint64(i.Imm<<12))
+	return nil
+}
+
+func fnMUL(c *CPU, i *riscv.Inst) error {
+	c.setX(i.Rd, c.X[i.Rs1&31]*c.X[i.Rs2&31])
+	return nil
+}
+
+func fnLD(c *CPU, i *riscv.Inst) error {
+	v, e := c.Mem.Read64(c.X[i.Rs1&31] + uint64(i.Imm))
+	if e != nil {
+		return e
+	}
+	c.setX(i.Rd, v)
+	return nil
+}
+
+func fnLW(c *CPU, i *riscv.Inst) error {
+	v, e := c.Mem.Read32(c.X[i.Rs1&31] + uint64(i.Imm))
+	if e != nil {
+		return e
+	}
+	c.setX(i.Rd, sext32(v))
+	return nil
+}
+
+func fnSD(c *CPU, i *riscv.Inst) error {
+	a := c.X[i.Rs1&31] + uint64(i.Imm)
+	return c.storeCheck(a, 8, c.Mem.Write64(a, c.X[i.Rs2&31]))
+}
+
+func fnSW(c *CPU, i *riscv.Inst) error {
+	a := c.X[i.Rs1&31] + uint64(i.Imm)
+	return c.storeCheck(a, 4, c.Mem.Write32(a, uint32(c.X[i.Rs2&31])))
+}
+
+func fnFLD(c *CPU, i *riscv.Inst) error {
+	v, e := c.Mem.Read64(c.X[i.Rs1&31] + uint64(i.Imm))
+	if e != nil {
+		return e
+	}
+	c.F[i.Rd&31] = v
+	return nil
+}
+
+func fnFSD(c *CPU, i *riscv.Inst) error {
+	a := c.X[i.Rs1&31] + uint64(i.Imm)
+	return c.storeCheck(a, 8, c.Mem.Write64(a, c.F[i.Rs2&31]))
+}
+
+func fnFMADDD(c *CPU, i *riscv.Inst) error {
+	c.setD(i.Rd, math.FMA(c.getD(i.Rs1), c.getD(i.Rs2), c.getD(i.Rs3)))
+	return nil
+}
+
+func fnFADDD(c *CPU, i *riscv.Inst) error {
+	c.setD(i.Rd, c.getD(i.Rs1)+c.getD(i.Rs2))
+	return nil
+}
+
+func fnFMULD(c *CPU, i *riscv.Inst) error {
+	c.setD(i.Rd, c.getD(i.Rs1)*c.getD(i.Rs2))
+	return nil
+}

@@ -1,0 +1,212 @@
+package emu
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/workload"
+)
+
+// runBoth executes the same binary on the fused-dispatch fast path and on
+// the per-instruction slow path, requiring both to stop the same way, and
+// returns the two CPUs for state comparison.
+func runBoth(t *testing.T, src string, opts asm.Options) (fast, slow *CPU) {
+	t.Helper()
+	f, err := asm.Assemble(src, opts)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	fast, err = New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err = New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.SlowDispatch = true
+	var fastOut, slowOut bytes.Buffer
+	fast.Stdout, slow.Stdout = &fastOut, &slowOut
+	rf := fast.Run(0)
+	rs := slow.Run(0)
+	if rf != rs {
+		t.Fatalf("stop reason: fast %v, slow %v (fast trap %v, slow trap %v)",
+			rf, rs, fast.LastTrap(), slow.LastTrap())
+	}
+	if fastOut.String() != slowOut.String() {
+		t.Errorf("stdout differs: fast %q, slow %q", fastOut.String(), slowOut.String())
+	}
+	return fast, slow
+}
+
+// requireSameState asserts the architectural state the ISSUE cares about —
+// cycle count, retired instructions, every register, FP state, PC, exit
+// status — is bit-identical between the two dispatch paths.
+func requireSameState(t *testing.T, fast, slow *CPU) {
+	t.Helper()
+	if fast.Cycles != slow.Cycles {
+		t.Errorf("Cycles: fast %d, slow %d", fast.Cycles, slow.Cycles)
+	}
+	if fast.Instret != slow.Instret {
+		t.Errorf("Instret: fast %d, slow %d", fast.Instret, slow.Instret)
+	}
+	if fast.PC != slow.PC {
+		t.Errorf("PC: fast %#x, slow %#x", fast.PC, slow.PC)
+	}
+	if fast.FCSR != slow.FCSR {
+		t.Errorf("FCSR: fast %#x, slow %#x", fast.FCSR, slow.FCSR)
+	}
+	if fast.Exited != slow.Exited || fast.ExitCode != slow.ExitCode {
+		t.Errorf("exit: fast (%v, %d), slow (%v, %d)",
+			fast.Exited, fast.ExitCode, slow.Exited, slow.ExitCode)
+	}
+	for i := range fast.X {
+		if fast.X[i] != slow.X[i] {
+			t.Errorf("x%d: fast %#x, slow %#x", i, fast.X[i], slow.X[i])
+		}
+	}
+	for i := range fast.F {
+		if fast.F[i] != slow.F[i] {
+			t.Errorf("f%d: fast %#x, slow %#x", i, fast.F[i], slow.F[i])
+		}
+	}
+}
+
+// TestFastSlowEquivalenceMatmul: the fused-dispatch engine must produce the
+// exact architectural state — including the cost-model counters the virtual
+// clock derives from — that per-instruction stepping produces on the
+// paper's matmul workload.
+func TestFastSlowEquivalenceMatmul(t *testing.T) {
+	fast, slow := runBoth(t, workload.MatmulSource(12, 2), asm.Options{})
+	requireSameState(t, fast, slow)
+	if fast.Instret < 10000 {
+		t.Errorf("matmul retired only %d instructions; workload too small to exercise blocks", fast.Instret)
+	}
+}
+
+// TestFastSlowEquivalenceSuite: every workload in the suite (jump tables,
+// tail calls, far calls, recursion, frame pointers) ends in identical state
+// on both dispatch paths.
+func TestFastSlowEquivalenceSuite(t *testing.T) {
+	for _, p := range workload.Programs() {
+		t.Run(p.Name, func(t *testing.T) {
+			fast, slow := runBoth(t, p.Source, asm.Options{})
+			requireSameState(t, fast, slow)
+			if fast.ExitCode != p.ExitCode {
+				t.Errorf("exit code %d, want %d", fast.ExitCode, p.ExitCode)
+			}
+		})
+	}
+}
+
+// patchWord is the encoding of "addi a0, zero, 42", the instruction the
+// self-modifying-code tests write over an "addi a0, zero, 7".
+func patchWord(t *testing.T) uint32 {
+	t.Helper()
+	w, err := riscv.Encode(riscv.Inst{
+		Mn: riscv.MnADDI, Rd: riscv.RegA0, Rs1: riscv.X0,
+		Rs2: riscv.RegNone, Rs3: riscv.RegNone, Imm: 42,
+	})
+	if err != nil {
+		t.Fatalf("encode patch word: %v", err)
+	}
+	return w
+}
+
+// TestSelfModifyingCodeCrossBlock: a function is executed (so its block is
+// decoded and cached), then a store from a *different* block rewrites its
+// first instruction, and the function runs again. The store must invalidate
+// the cached block: the second call returns 42, not the stale 7. Exit code
+// is the sum, 49, on both dispatch paths.
+func TestSelfModifyingCodeCrossBlock(t *testing.T) {
+	src := fmt.Sprintf(`
+	.text
+_start:
+	li s0, 0              # pass counter
+	li s1, 0              # accumulator
+	li t1, %d             # encoding of "addi a0, zero, 42"
+again:
+	jal ra, target
+	add s1, s1, a0
+	bnez s0, done
+	la t0, target
+	sw t1, 0(t0)          # patch target's first instruction
+	li s0, 1
+	j again
+done:
+	mv a0, s1
+	li a7, 93
+	ecall
+
+target:
+	addi a0, zero, 7
+	ret
+`, patchWord(t))
+	// NoCompress keeps every instruction 4 bytes so the sw overwrites
+	// exactly one instruction.
+	fast, slow := runBoth(t, src, asm.Options{NoCompress: true})
+	requireSameState(t, fast, slow)
+	if fast.ExitCode != 49 {
+		t.Errorf("exit code %d, want 49 (7 from the original body + 42 from the patched one)", fast.ExitCode)
+	}
+}
+
+// TestSelfModifyingCodeInBlock: the store rewrites an instruction *later in
+// its own straight-line block*. The fast path has already fused the stale
+// instruction into the running block, so it must notice the generation bump
+// mid-block and re-decode before reaching the patched address.
+func TestSelfModifyingCodeInBlock(t *testing.T) {
+	src := fmt.Sprintf(`
+	.text
+_start:
+	la t0, patchme
+	li t1, %d             # encoding of "addi a0, zero, 42"
+	li a0, 0
+	sw t1, 0(t0)          # overwrites an instruction in this same block
+	addi zero, zero, 0
+patchme:
+	addi a0, zero, 7      # replaced before it executes
+	li a7, 93
+	ecall
+`, patchWord(t))
+	fast, slow := runBoth(t, src, asm.Options{NoCompress: true})
+	requireSameState(t, fast, slow)
+	if fast.ExitCode != 42 {
+		t.Errorf("exit code %d, want 42 (stale pre-patch instruction executed)", fast.ExitCode)
+	}
+}
+
+// TestFastPathBudgetExactness: Run(n) must stop on the same instruction on
+// both paths even when n lands mid-block, and resuming must finish the
+// program identically.
+func TestFastPathBudgetExactness(t *testing.T) {
+	f, err := asm.Assemble(workload.MatmulSource(6, 1), asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	fast, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.SlowDispatch = true
+	// Odd prime budget: guaranteed to land mid-block somewhere.
+	for !fast.Exited {
+		rf := fast.Run(197)
+		rs := slow.Run(197)
+		if rf != rs {
+			t.Fatalf("stop reason after %d retired: fast %v, slow %v", fast.Instret, rf, rs)
+		}
+		if fast.PC != slow.PC || fast.Instret != slow.Instret {
+			t.Fatalf("divergence: fast pc=%#x instret=%d, slow pc=%#x instret=%d",
+				fast.PC, fast.Instret, slow.PC, slow.Instret)
+		}
+	}
+	requireSameState(t, fast, slow)
+}

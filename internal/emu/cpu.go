@@ -61,6 +61,14 @@ type CPU struct {
 	ExitCode int
 
 	Stdout io.Writer
+	// Stderr receives guest writes to fd 2. When nil, fd 2 falls back to
+	// Stdout (the historical behaviour, which conflated the two streams).
+	Stderr io.Writer
+
+	// SlowDispatch forces the per-instruction interpreter loop even when no
+	// Trace hook is installed. Tools use it to compare the superblock fast
+	// path against the reference dispatch (see block.go).
+	SlowDispatch bool
 
 	// Trace, when non-nil, runs before each instruction executes. Tools
 	// (and the trap-based instrumentation mode) hook here.
@@ -91,6 +99,16 @@ type CPU struct {
 	icOverflow    map[uint64]riscv.Inst
 	// icLo/icHi bound every cached address for cheap invalidation checks.
 	icLo, icHi uint64
+	// icGen is bumped whenever cached code is invalidated (store into code,
+	// WriteMem patch, fence.i). Superblocks record the generation they were
+	// decoded under and are re-decoded when it moves (see block.go).
+	icGen uint64
+
+	// Superblock cache: direct-mapped over the same executable window as
+	// icSlots, keyed by block start address, plus an overflow map for blocks
+	// outside it (trampolines).
+	blkSlots []*block
+	blkMap   map[uint64]*block
 
 	lastTrap error
 }
@@ -129,7 +147,9 @@ func New(f *elfrv.File, model *CostModel) (*CPU, error) {
 	if lo < hi && hi-lo <= maxWindow {
 		c.icBase, c.icEnd = lo, hi
 		c.icSlots = make([]riscv.Inst, (hi-lo+1)/2)
+		c.blkSlots = make([]*block, (hi-lo+1)/2)
 	}
+	c.blkMap = make(map[uint64]*block)
 	c.Mem.Map(StackTop-StackSize, StackSize+pageSize)
 	c.PC = f.Entry
 	c.X[riscv.RegSP] = StackTop - 64 // modest arg area, 16-byte aligned
@@ -193,12 +213,30 @@ func (c *CPU) invalidate(addr, n uint64) {
 	if start >= 2 {
 		start -= 2
 	}
+	dirtied := false
 	for a := start; a < addr+n; a += 2 {
 		if a >= c.icBase && a < c.icEnd {
-			c.icSlots[(a-c.icBase)>>1] = riscv.Inst{}
-		} else {
+			if c.icSlots[(a-c.icBase)>>1].Len != 0 {
+				c.icSlots[(a-c.icBase)>>1] = riscv.Inst{}
+				dirtied = true
+			}
+		} else if _, ok := c.icOverflow[a]; ok {
 			delete(c.icOverflow, a)
+			dirtied = true
 		}
+	}
+	// A write that dirtied cached code retires every superblock: blocks
+	// carry pre-decoded instruction runs, so the cheap (if coarse) way to
+	// keep them coherent is a generation bump that forces re-decode on next
+	// dispatch. The bump is gated on an actual cached decode being hit:
+	// [icLo, icHi) is a coarse range that can cover data sitting between
+	// code regions (instrumented binaries place trampolines above .bss),
+	// and ordinary data stores landing there must not thrash the block
+	// cache. A decoded instruction's slot stays populated for as long as
+	// any block containing it is valid (fetchAt caches unconditionally and
+	// every clear bumps the generation), so the gate cannot miss.
+	if dirtied {
+		c.icGen++
 	}
 }
 
@@ -209,10 +247,13 @@ func (c *CPU) FlushICache() {
 	}
 	c.icOverflow = make(map[uint64]riscv.Inst)
 	c.icLo, c.icHi = ^uint64(0), 0
+	c.icGen++
+	c.blkMap = make(map[uint64]*block)
 }
 
-func (c *CPU) fetch() (riscv.Inst, error) {
-	pc := c.PC
+func (c *CPU) fetch() (riscv.Inst, error) { return c.fetchAt(c.PC) }
+
+func (c *CPU) fetchAt(pc uint64) (riscv.Inst, error) {
 	inWindow := pc >= c.icBase && pc < c.icEnd
 	if inWindow {
 		if inst := c.icSlots[(pc-c.icBase)>>1]; inst.Len != 0 {
@@ -250,8 +291,19 @@ func (c *CPU) fetch() (riscv.Inst, error) {
 	return inst, nil
 }
 
+// stopNone is the internal "keep running" sentinel for dispatch helpers.
+const stopNone StopReason = -1
+
 // Run executes until exit, breakpoint, trap, or maxInst instructions
 // (0 = unlimited).
+//
+// Two dispatch engines sit behind Run. The superblock fast path executes
+// whole pre-decoded straight-line blocks per dispatch (block.go); it is
+// selected automatically whenever nothing needs per-instruction visibility.
+// The per-instruction slow path is used when a Trace hook is installed
+// (tools, oracle lockstep stepping), when SlowDispatch is set, or when the
+// remaining instruction budget is smaller than the next block — so budget
+// exhaustion stops at exactly the same instruction on both paths.
 func (c *CPU) Run(maxInst uint64) StopReason {
 	budget := maxInst
 	for {
@@ -261,25 +313,44 @@ func (c *CPU) Run(maxInst uint64) StopReason {
 		if maxInst != 0 && budget == 0 {
 			return StopMaxInst
 		}
+		if c.Trace == nil && !c.SlowDispatch {
+			if b := c.blockAt(c.PC); b != nil && (maxInst == 0 || budget >= b.n) {
+				retired, stop := c.runBlock(b)
+				if stop != stopNone {
+					return stop
+				}
+				budget -= retired
+				continue
+			}
+		}
 		budget--
-		inst, err := c.fetch()
-		if err != nil {
-			c.lastTrap = &Trap{PC: c.PC, Why: "fetch", Wrap: err}
-			return StopTrap
-		}
-		if c.Trace != nil {
-			c.Trace(c, inst)
-		}
-		if inst.Mn == riscv.MnEBREAK {
-			return StopBreakpoint
-		}
-		if stop, err := c.exec(inst); err != nil {
-			c.lastTrap = &Trap{PC: c.PC, Why: "execute " + inst.String(), Wrap: err}
-			return StopTrap
-		} else if stop {
-			return StopExit
+		if r := c.stepOne(); r != stopNone {
+			return r
 		}
 	}
+}
+
+// stepOne fetches, traces, and executes a single instruction — the
+// per-instruction slow path. It returns stopNone to keep running.
+func (c *CPU) stepOne() StopReason {
+	inst, err := c.fetch()
+	if err != nil {
+		c.lastTrap = &Trap{PC: c.PC, Why: "fetch", Wrap: err}
+		return StopTrap
+	}
+	if c.Trace != nil {
+		c.Trace(c, inst)
+	}
+	if inst.Mn == riscv.MnEBREAK {
+		return StopBreakpoint
+	}
+	if stop, err := c.exec(inst); err != nil {
+		c.lastTrap = &Trap{PC: c.PC, Why: "execute " + inst.String(), Wrap: err}
+		return StopTrap
+	} else if stop {
+		return StopExit
+	}
+	return stopNone
 }
 
 // Step executes exactly one instruction (used by the software single-step
@@ -295,10 +366,93 @@ func (c *CPU) setX(r riscv.Reg, v uint64) {
 }
 
 // exec executes one non-ebreak instruction. It returns stop=true when the
-// program exited via syscall.
+// program exited via syscall. Control transfer and system instructions are
+// handled here; everything straight-line is in execStraight so the
+// superblock engine can reuse it (block.go).
 func (c *CPU) exec(inst riscv.Inst) (stop bool, err error) {
 	cost := c.Model.Cost(inst.Mn)
 	next := inst.Next()
+	rs1 := c.X[inst.Rs1&31]
+	rs2 := c.X[inst.Rs2&31]
+
+	switch inst.Mn {
+	// ----- control transfer -----
+	case riscv.MnJAL:
+		c.setX(inst.Rd, next)
+		next = inst.Addr + uint64(inst.Imm)
+	case riscv.MnJALR:
+		t := (rs1 + uint64(inst.Imm)) &^ 1
+		c.setX(inst.Rd, next)
+		next = t
+	case riscv.MnBEQ:
+		if rs1 == rs2 {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBNE:
+		if rs1 != rs2 {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBLT:
+		if int64(rs1) < int64(rs2) {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBGE:
+		if int64(rs1) >= int64(rs2) {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBLTU:
+		if rs1 < rs2 {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+	case riscv.MnBGEU:
+		if rs1 >= rs2 {
+			next = inst.Addr + uint64(inst.Imm)
+			cost += c.Model.BranchTakenPenalty
+		}
+
+	// ----- system -----
+	case riscv.MnFENCEI:
+		c.FlushICache()
+	case riscv.MnECALL:
+		exited, e := c.syscall()
+		if e != nil {
+			return false, e
+		}
+		if exited {
+			c.PC = next
+			c.Cycles += cost
+			c.Instret++
+			return true, nil
+		}
+	case riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC,
+		riscv.MnCSRRWI, riscv.MnCSRRSI, riscv.MnCSRRCI:
+		if e := c.csrOp(inst); e != nil {
+			return false, e
+		}
+
+	default:
+		if e := c.execStraight(&inst); e != nil {
+			return false, e
+		}
+	}
+
+	c.PC = next
+	c.Cycles += cost
+	c.Instret++
+	return false, nil
+}
+
+// execStraight executes one straight-line (non-control-flow, non-system)
+// instruction: only register and memory state change, never the PC or the
+// counters. Both dispatch engines funnel through it — the slow path via
+// exec's default case, the superblock fast path as the generic body
+// handler for mnemonics without a dedicated one.
+func (c *CPU) execStraight(inst *riscv.Inst) error {
 	mn := inst.Mn
 	rs1 := c.X[inst.Rs1&31]
 	rs2 := c.X[inst.Rs2&31]
@@ -366,103 +520,64 @@ func (c *CPU) exec(inst riscv.Inst) (stop bool, err error) {
 	case riscv.MnSRAW:
 		c.setX(inst.Rd, uint64(int64(int32(rs1)>>(rs2&31))))
 
-	// ----- control transfer -----
-	case riscv.MnJAL:
-		c.setX(inst.Rd, next)
-		next = inst.Addr + uint64(inst.Imm)
-	case riscv.MnJALR:
-		t := (rs1 + uint64(inst.Imm)) &^ 1
-		c.setX(inst.Rd, next)
-		next = t
-	case riscv.MnBEQ:
-		if rs1 == rs2 {
-			next = inst.Addr + uint64(inst.Imm)
-			cost += c.Model.BranchTakenPenalty
-		}
-	case riscv.MnBNE:
-		if rs1 != rs2 {
-			next = inst.Addr + uint64(inst.Imm)
-			cost += c.Model.BranchTakenPenalty
-		}
-	case riscv.MnBLT:
-		if int64(rs1) < int64(rs2) {
-			next = inst.Addr + uint64(inst.Imm)
-			cost += c.Model.BranchTakenPenalty
-		}
-	case riscv.MnBGE:
-		if int64(rs1) >= int64(rs2) {
-			next = inst.Addr + uint64(inst.Imm)
-			cost += c.Model.BranchTakenPenalty
-		}
-	case riscv.MnBLTU:
-		if rs1 < rs2 {
-			next = inst.Addr + uint64(inst.Imm)
-			cost += c.Model.BranchTakenPenalty
-		}
-	case riscv.MnBGEU:
-		if rs1 >= rs2 {
-			next = inst.Addr + uint64(inst.Imm)
-			cost += c.Model.BranchTakenPenalty
-		}
-
 	// ----- loads and stores -----
 	case riscv.MnLB:
 		v, e := c.Mem.Read8(rs1 + uint64(inst.Imm))
 		if e != nil {
-			return false, e
+			return e
 		}
 		c.setX(inst.Rd, uint64(int64(int8(v))))
 	case riscv.MnLH:
 		v, e := c.Mem.Read16(rs1 + uint64(inst.Imm))
 		if e != nil {
-			return false, e
+			return e
 		}
 		c.setX(inst.Rd, uint64(int64(int16(v))))
 	case riscv.MnLW:
 		v, e := c.Mem.Read32(rs1 + uint64(inst.Imm))
 		if e != nil {
-			return false, e
+			return e
 		}
 		c.setX(inst.Rd, sext32(v))
 	case riscv.MnLD:
 		v, e := c.Mem.Read64(rs1 + uint64(inst.Imm))
 		if e != nil {
-			return false, e
+			return e
 		}
 		c.setX(inst.Rd, v)
 	case riscv.MnLBU:
 		v, e := c.Mem.Read8(rs1 + uint64(inst.Imm))
 		if e != nil {
-			return false, e
+			return e
 		}
 		c.setX(inst.Rd, uint64(v))
 	case riscv.MnLHU:
 		v, e := c.Mem.Read16(rs1 + uint64(inst.Imm))
 		if e != nil {
-			return false, e
+			return e
 		}
 		c.setX(inst.Rd, uint64(v))
 	case riscv.MnLWU:
 		v, e := c.Mem.Read32(rs1 + uint64(inst.Imm))
 		if e != nil {
-			return false, e
+			return e
 		}
 		c.setX(inst.Rd, uint64(v))
 	case riscv.MnSB:
 		if e := c.storeCheck(rs1+uint64(inst.Imm), 1, c.Mem.Write8(rs1+uint64(inst.Imm), uint8(rs2))); e != nil {
-			return false, e
+			return e
 		}
 	case riscv.MnSH:
 		if e := c.storeCheck(rs1+uint64(inst.Imm), 2, c.Mem.Write16(rs1+uint64(inst.Imm), uint16(rs2))); e != nil {
-			return false, e
+			return e
 		}
 	case riscv.MnSW:
 		if e := c.storeCheck(rs1+uint64(inst.Imm), 4, c.Mem.Write32(rs1+uint64(inst.Imm), uint32(rs2))); e != nil {
-			return false, e
+			return e
 		}
 	case riscv.MnSD:
 		if e := c.storeCheck(rs1+uint64(inst.Imm), 8, c.Mem.Write64(rs1+uint64(inst.Imm), rs2)); e != nil {
-			return false, e
+			return e
 		}
 
 	// ----- M extension -----
@@ -515,21 +630,21 @@ func (c *CPU) exec(inst riscv.Inst) (stop bool, err error) {
 	case riscv.MnLRW:
 		v, e := c.Mem.Read32(rs1)
 		if e != nil {
-			return false, e
+			return e
 		}
 		c.resValid, c.resAddr = true, rs1
 		c.setX(inst.Rd, sext32(v))
 	case riscv.MnLRD:
 		v, e := c.Mem.Read64(rs1)
 		if e != nil {
-			return false, e
+			return e
 		}
 		c.resValid, c.resAddr = true, rs1
 		c.setX(inst.Rd, v)
 	case riscv.MnSCW:
 		if c.resValid && c.resAddr == rs1 {
 			if e := c.storeCheck(rs1, 4, c.Mem.Write32(rs1, uint32(rs2))); e != nil {
-				return false, e
+				return e
 			}
 			c.setX(inst.Rd, 0)
 		} else {
@@ -539,7 +654,7 @@ func (c *CPU) exec(inst riscv.Inst) (stop bool, err error) {
 	case riscv.MnSCD:
 		if c.resValid && c.resAddr == rs1 {
 			if e := c.storeCheck(rs1, 8, c.Mem.Write64(rs1, rs2)); e != nil {
-				return false, e
+				return e
 			}
 			c.setX(inst.Rd, 0)
 		} else {
@@ -550,67 +665,44 @@ func (c *CPU) exec(inst riscv.Inst) (stop bool, err error) {
 		riscv.MnAMOORW, riscv.MnAMOMINW, riscv.MnAMOMAXW, riscv.MnAMOMINUW, riscv.MnAMOMAXUW:
 		old, e := c.Mem.Read32(rs1)
 		if e != nil {
-			return false, e
+			return e
 		}
 		nv := amo32(mn, old, uint32(rs2))
 		if e := c.storeCheck(rs1, 4, c.Mem.Write32(rs1, nv)); e != nil {
-			return false, e
+			return e
 		}
 		c.setX(inst.Rd, sext32(old))
 	case riscv.MnAMOSWAPD, riscv.MnAMOADDD, riscv.MnAMOXORD, riscv.MnAMOANDD,
 		riscv.MnAMOORD, riscv.MnAMOMIND, riscv.MnAMOMAXD, riscv.MnAMOMINUD, riscv.MnAMOMAXUD:
 		old, e := c.Mem.Read64(rs1)
 		if e != nil {
-			return false, e
+			return e
 		}
 		nv := amo64(mn, old, rs2)
 		if e := c.storeCheck(rs1, 8, c.Mem.Write64(rs1, nv)); e != nil {
-			return false, e
+			return e
 		}
 		c.setX(inst.Rd, old)
 
 	// ----- fences -----
 	case riscv.MnFENCE:
 		// no-op: the emulator is sequentially consistent
-	case riscv.MnFENCEI:
-		c.FlushICache()
-
-	// ----- system -----
-	case riscv.MnECALL:
-		exited, e := c.syscall()
-		if e != nil {
-			return false, e
-		}
-		if exited {
-			c.PC = next
-			c.Cycles += cost
-			c.Instret++
-			return true, nil
-		}
-	case riscv.MnCSRRW, riscv.MnCSRRS, riscv.MnCSRRC,
-		riscv.MnCSRRWI, riscv.MnCSRRSI, riscv.MnCSRRCI:
-		if e := c.csrOp(inst); e != nil {
-			return false, e
-		}
 
 	default:
-		if c.execExt(inst, rs1, rs2) {
+		if c.execExt(*inst, rs1, rs2) {
 			break
 		}
 		// Floating point (F and D extensions) in float.go.
-		handled, e := c.execFloat(inst)
+		handled, e := c.execFloat(*inst)
 		if e != nil {
-			return false, e
+			return e
 		}
 		if !handled {
-			return false, fmt.Errorf("emu: unimplemented instruction %v", inst)
+			return fmt.Errorf("emu: unimplemented instruction %v", inst)
 		}
 	}
 
-	c.PC = next
-	c.Cycles += cost
-	c.Instret++
-	return false, nil
+	return nil
 }
 
 // storeCheck funnels store errors and keeps the icache coherent for stores

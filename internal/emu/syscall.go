@@ -2,9 +2,14 @@ package emu
 
 import (
 	"fmt"
+	"io"
 
 	"rvdyn/internal/riscv"
 )
+
+// maxWriteChunk is the largest byte count one write(2) transfers; longer
+// requests return a partial count, as Linux's MAX_RW_COUNT cap does.
+const maxWriteChunk = 1 << 20
 
 // Linux riscv64 syscall numbers the emulator services. The workload
 // programs use write, exit, and clock_gettime (the paper's benchmark
@@ -49,20 +54,38 @@ func (c *CPU) syscall() (exited bool, err error) {
 		}
 		return true, nil
 	case sysWrite:
-		if a2 > 1<<20 {
-			ret = errnoRet(22) // EINVAL
+		var w io.Writer
+		switch a0 {
+		case 1:
+			w = c.Stdout
+		case 2:
+			w = c.Stderr
+			if w == nil {
+				w = c.Stdout
+			}
+		default:
+			ret = errnoRet(9) // EBADF: only stdout and stderr are open
+		}
+		if w == nil {
 			break
 		}
-		buf := make([]byte, a2)
+		// Linux caps a single write at MAX_RW_COUNT and returns the partial
+		// count; we do the same with a 1 MiB cap (which also bounds the
+		// copy buffer). Callers that loop on short writes keep working.
+		n := a2
+		if n > maxWriteChunk {
+			n = maxWriteChunk
+		}
+		buf := make([]byte, n)
 		if e := c.Mem.ReadBytes(a1, buf); e != nil {
 			ret = errnoRet(14) // EFAULT
 			break
 		}
-		if _, e := c.Stdout.Write(buf); e != nil {
+		if _, e := w.Write(buf); e != nil {
 			ret = errnoRet(5) // EIO
 			break
 		}
-		ret = a2
+		ret = n
 	case sysRead:
 		ret = 0 // EOF
 	case sysClose, sysFstat:
@@ -79,6 +102,13 @@ func (c *CPU) syscall() (exited bool, err error) {
 		size := (a1 + pageSize - 1) &^ (pageSize - 1)
 		if size == 0 || size > 1<<30 {
 			ret = errnoRet(22)
+			break
+		}
+		// The bump allocator grows upward from MmapBase; refuse a mapping
+		// that would cross into the stack region rather than silently
+		// clobbering it.
+		if c.mmapNext+size > StackTop-StackSize {
+			ret = errnoRet(12) // ENOMEM
 			break
 		}
 		addr := c.mmapNext

@@ -66,10 +66,10 @@ _start:
 	li a7, 64
 	ecall
 	mv s0, a0
-	# absurd length -> -EINVAL
-	li a0, 1
+	# write to a file descriptor that is not open -> -EBADF
+	li a0, 7
 	la a1, ok
-	li a2, 0x200000
+	li a2, 1
 	li a7, 64
 	ecall
 	mv s1, a0
@@ -93,11 +93,140 @@ ok:
 	if int64(c.X[riscv.RegS0]) != -14 {
 		t.Errorf("write(bad buf) = %d, want -EFAULT", int64(c.X[riscv.RegS0]))
 	}
-	if int64(c.X[riscv.RegS1]) != -22 {
-		t.Errorf("write(huge len) = %d, want -EINVAL", int64(c.X[riscv.RegS1]))
+	if int64(c.X[riscv.RegS1]) != -9 {
+		t.Errorf("write(fd 7) = %d, want -EBADF", int64(c.X[riscv.RegS1]))
 	}
 	if out.Len() != 0 {
 		t.Errorf("failed writes emitted output: %q", out.String())
+	}
+}
+
+// TestWriteStderrRouting: fd 1 and fd 2 reach distinct writers when Stderr
+// is wired, and fd 2 falls back to Stdout when it is not. The pre-fix
+// emulator conflated the two streams unconditionally.
+func TestWriteStderrRouting(t *testing.T) {
+	const src = `
+	.text
+_start:
+	li a0, 1
+	la a1, msg_out
+	li a2, 4
+	li a7, 64
+	ecall
+	li a0, 2
+	la a1, msg_err
+	li a2, 4
+	li a7, 64
+	ecall
+	mv s0, a0
+	ebreak
+	.data
+msg_out:
+	.ascii "out\n"
+msg_err:
+	.ascii "err\n"
+`
+	f, err := asm.Assemble(src, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	c.Stdout, c.Stderr = &out, &errOut
+	if r := c.Run(0); r != StopBreakpoint {
+		t.Fatalf("stopped: %v (%v)", r, c.LastTrap())
+	}
+	if out.String() != "out\n" || errOut.String() != "err\n" {
+		t.Errorf("split streams: stdout=%q stderr=%q", out.String(), errOut.String())
+	}
+	if c.X[riscv.RegS0] != 4 {
+		t.Errorf("write(fd 2) = %d, want 4", int64(c.X[riscv.RegS0]))
+	}
+
+	// Stderr unset: fd 2 falls back to Stdout for compatibility.
+	c2, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var both bytes.Buffer
+	c2.Stdout = &both
+	if r := c2.Run(0); r != StopBreakpoint {
+		t.Fatalf("stopped: %v (%v)", r, c2.LastTrap())
+	}
+	if both.String() != "out\nerr\n" {
+		t.Errorf("fallback stream: %q, want %q", both.String(), "out\nerr\n")
+	}
+}
+
+// TestWritePartial: a write longer than the transfer cap returns the
+// partial count (Linux MAX_RW_COUNT semantics) instead of the old EINVAL.
+func TestWritePartial(t *testing.T) {
+	c := runToBreak(t, `
+	.text
+_start:
+	# mmap 2 MiB to use as a source buffer
+	li a0, 0
+	li a1, 0x200000
+	li a7, 222
+	ecall
+	mv s0, a0
+	# write(1, buf, 2 MiB) -> partial count
+	mv a1, a0
+	li a0, 1
+	li a2, 0x200000
+	li a7, 64
+	ecall
+	mv s1, a0
+	ebreak
+`)
+	if int64(c.X[riscv.RegS0]) < 0 {
+		t.Fatalf("mmap failed: %d", int64(c.X[riscv.RegS0]))
+	}
+	if c.X[riscv.RegS1] != 1<<20 {
+		t.Errorf("write(2 MiB) = %d, want partial count %d", int64(c.X[riscv.RegS1]), 1<<20)
+	}
+}
+
+// TestMmapStackCollision: the bump allocator must refuse a mapping that
+// would cross into the stack region instead of silently clobbering it.
+func TestMmapStackCollision(t *testing.T) {
+	c := runToBreak(t, `
+	.text
+_start:
+	li s5, 0xdead
+	sd s5, 0(sp)          # canary on the live stack
+	li s4, 0
+	li t0, 8              # more 256 MiB requests than the space holds
+mmap_loop:
+	li a0, 0
+	li a1, 0x10000000
+	li a7, 222
+	ecall
+	bltz a0, mmap_done    # first failure ends the loop
+	mv s0, a0
+	addi s4, s4, 1
+	addi t0, t0, -1
+	bnez t0, mmap_loop
+mmap_done:
+	mv s1, a0             # errno of the failing mmap (or last success)
+	ld s2, 0(sp)          # canary must have survived
+	ebreak
+`)
+	if int64(c.X[riscv.RegS1]) != -12 {
+		t.Fatalf("colliding mmap = %d, want -ENOMEM", int64(c.X[riscv.RegS1]))
+	}
+	if n := c.X[riscv.RegS4]; n == 0 || n >= 8 {
+		t.Errorf("mmap successes before ENOMEM = %d, want within (0, 8)", n)
+	}
+	if end := c.X[riscv.RegS0] + 0x10000000; end > StackTop-StackSize {
+		t.Errorf("last granted mapping ends at %#x, inside the stack region", end)
+	}
+	if c.X[riscv.RegS2] != 0xdead {
+		t.Errorf("stack canary clobbered: %#x", c.X[riscv.RegS2])
 	}
 }
 

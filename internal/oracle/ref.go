@@ -44,6 +44,9 @@ type Ref struct {
 	Instret  uint64
 
 	Stdout io.Writer
+	// Stderr receives fd-2 writes; when nil they fall back to Stdout,
+	// mirroring the fast engine's routing exactly.
+	Stderr io.Writer
 
 	// TimeFn supplies the virtual clock for clock_gettime/gettimeofday and
 	// the time CSR; CycleFn supplies the cycle CSR. The reference engine has

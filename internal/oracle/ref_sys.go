@@ -2,6 +2,7 @@ package oracle
 
 import (
 	"fmt"
+	"io"
 
 	"rvdyn/internal/emu"
 	"rvdyn/internal/riscv"
@@ -45,20 +46,37 @@ func (r *Ref) syscall() (exited bool, err error) {
 		r.ExitCode = int(int64(a0))
 		return true, nil
 	case refSysWrite:
-		if a2 > 1<<20 {
-			ret = refErrno(22) // EINVAL
+		// fd routing, the EBADF case, and the 1 MiB partial-write cap all
+		// mirror emu's sysWrite byte for byte.
+		var w io.Writer
+		switch a0 {
+		case 1:
+			w = r.Stdout
+		case 2:
+			w = r.Stderr
+			if w == nil {
+				w = r.Stdout
+			}
+		default:
+			ret = refErrno(9) // EBADF
+		}
+		if w == nil {
 			break
 		}
-		buf := make([]byte, a2)
+		n := a2
+		if n > 1<<20 {
+			n = 1 << 20
+		}
+		buf := make([]byte, n)
 		if e := r.mem.read(a1, buf); e != nil {
 			ret = refErrno(14) // EFAULT
 			break
 		}
-		if _, e := r.Stdout.Write(buf); e != nil {
+		if _, e := w.Write(buf); e != nil {
 			ret = refErrno(5) // EIO
 			break
 		}
-		ret = a2
+		ret = n
 	case refSysRead:
 		ret = 0 // EOF
 	case refSysClose, refSysFstat:
@@ -75,6 +93,10 @@ func (r *Ref) syscall() (exited bool, err error) {
 		size := (a1 + refPageSize - 1) &^ (refPageSize - 1)
 		if size == 0 || size > 1<<30 {
 			ret = refErrno(22)
+			break
+		}
+		if r.mmapNext+size > emu.StackTop-emu.StackSize {
+			ret = refErrno(12) // ENOMEM: would collide with the stack
 			break
 		}
 		addr := r.mmapNext

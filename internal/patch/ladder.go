@@ -88,10 +88,10 @@ func JumpPatch(from, to uint64, room uint64, arch riscv.ExtSet,
 			return PatchJAL, []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}, nil
 		}
 	}
-	if room >= 8 && scratch != riscv.RegNone && scratch != riscv.X0 {
+	if room >= 8 && scratch != riscv.RegNone && scratch != riscv.X0 &&
+		auipcJalrReaches(offset) {
 		hi := (offset + 0x800) >> 12
 		lo := offset - hi<<12
-		hi = hi << 44 >> 44
 		auipc, err1 := riscv.Encode(riscv.Inst{
 			Mn: riscv.MnAUIPC, Rd: scratch,
 			Rs1: riscv.RegNone, Rs2: riscv.RegNone, Rs3: riscv.RegNone, Imm: hi,
@@ -108,6 +108,10 @@ func JumpPatch(from, to uint64, room uint64, arch riscv.ExtSet,
 		}
 	}
 	if allowTrap && room >= 2 {
+		// Reached when no direct rung fits: offset beyond ±2 GiB, an odd
+		// offset, or no room/scratch. The failure must be loud (trap or
+		// error) — an auipc+jalr with a truncated or rounded immediate would
+		// jump somewhere, silently, which corrupts the rewritten binary.
 		if arch.Has(riscv.ExtC) {
 			return PatchTrap, []byte{0x02, 0x90}, nil // c.ebreak
 		}
@@ -119,4 +123,15 @@ func JumpPatch(from, to uint64, room uint64, arch riscv.ExtSet,
 	return 0, nil, fmt.Errorf(
 		"patch: no jump from %#x to %#x fits in %d bytes (offset %d, scratch %v, trap %v)",
 		from, to, room, offset, scratch, allowTrap)
+}
+
+// auipcJalrReaches reports whether the auipc+jalr pair can hit offset
+// exactly. The pair computes pc + sext(hi<<12) + sext(lo) with hi a signed
+// 20-bit U-type immediate (after rounding lo into [-2048, 2047]), so the
+// reach is about ±2 GiB — an offset whose rounded hi overflows 20 bits
+// would be silently truncated into a wrong-target jump. jalr additionally
+// clears bit 0 of the target, so an odd offset would land one byte short.
+func auipcJalrReaches(offset int64) bool {
+	hi := (offset + 0x800) >> 12
+	return offset&1 == 0 && hi >= -(1<<19) && hi < 1<<19
 }

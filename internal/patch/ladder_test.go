@@ -1,0 +1,93 @@
+package patch
+
+import (
+	"testing"
+
+	"rvdyn/internal/riscv"
+)
+
+// auipcJalrTarget decodes an 8-byte auipc+jalr patch placed at `from` and
+// returns the address it actually jumps to, reproducing the hardware's
+// arithmetic: from + sext(hi<<12) + sext(lo), with jalr's bit-0 clear.
+func auipcJalrTarget(t *testing.T, from uint64, b []byte) uint64 {
+	t.Helper()
+	if len(b) != 8 {
+		t.Fatalf("auipc+jalr patch is %d bytes, want 8", len(b))
+	}
+	auipc, err := riscv.Decode(b[:4], from)
+	if err != nil || auipc.Mn != riscv.MnAUIPC {
+		t.Fatalf("first patch word: %v (err %v), want auipc", auipc.Mn, err)
+	}
+	jalr, err := riscv.Decode(b[4:], from+4)
+	if err != nil || jalr.Mn != riscv.MnJALR {
+		t.Fatalf("second patch word: %v (err %v), want jalr", jalr.Mn, err)
+	}
+	return (from + uint64(auipc.Imm<<12) + uint64(jalr.Imm)) &^ 1
+}
+
+// TestAuipcJalrExactTarget: every offset the auipc+jalr rung accepts must
+// land exactly on the requested target, including at the ±2 GiB edges.
+func TestAuipcJalrExactTarget(t *testing.T) {
+	const from = uint64(0x10_0000_0000)
+	offsets := []int64{
+		1 << 22, -(1 << 22), // comfortably in range (beyond jal's ±1 MiB)
+		1<<31 - 2050,      // largest even reachable forward offset
+		-(1 << 31) - 2048, // smallest reachable backward offset
+	}
+	for _, off := range offsets {
+		to := uint64(int64(from) + off)
+		kind, b, err := JumpPatch(from, to, 8, riscv.RV64GC, riscv.RegT0, false)
+		if err != nil {
+			t.Errorf("offset %d: %v", off, err)
+			continue
+		}
+		if kind != PatchAuipcJalr {
+			t.Errorf("offset %d: kind = %v, want auipc+jalr", off, kind)
+			continue
+		}
+		if got := auipcJalrTarget(t, from, b); got != to {
+			t.Errorf("offset %d: patch jumps to %#x, want %#x (off by %d)",
+				off, got, to, int64(got)-int64(to))
+		}
+	}
+}
+
+// TestAuipcJalrRangeCheck: offsets the rung cannot encode must fall through
+// to the trap rung or an error — never a silently wrong-target patch. Before
+// the range check, the hi immediate was truncated with <<44>>44 and a
+// beyond-±2 GiB offset produced a valid-looking jump to the wrong address.
+func TestAuipcJalrRangeCheck(t *testing.T) {
+	const from = uint64(0x10_0000_0000)
+	cases := []struct {
+		name string
+		off  int64
+	}{
+		{"one past max", 1<<31 - 2048},
+		{"one past min", -(1 << 31) - 2050},
+		{"far beyond", 1 << 40},
+		{"far behind", -(1 << 40)},
+		{"odd offset", 1<<22 + 1}, // jalr clears bit 0: would land 1 byte short
+	}
+	for _, c := range cases {
+		to := uint64(int64(from) + c.off)
+
+		// Without the trap rung the ladder must fail loudly.
+		kind, b, err := JumpPatch(from, to, 8, riscv.RV64GC, riscv.RegT0, false)
+		if err == nil {
+			got := uint64(0)
+			if kind == PatchAuipcJalr {
+				got = auipcJalrTarget(t, from, b)
+			}
+			t.Errorf("%s (offset %d): got %v to %#x, want error (target %#x)",
+				c.name, c.off, kind, got, to)
+		}
+
+		// With the trap rung allowed it must select the trap, not a jump.
+		kind, _, err = JumpPatch(from, to, 8, riscv.RV64GC, riscv.RegT0, true)
+		if err != nil {
+			t.Errorf("%s (offset %d): trap fallback errored: %v", c.name, c.off, err)
+		} else if kind != PatchTrap {
+			t.Errorf("%s (offset %d): kind = %v, want trap", c.name, c.off, kind)
+		}
+	}
+}

@@ -404,3 +404,58 @@ indirect:
 		t.Errorf("exit = %d", p.ExitCode())
 	}
 }
+
+// TestBreakpointFastSlowParity: breakpoints planted while the emulator runs
+// the fused-dispatch fast path must fire exactly as they do under
+// per-instruction dispatch. Planting an ebreak rewrites cached code, so this
+// exercises the block cache's invalidation from the debugger side: the
+// rebuilt block must terminate at the breakpoint, and disable/re-enable on
+// resume must keep the two paths in lockstep.
+func TestBreakpointFastSlowParity(t *testing.T) {
+	src := workload.MatmulSource(8, 2)
+	run := func(slowDispatch bool) (hits int, cpu *emu.CPU) {
+		f := build(t, src)
+		p, err := Launch(f, emu.P550())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.CPU().SlowDispatch = slowDispatch
+		mul, ok := f.Symbol("multiply")
+		if !ok {
+			t.Fatal("no multiply symbol")
+		}
+		bp, err := p.InsertBreakpoint(mul.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Callback = func(*Process, *Breakpoint) bool {
+			hits++
+			return true
+		}
+		ev, err := p.Continue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != EventExit || ev.ExitCode != 0 {
+			t.Fatalf("event = %+v", ev)
+		}
+		return hits, p.CPU()
+	}
+	fastHits, fast := run(false)
+	slowHits, slow := run(true)
+	if fastHits != slowHits {
+		t.Errorf("breakpoint hits: fast %d, slow %d", fastHits, slowHits)
+	}
+	if fastHits == 0 {
+		t.Error("breakpoint never hit")
+	}
+	if fast.Cycles != slow.Cycles || fast.Instret != slow.Instret {
+		t.Errorf("counters: fast (%d cycles, %d instret), slow (%d, %d)",
+			fast.Cycles, fast.Instret, slow.Cycles, slow.Instret)
+	}
+	for i := range fast.X {
+		if fast.X[i] != slow.X[i] {
+			t.Errorf("x%d: fast %#x, slow %#x", i, fast.X[i], slow.X[i])
+		}
+	}
+}
