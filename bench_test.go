@@ -22,6 +22,7 @@ import (
 	"rvdyn/internal/emu"
 	"rvdyn/internal/parse"
 	"rvdyn/internal/patch"
+	"rvdyn/internal/pipeline"
 	"rvdyn/internal/proc"
 	"rvdyn/internal/riscv"
 	"rvdyn/internal/snippet"
@@ -355,6 +356,42 @@ func benchParse(b *testing.B, workers int) {
 
 func BenchmarkAblationParallelParseSerial(b *testing.B) { benchParse(b, 1) }
 func BenchmarkAblationParallelParse8(b *testing.B)      { benchParse(b, 8) }
+
+// ---------------------------------------------------------------------------
+// Pipeline throughput: the full analyze→instrument batch (assemble → parse →
+// plan → encode → splice → serialize) over the workload suite plus synthetic
+// multi-function programs, at increasing worker counts. The serial/parallel
+// ratio is the EXPERIMENTS.md speedup table; output bytes are identical at
+// every width (pipeline's golden tests pin that), so the benchmark measures
+// pure scheduling, not different work.
+
+func benchPipelineBatch(b *testing.B, workers int) {
+	if testing.Short() {
+		b.Skip("batch pipeline benchmark: skipped in -short mode")
+	}
+	jobs := append(pipeline.WorkloadJobs(), pipeline.SyntheticJobs(10, 60, 6)...)
+	opts := pipeline.Options{Jobs: workers}
+	var emitted int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, stats, err := pipeline.Batch(jobs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(jobs) {
+			b.Fatalf("got %d results, want %d", len(results), len(jobs))
+		}
+		emitted = stats.BytesEmitted.Load()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "binaries/s")
+	b.ReportMetric(float64(emitted), "bytes_emitted")
+}
+
+func BenchmarkPipelineBatch1(b *testing.B) { benchPipelineBatch(b, 1) }
+func BenchmarkPipelineBatch2(b *testing.B) { benchPipelineBatch(b, 2) }
+func BenchmarkPipelineBatch4(b *testing.B) { benchPipelineBatch(b, 4) }
+func BenchmarkPipelineBatch8(b *testing.B) { benchPipelineBatch(b, 8) }
 
 // ---------------------------------------------------------------------------
 // Substrate microbenchmarks: decoder and emulator throughput.

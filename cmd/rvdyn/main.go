@@ -17,7 +17,14 @@
 //	                                         instrument + execute, print count
 //	rvdyn oracle [-mode sweep|replay|equiv] [flags] [prog.elf]
 //	                                         differential-execution oracle
+//	rvdyn batch [-points p] [-mode m] [-synthetic N] [-o dir]
+//	                                         instrument every workload program
+//	                                         concurrently, print phase stats
 //	rvdyn components                         the Figure 2 component graph
+//
+// The global -jobs N flag (before the subcommand) bounds the worker pool of
+// the parallel analyze/instrument phases; output is byte-identical for every
+// value. Default is GOMAXPROCS.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"rvdyn/internal/codegen"
 	"rvdyn/internal/core"
@@ -36,18 +44,23 @@ import (
 	"rvdyn/internal/instruction"
 	"rvdyn/internal/oracle"
 	"rvdyn/internal/parse"
+	"rvdyn/internal/pipeline"
 	"rvdyn/internal/proc"
 	"rvdyn/internal/riscv"
 	"rvdyn/internal/snippet"
 )
 
+var jobsFlag = flag.Int("jobs", 0, "workers for parallel analyze/instrument phases (default GOMAXPROCS)")
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rvdyn: ")
-	if len(os.Args) < 2 {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "symbols":
 		cmdSymbols(args)
@@ -65,6 +78,8 @@ func main() {
 		cmdRun(args)
 	case "oracle":
 		cmdOracle(args)
+	case "batch":
+		cmdBatch(args)
 	case "components":
 		cmdComponents()
 	default:
@@ -73,7 +88,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rvdyn {symbols|disasm|cfg|liveness|slice|rewrite|run|oracle|components} [flags] prog.elf")
+	fmt.Fprintln(os.Stderr, "usage: rvdyn [-jobs N] {symbols|disasm|cfg|liveness|slice|rewrite|run|oracle|batch|components} [flags] prog.elf")
 	os.Exit(2)
 }
 
@@ -81,7 +96,7 @@ func openArg(fs *flag.FlagSet) *core.Binary {
 	if fs.NArg() != 1 {
 		log.Fatal("need exactly one ELF file")
 	}
-	b, err := core.OpenPath(fs.Arg(0))
+	b, err := core.OpenPathJobs(fs.Arg(0), *jobsFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -448,6 +463,60 @@ func cmdOracle(args []string) {
 	default:
 		log.Fatalf("unknown oracle mode %q", *mode)
 	}
+}
+
+func cmdBatch(args []string) {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	points := fs.String("points", "entry", "points per function: entry, exits, or blocks")
+	mode := fs.String("mode", "dead", "register allocation: dead or spill")
+	synthetic := fs.Int("synthetic", 0, "append N synthetic random programs to the batch")
+	outDir := fs.String("o", "", "directory to write instrumented ELFs into (optional)")
+	verify := fs.Bool("verify", true, "execute each instrumented binary and check exit codes")
+	fs.Parse(args)
+
+	batch := pipeline.WorkloadJobs()
+	if *synthetic > 0 {
+		batch = append(batch, pipeline.SyntheticJobs(*synthetic, 40, 4)...)
+	}
+	opts := pipeline.Options{Jobs: *jobsFlag, Mode: parseMode(*mode), Points: *points}
+
+	start := time.Now()
+	results, stats, err := pipeline.Batch(batch, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	for _, res := range results {
+		fmt.Printf("%-14s %6d bytes  %d patches", res.Name, len(res.ELF), len(res.Patches))
+		if *verify {
+			cpu, err := emu.New(res.File, emu.P550())
+			if err != nil {
+				log.Fatalf("%s: %v", res.Name, err)
+			}
+			if r := cpu.Run(0); r != emu.StopExit {
+				log.Fatalf("%s: stopped %v (%v)", res.Name, r, cpu.LastTrap())
+			}
+			if res.CheckExit && cpu.ExitCode != res.WantExit {
+				log.Fatalf("%s: exit code %d, want %d", res.Name, cpu.ExitCode, res.WantExit)
+			}
+			fmt.Printf("  exit %d ok", cpu.ExitCode)
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := *outDir + "/" + res.Name + ".elf"
+			if err := os.WriteFile(path, res.ELF, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  -> %s", path)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Print(stats)
+	fmt.Printf("wall time: %.3f ms with %d workers\n", float64(wall)/1e6, opts.Workers())
 }
 
 func cmdComponents() {

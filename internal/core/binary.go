@@ -38,37 +38,57 @@ type Binary struct {
 	File   *elfrv.File
 	Symtab *symtab.Symtab
 	CFG    *parse.CFG
+	// Jobs bounds the worker count of the parallel analyze/instrument
+	// phases (CFG parsing, patch planning and encoding). <= 0 means
+	// GOMAXPROCS; 1 forces the serial path. The output of Rewrite is
+	// byte-identical for every value.
+	Jobs int
 }
 
 // Open parses and analyzes raw ELF bytes.
 func Open(data []byte) (*Binary, error) {
+	return OpenJobs(data, 0)
+}
+
+// OpenJobs is Open with an explicit worker count for the parallel phases.
+func OpenJobs(data []byte, jobs int) (*Binary, error) {
 	f, err := elfrv.Read(data)
 	if err != nil {
 		return nil, err
 	}
-	return FromFile(f)
+	return FromFileJobs(f, jobs)
 }
 
 // OpenPath reads and analyzes an ELF file on disk.
 func OpenPath(path string) (*Binary, error) {
+	return OpenPathJobs(path, 0)
+}
+
+// OpenPathJobs is OpenPath with an explicit worker count.
+func OpenPathJobs(path string, jobs int) (*Binary, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return Open(data)
+	return OpenJobs(data, jobs)
 }
 
 // FromFile analyzes an in-memory file object.
 func FromFile(f *elfrv.File) (*Binary, error) {
+	return FromFileJobs(f, 0)
+}
+
+// FromFileJobs is FromFile with an explicit worker count.
+func FromFileJobs(f *elfrv.File, jobs int) (*Binary, error) {
 	st, err := symtab.FromFile(f)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := parse.Parse(st, parse.Options{})
+	cfg, err := parse.Parse(st, parse.Options{Workers: jobs})
 	if err != nil {
 		return nil, err
 	}
-	return &Binary{File: f, Symtab: st, CFG: cfg}, nil
+	return &Binary{File: f, Symtab: st, CFG: cfg, Jobs: jobs}, nil
 }
 
 // Functions lists the parsed functions.
@@ -93,9 +113,12 @@ type Mutator struct {
 	*patch.Rewriter
 }
 
-// NewMutator prepares static rewriting in the given codegen mode.
+// NewMutator prepares static rewriting in the given codegen mode. The
+// mutator inherits the binary's Jobs setting for parallel plan/encode.
 func (b *Binary) NewMutator(mode codegen.Mode) *Mutator {
-	return &Mutator{Rewriter: patch.NewRewriter(b.Symtab, b.CFG, mode)}
+	rw := patch.NewRewriter(b.Symtab, b.CFG, mode)
+	rw.Jobs = b.Jobs
+	return &Mutator{Rewriter: rw}
 }
 
 // AtFuncEntry inserts sn at the function entry point.

@@ -38,6 +38,8 @@ func Components() []Component {
 			"riscv", "snippet", "stackwalk", "symtab"}},
 		{Name: "oracle", Role: "differential-execution oracle (QEMU/hardware cross-check substitute)", Uses: []string{
 			"asm", "codegen", "core", "elfrv", "emu", "riscv", "snippet"}, Substrate: true},
+		{Name: "pipeline", Role: "concurrent analyze→instrument worker pool", Uses: []string{
+			"asm", "codegen", "elfrv", "parse", "patch", "snippet", "symtab", "workload"}},
 	}
 	for i := range comps {
 		sort.Strings(comps[i].Uses)

@@ -162,6 +162,9 @@ func (f *File) SectionAt(addr uint64) *Section {
 
 // ReadAt copies bytes at the given virtual address out of the file image.
 func (f *File) ReadAt(addr uint64, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("elfrv: negative read length %d at %#x", n, addr)
+	}
 	s := f.SectionAt(addr)
 	if s == nil {
 		return nil, fmt.Errorf("elfrv: address %#x not mapped by any alloc section", addr)
@@ -216,8 +219,18 @@ func (f *File) Write() ([]byte, error) {
 	symstr := newStrtab()
 
 	// Section order: null, user sections, .symtab, .strtab, .shstrtab.
+	// Alignment sanity first: a corrupt input file (this File may have come
+	// from Read over attacker-controlled bytes) can carry alignments like
+	// 1<<63 that would balloon the layout into a near-endless zero-fill.
+	// Reject those instead of degrading into an effective hang.
 	var secs []*sec
 	for _, s := range f.Sections {
+		if s.Align&(s.Align-1) != 0 {
+			return nil, fmt.Errorf("elfrv: section %s alignment %#x is not a power of two", s.Name, s.Align)
+		}
+		if s.Align > pageSize {
+			return nil, fmt.Errorf("elfrv: section %s alignment %#x exceeds the page size", s.Name, s.Align)
+		}
 		secs = append(secs, &sec{Section: s})
 	}
 
@@ -318,6 +331,14 @@ func (f *File) Write() ([]byte, error) {
 	shoff := (off + 7) &^ 7
 	shnum := len(secs) + 1 // plus null section
 
+	// A corrupt input can legally reach here with tens of thousands of
+	// page-aligned loadable sections whose zero-fill would balloon the
+	// output to gigabytes. Bound the total layout instead of writing it.
+	const maxWriteSize = 1 << 30
+	if end := shoff + uint64(shnum)*shentsize; end > maxWriteSize {
+		return nil, fmt.Errorf("elfrv: refusing to write %d-byte layout (cap %d)", end, uint64(maxWriteSize))
+	}
+
 	var out bytes.Buffer
 	// ELF header.
 	ident := [16]byte{0x7f, 'E', 'L', 'F', 2 /*64-bit*/, 1 /*LE*/, 1 /*version*/}
@@ -369,8 +390,8 @@ func (f *File) Write() ([]byte, error) {
 
 	// Section contents.
 	pad := func(n uint64) {
-		for uint64(out.Len()) < n {
-			out.WriteByte(0)
+		if cur := uint64(out.Len()); cur < n {
+			out.Write(make([]byte, n-cur))
 		}
 	}
 	writeOrder := append([]*sec(nil), secs...)

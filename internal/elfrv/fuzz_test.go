@@ -1,0 +1,95 @@
+package elfrv
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzELFRead drives the loader and every accessor over arbitrary bytes.
+// The contract under test is graceful degradation: Read and everything
+// downstream of it must return errors (or empty results) on corrupt input,
+// never panic, hang, or balloon memory. The seed corpus covers the corrupt
+// shapes the issue calls out — truncations, overlapping sections, and
+// corrupt headers — plus an intact file so the happy path stays in the mix.
+func FuzzELFRead(f *testing.F) {
+	good, err := buildTestFile().Write()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+
+	// Truncations at structurally interesting boundaries.
+	for _, n := range []int{0, 4, 16, 63, 64, 120, len(good) / 2, len(good) - 1} {
+		if n < len(good) {
+			f.Add(append([]byte(nil), good[:n]...))
+		}
+	}
+
+	le := binary.LittleEndian
+	mutate := func(mut func(b []byte)) {
+		b := append([]byte(nil), good...)
+		mut(b)
+		f.Add(b)
+	}
+	// Corrupt header fields: shoff past EOF, shoff wrapping, absurd
+	// shentsize/shnum, shstrndx out of bounds, zero shentsize.
+	mutate(func(b []byte) { le.PutUint64(b[40:], uint64(len(b))+1) })
+	mutate(func(b []byte) { le.PutUint64(b[40:], ^uint64(0)-32) })
+	mutate(func(b []byte) { le.PutUint16(b[58:], 0) })
+	mutate(func(b []byte) { le.PutUint16(b[58:], 0xffff) })
+	mutate(func(b []byte) { le.PutUint16(b[60:], 0xffff) })
+	mutate(func(b []byte) { le.PutUint16(b[62:], 0xfffe) })
+	// Corrupt section headers: find the header table and bend the first real
+	// entry — offset past EOF, size wrapping, huge alignment (the Write-side
+	// hang), entsize 0 on a symtab, and two sections claiming the same file
+	// range (overlap).
+	shoff := le.Uint64(good[40:])
+	shentsize := uint64(le.Uint16(good[58:]))
+	sh := func(i uint64) uint64 { return shoff + i*shentsize }
+	mutate(func(b []byte) { le.PutUint64(b[sh(1)+24:], uint64(len(b))) })
+	mutate(func(b []byte) { le.PutUint64(b[sh(1)+32:], ^uint64(0)) })
+	mutate(func(b []byte) { le.PutUint64(b[sh(1)+48:], 1<<63) })
+	mutate(func(b []byte) { le.PutUint64(b[sh(1)+48:], 3) })
+	mutate(func(b []byte) {
+		// Overlapping sections: copy section 1's header over section 2's.
+		copy(b[sh(2):sh(2)+shentsize], b[sh(1):sh(1)+shentsize])
+	})
+	mutate(func(b []byte) {
+		// Symtab with entsize 0 and with a link pointing at itself.
+		for i := uint64(1); sh(i)+shentsize <= uint64(len(b)); i++ {
+			if le.Uint32(b[sh(i)+4:]) == SHTSymtab {
+				le.PutUint64(b[sh(i)+56:], 0)
+				le.PutUint32(b[sh(i)+40:], uint32(i))
+			}
+		}
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := Read(data)
+		if err != nil {
+			return
+		}
+		// Exercise every accessor; none may panic on a corrupt-but-accepted
+		// file, and Write must either serialize or error out.
+		file.FuncSymbols()
+		file.Section(".text")
+		file.Symbol("main")
+		_, _, _ = file.RISCVAttributes()
+		for _, addr := range []uint64{0, file.Entry, ^uint64(0)} {
+			file.SectionAt(addr)
+			_, _ = file.ReadAt(addr, 8)
+		}
+		for _, s := range file.Sections {
+			_ = s.Size()
+			if s.Flags&SHFAlloc != 0 {
+				_, _ = file.ReadAt(s.Addr+s.Size()-1, 2)
+			}
+		}
+		if raw, err := file.Write(); err == nil {
+			// A clean re-serialization must itself be loadable.
+			if _, err := Read(raw); err != nil {
+				t.Fatalf("Write produced an unreadable file: %v", err)
+			}
+		}
+	})
+}

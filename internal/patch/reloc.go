@@ -85,6 +85,34 @@ func Relocate(fn *parse.Function, st *symtab.Symtab, insertions []Insertion,
 // RelocateWithEdges additionally splices edge instrumentation.
 func RelocateWithEdges(fn *parse.Function, st *symtab.Symtab, insertions []Insertion,
 	edges []EdgeInsertion, newBase uint64, arch riscv.ExtSet) (*Relocation, error) {
+	plan, err := PlanRelocation(fn, st, insertions, edges, arch)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Encode(newBase)
+}
+
+// RelocPlan is the base-independent half of a function relocation: the item
+// sequence with fixed sizes, built before the function's patch-area address
+// is known. Item sizes never depend on the eventual base, so plans for many
+// functions can be built concurrently and their bases assigned afterwards by
+// a serial prefix sum — the key to a parallel rewrite pipeline whose output
+// is byte-identical to the serial one.
+type RelocPlan struct {
+	Func *parse.Function
+	// Size is the total byte size the encoded relocation will occupy.
+	Size uint64
+	// InstrumentationBytes counts the bytes of inserted snippet code.
+	InstrumentationBytes int
+
+	items        []*rItem
+	stubStartIdx map[int]int // stub id -> index of first stub item
+}
+
+// PlanRelocation validates the request and builds the relocation item
+// sequence for fn without assigning addresses.
+func PlanRelocation(fn *parse.Function, st *symtab.Symtab, insertions []Insertion,
+	edges []EdgeInsertion, arch riscv.ExtSet) (*RelocPlan, error) {
 
 	insByAddr := map[uint64][][]riscv.Inst{}
 	for _, ins := range insertions {
@@ -239,9 +267,24 @@ func RelocateWithEdges(fn *parse.Function, st *symtab.Symtab, insertions []Inser
 			hasIntra: true, intraTarget: st.target})
 	}
 
-	// Layout. Sizes are fixed (control flow with intra targets was widened
-	// to 4-byte forms; auipc became a materialization sequence), so one
-	// pass assigns addresses.
+	plan := &RelocPlan{
+		Func: fn, InstrumentationBytes: instBytes,
+		items: items, stubStartIdx: stubStartIdx,
+	}
+	for _, it := range items {
+		plan.Size += it.size
+	}
+	return plan, nil
+}
+
+// Encode lays the plan out at newBase and produces the encoded relocation.
+// Layout is a single pass: sizes are fixed (control flow with intra targets
+// was widened to 4-byte forms; auipc became a materialization sequence), so
+// the output depends only on the plan and the base, never on when or on
+// which goroutine the plan was built.
+func (p *RelocPlan) Encode(newBase uint64) (*Relocation, error) {
+	fn, items, stubStartIdx := p.Func, p.items, p.stubStartIdx
+
 	addr := newBase
 	addrMap := map[uint64]uint64{}
 	for _, it := range items {
@@ -318,7 +361,7 @@ func RelocateWithEdges(fn *parse.Function, st *symtab.Symtab, insertions []Inser
 
 	return &Relocation{
 		Func: fn, NewBase: newBase, Code: code, AddrMap: addrMap,
-		InstrumentationBytes: instBytes,
+		InstrumentationBytes: p.InstrumentationBytes,
 	}, nil
 }
 

@@ -2,7 +2,11 @@ package patch
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"rvdyn/internal/codegen"
 	"rvdyn/internal/dataflow"
@@ -17,12 +21,24 @@ import (
 // binary, attach snippets to points, and produce a new executable whose
 // instrumented functions run relocated, instrumented copies from the patch
 // area.
+//
+// Rewrite runs as a four-phase pipeline: snippet generation, liveness, and
+// relocation planning fan out across Jobs workers (every per-function plan
+// is independent); patch-area layout is a serial prefix sum in ascending
+// entry order; encoding fans out again; and the final splice into the output
+// image is serial. Because layout depends only on the sorted entry order and
+// the base-independent plan sizes, the output ELF is byte-identical for
+// every worker count.
 type Rewriter struct {
 	st  *symtab.Symtab
 	cfg *parse.CFG
 
 	mode codegen.Mode
 	arch riscv.ExtSet
+
+	// Jobs bounds the parallel plan and encode phases (<= 0: GOMAXPROCS,
+	// 1: fully serial).
+	Jobs int
 
 	vars    []*snippet.Var
 	varBase uint64
@@ -31,10 +47,24 @@ type Rewriter struct {
 	// requests, grouped by function entry.
 	requests     map[uint64][]request
 	edgeRequests map[uint64][]edgeRequest
-	liveness     map[uint64]*dataflow.LivenessResult
+
+	// liveness is a lazily-built per-function cache, shared by the parallel
+	// planning workers; livenessMu guards it (see TestRewriterLivenessCacheRace).
+	livenessMu sync.Mutex
+	liveness   map[uint64]*dataflow.LivenessResult
 
 	// Results, for inspection by tests and the EXPERIMENTS harness.
 	Patches []PatchRecord
+	// Phases records wall-clock time spent in each Rewrite phase.
+	Phases PhaseTimes
+}
+
+// PhaseTimes reports where one Rewrite spent its time.
+type PhaseTimes struct {
+	Plan   time.Duration // parallel: codegen + liveness + relocation planning
+	Layout time.Duration // serial: patch-area base assignment
+	Encode time.Duration // parallel: instruction encoding at assigned bases
+	Splice time.Duration // serial: entry patches, table repointing, assembly
 }
 
 type request struct {
@@ -120,11 +150,22 @@ func (rw *Rewriter) InsertEdgeSnippet(pt snippet.EdgePoint, sn snippet.Snippet) 
 }
 
 func (rw *Rewriter) livenessFor(fn *parse.Function) *dataflow.LivenessResult {
+	rw.livenessMu.Lock()
 	lv, ok := rw.liveness[fn.Entry]
-	if !ok {
-		lv = dataflow.Liveness(fn)
+	rw.livenessMu.Unlock()
+	if ok {
+		return lv
+	}
+	// Computed outside the lock: liveness is pure, so two workers racing on
+	// the same function at worst duplicate work, never corrupt the cache.
+	lv = dataflow.Liveness(fn)
+	rw.livenessMu.Lock()
+	if prior, ok := rw.liveness[fn.Entry]; ok {
+		lv = prior
+	} else {
 		rw.liveness[fn.Entry] = lv
 	}
+	rw.livenessMu.Unlock()
 	return lv
 }
 
@@ -141,6 +182,117 @@ func (rw *Rewriter) generate(req request) ([]riscv.Inst, error) {
 		return nil, fmt.Errorf("patch: generating snippet at %v: %w", req.point, err)
 	}
 	return res.Insts, nil
+}
+
+// funcPlan carries one function's instrumentation through the pipeline
+// phases: plan (parallel) fills plan/room/scratch, layout (serial) fills
+// base, encode (parallel) fills rel.
+type funcPlan struct {
+	entry   uint64
+	fn      *parse.Function
+	plan    *RelocPlan
+	room    uint64    // bytes available at the entry for the jump patch
+	scratch riscv.Reg // dead register for the auipc+jalr rung, or RegNone
+	base    uint64
+	rel     *Relocation
+}
+
+// planFunc runs the per-function half of the pipeline: generate all snippet
+// code, pick the entry-patch scratch register, and build the
+// base-independent relocation plan.
+func (rw *Rewriter) planFunc(entry uint64) (*funcPlan, error) {
+	fn, ok := rw.cfg.FuncAt(entry)
+	if !ok {
+		return nil, fmt.Errorf("patch: no parsed function at %#x", entry)
+	}
+	var insertions []Insertion
+	for _, req := range rw.requests[entry] {
+		code, err := rw.generate(req)
+		if err != nil {
+			return nil, err
+		}
+		insertions = append(insertions, Insertion{Addr: req.point.Addr, Code: code})
+	}
+	var edgeIns []EdgeInsertion
+	for _, req := range rw.edgeRequests[entry] {
+		// Scratch registers for edge code come from the edge's
+		// destination: the source terminator has already read its
+		// operands when the edge code runs.
+		var dead []riscv.Reg
+		if rw.mode == codegen.ModeDeadRegister {
+			dead = rw.livenessFor(fn).DeadScratchX(req.point.EdgeDest())
+		}
+		res, err := codegen.Generate(req.sn, codegen.Options{
+			Arch: rw.arch, Mode: rw.mode, DeadRegs: dead,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("patch: generating edge snippet at %v: %w", req.point, err)
+		}
+		edgeIns = append(edgeIns, EdgeInsertion{
+			Block: req.point.Block, Kind: req.point.Kind, Code: res.Insts,
+		})
+	}
+	plan, err := PlanRelocation(fn, rw.st, insertions, edgeIns, rw.arch)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := fn.Extent()
+	if lo != fn.Entry {
+		return nil, fmt.Errorf("patch: function %s extent starts at %#x, not its entry", fn.Name, lo)
+	}
+	fp := &funcPlan{entry: entry, fn: fn, plan: plan, room: hi - fn.Entry, scratch: riscv.RegNone}
+	if dead := rw.livenessFor(fn).DeadScratchX(fn.Entry); len(dead) > 0 {
+		fp.scratch = dead[0]
+	}
+	return fp, nil
+}
+
+// workers resolves the effective worker count.
+func (rw *Rewriter) workers() int {
+	if rw.Jobs > 0 {
+		return rw.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs f(0..n-1) across the rewriter's worker pool. With one worker
+// (or one item) it degenerates to a plain loop on the calling goroutine.
+func (rw *Rewriter) forEach(n int, f func(int)) {
+	w := rw.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Rewrite produces the instrumented ELF image.
@@ -165,7 +317,6 @@ func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
 
 	trampBase := (imageEnd(rw.st) + 0xfff) &^ 0xfff
 	trampBase += 0x1000
-	trampNext := trampBase
 	var trampCode []byte
 
 	// Deterministic function order.
@@ -182,56 +333,52 @@ func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
 
-	for _, entry := range entries {
-		fn, ok := rw.cfg.FuncAt(entry)
-		if !ok {
-			return nil, fmt.Errorf("patch: no parsed function at %#x", entry)
-		}
-		var insertions []Insertion
-		for _, req := range rw.requests[entry] {
-			code, err := rw.generate(req)
-			if err != nil {
-				return nil, err
-			}
-			insertions = append(insertions, Insertion{Addr: req.point.Addr, Code: code})
-		}
-		var edgeIns []EdgeInsertion
-		for _, req := range rw.edgeRequests[entry] {
-			// Scratch registers for edge code come from the edge's
-			// destination: the source terminator has already read its
-			// operands when the edge code runs.
-			var dead []riscv.Reg
-			if rw.mode == codegen.ModeDeadRegister {
-				dead = rw.livenessFor(fn).DeadScratchX(req.point.EdgeDest())
-			}
-			res, err := codegen.Generate(req.sn, codegen.Options{
-				Arch: rw.arch, Mode: rw.mode, DeadRegs: dead,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("patch: generating edge snippet at %v: %w", req.point, err)
-			}
-			edgeIns = append(edgeIns, EdgeInsertion{
-				Block: req.point.Block, Kind: req.point.Kind, Code: res.Insts,
-			})
-		}
-		rel, err := RelocateWithEdges(fn, rw.st, insertions, edgeIns, trampNext, rw.arch)
-		if err != nil {
-			return nil, err
-		}
+	// Phase 1 — plan (parallel). Snippet generation, liveness, and
+	// relocation planning for each function are independent of every other
+	// function; only immutable analysis results (symtab, CFG) and the
+	// mutex-guarded liveness cache are shared.
+	start := time.Now()
+	plans := make([]*funcPlan, len(entries))
+	errs := make([]error, len(entries))
+	rw.forEach(len(entries), func(i int) {
+		plans[i], errs[i] = rw.planFunc(entries[i])
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	rw.Phases.Plan = time.Since(start)
+
+	// Phase 2 — layout (serial). Bases come from a prefix sum over plan
+	// sizes in ascending entry order, so the patch-area layout depends only
+	// on the request set, never on worker scheduling.
+	start = time.Now()
+	next := trampBase
+	for _, p := range plans {
+		p.base = next
+		next += p.plan.Size
+	}
+	rw.Phases.Layout = time.Since(start)
+
+	// Phase 3 — encode (parallel). Every plan now knows its base.
+	start = time.Now()
+	rw.forEach(len(entries), func(i int) {
+		plans[i].rel, errs[i] = plans[i].plan.Encode(plans[i].base)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	rw.Phases.Encode = time.Since(start)
+
+	// Phase 4 — splice (serial, in entry order): entry patches, jump-table
+	// repointing, code concatenation, symbol emission.
+	start = time.Now()
+	for _, p := range plans {
+		fn, rel := p.fn, p.rel
 
 		// Entry patch: redirect the original entry to the relocated copy,
 		// choosing the cheapest jump that fits in the function's extent.
-		lo, hi := fn.Extent()
-		if lo != fn.Entry {
-			return nil, fmt.Errorf("patch: function %s extent starts at %#x, not its entry", fn.Name, lo)
-		}
-		room := hi - fn.Entry
-		scratch := riscv.RegNone
-		if dead := rw.livenessFor(fn).DeadScratchX(fn.Entry); len(dead) > 0 {
-			scratch = dead[0]
-		}
 		newEntry := rel.AddrMap[fn.Entry]
-		kind, bytes, err := JumpPatch(fn.Entry, newEntry, room, rw.arch, scratch, false)
+		kind, bytes, err := JumpPatch(fn.Entry, newEntry, p.room, rw.arch, p.scratch, false)
 		if err != nil {
 			return nil, fmt.Errorf("patch: function %s: %w", fn.Name, err)
 		}
@@ -268,13 +415,13 @@ func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
 		}
 
 		trampCode = append(trampCode, rel.Code...)
-		trampNext += uint64(len(rel.Code))
 		out.Symbols = append(out.Symbols, elfrv.Symbol{
 			Name: fn.Name + ".dyninst", Value: rel.NewBase,
 			Size: uint64(len(rel.Code)), Bind: elfrv.STBLocal,
 			Type: elfrv.STTFunc, Section: ".dyninst.text",
 		})
 	}
+	defer func(t time.Time) { rw.Phases.Splice = time.Since(t) }(start)
 
 	if len(trampCode) > 0 {
 		out.Sections = append(out.Sections, &elfrv.Section{

@@ -1,0 +1,308 @@
+// Package pipeline runs the analyze→instrument pipeline concurrently over
+// one or many binaries — the production-scale counterpart of the
+// one-binary-at-a-time flow in cmd/rvdyn. It layers a worker pool over the
+// existing toolkits: functions parse into CFGs in parallel (internal/parse's
+// round-synchronized traversal), per-function patch planning and encoding
+// fan out across workers (internal/patch's plan/encode split), and only the
+// final layout/ladder assignment is serialized, so the output ELF of every
+// job is byte-identical to the serial path regardless of worker count (the
+// golden tests pin this).
+//
+// Shared structures obey a simple discipline: decoder tables, symbol tables,
+// and section bytes are immutable once built; the only mutable cross-worker
+// state is the rewriter's mutex-guarded liveness cache and this package's
+// atomic counters. `go test -race ./internal/pipeline/...` is clean by
+// construction, not by luck.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/parse"
+	"rvdyn/internal/patch"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/symtab"
+	"rvdyn/internal/workload"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	// Jobs is the worker-pool width for both the cross-binary pool and the
+	// per-binary parse/plan/encode fan-out (<= 0: GOMAXPROCS, 1: serial).
+	Jobs int
+	// Mode selects the snippet register-allocation strategy.
+	Mode codegen.Mode
+	// Points chooses the instrumentation points per function: "entry"
+	// (default), "exits", or "blocks".
+	Points string
+}
+
+// Workers resolves the effective worker-pool width.
+func (o Options) Workers() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Job is one binary to push through the pipeline. Either File or Source
+// must be set; Source is assembled by the worker that picks the job up.
+type Job struct {
+	Name   string
+	Source string
+	File   *elfrv.File
+	// Funcs lists the functions to instrument with an entry counter each.
+	Funcs []string
+	// WantExit, with CheckExit set, is the exit code the instrumented
+	// binary must still produce (used by verification harnesses).
+	WantExit  int
+	CheckExit bool
+}
+
+// Result is one instrumented binary.
+type Result struct {
+	Name string
+	// ELF is the serialized instrumented executable, byte-identical across
+	// worker counts.
+	ELF []byte
+	// File is the in-memory form of the same image.
+	File *elfrv.File
+	// Patches records the entry patches the rewriter installed.
+	Patches []patch.PatchRecord
+	// Counters maps each instrumented function to its counter variable's
+	// address in the rewritten binary.
+	Counters map[string]uint64
+	// WantExit/CheckExit are copied from the job for verification.
+	WantExit  int
+	CheckExit bool
+}
+
+// Stats aggregates per-phase counters and timings across a pipeline run.
+// All fields are updated atomically; concurrent workers share one Stats.
+// Timing fields accumulate each binary's wall-clock time per phase, so under
+// a parallel batch their sum can exceed the batch's elapsed time (and on an
+// oversubscribed machine a phase's figure includes time spent descheduled);
+// for a clean phase decomposition read them from a -jobs 1 run.
+type Stats struct {
+	Binaries         atomic.Int64
+	FunctionsParsed  atomic.Int64
+	BlocksDiscovered atomic.Int64
+	InstsDecoded     atomic.Int64
+	PatchesPlanned   atomic.Int64
+	BytesEmitted     atomic.Int64
+
+	AssembleNanos atomic.Int64
+	ParseNanos    atomic.Int64
+	PlanNanos     atomic.Int64
+	EncodeNanos   atomic.Int64
+	SpliceNanos   atomic.Int64
+	WriteNanos    atomic.Int64
+}
+
+// String renders the counters and per-phase timings as the table rvdyn's
+// batch subcommand prints.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "binaries instrumented:  %d\n", s.Binaries.Load())
+	fmt.Fprintf(&b, "functions parsed:       %d\n", s.FunctionsParsed.Load())
+	fmt.Fprintf(&b, "blocks discovered:      %d\n", s.BlocksDiscovered.Load())
+	fmt.Fprintf(&b, "instructions decoded:   %d\n", s.InstsDecoded.Load())
+	fmt.Fprintf(&b, "patches planned:        %d\n", s.PatchesPlanned.Load())
+	fmt.Fprintf(&b, "bytes emitted:          %d\n", s.BytesEmitted.Load())
+	fmt.Fprintf(&b, "phase times (cumulative worker time):\n")
+	for _, row := range []struct {
+		name string
+		ns   int64
+	}{
+		{"assemble", s.AssembleNanos.Load()},
+		{"parse", s.ParseNanos.Load()},
+		{"plan", s.PlanNanos.Load()},
+		{"encode", s.EncodeNanos.Load()},
+		{"splice", s.SpliceNanos.Load()},
+		{"write", s.WriteNanos.Load()},
+	} {
+		fmt.Fprintf(&b, "  %-9s %10.3f ms\n", row.name, float64(row.ns)/1e6)
+	}
+	return b.String()
+}
+
+// Instrument pushes one job through the pipeline: assemble (if needed),
+// parse, plan/encode patches, and serialize. stats may be nil.
+func Instrument(job Job, opts Options, stats *Stats) (*Result, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	jobs := opts.Workers()
+
+	file := job.File
+	if file == nil {
+		start := time.Now()
+		f, err := asm.Assemble(job.Source, asm.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %s: assemble: %w", job.Name, err)
+		}
+		stats.AssembleNanos.Add(int64(time.Since(start)))
+		file = f
+	}
+
+	st, err := symtab.FromFile(file)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: symtab: %w", job.Name, err)
+	}
+
+	start := time.Now()
+	cfg, err := parse.Parse(st, parse.Options{Workers: jobs})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: parse: %w", job.Name, err)
+	}
+	stats.ParseNanos.Add(int64(time.Since(start)))
+	stats.FunctionsParsed.Add(int64(cfg.Stats.Functions))
+	stats.BlocksDiscovered.Add(int64(cfg.Stats.Blocks))
+	stats.InstsDecoded.Add(int64(cfg.Stats.Instructions))
+
+	rw := patch.NewRewriter(st, cfg, opts.Mode)
+	rw.Jobs = jobs
+	counters := map[string]uint64{}
+	for _, name := range job.Funcs {
+		fn, ok := cfg.FuncByName(name)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: %s: no function %q", job.Name, name)
+		}
+		v := rw.NewVar("ctr_"+name, 8)
+		counters[name] = v.Addr
+		var pts []snippet.Point
+		switch opts.Points {
+		case "", "entry":
+			pts = []snippet.Point{snippet.FuncEntry(fn)}
+		case "exits":
+			pts = snippet.FuncExits(fn)
+		case "blocks":
+			pts = snippet.BlockEntries(fn)
+		default:
+			return nil, fmt.Errorf("pipeline: unknown points mode %q", opts.Points)
+		}
+		for _, pt := range pts {
+			if err := rw.InsertSnippet(pt, snippet.Increment(v)); err != nil {
+				return nil, fmt.Errorf("pipeline: %s: %w", job.Name, err)
+			}
+		}
+	}
+
+	out, err := rw.Rewrite()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: rewrite: %w", job.Name, err)
+	}
+	stats.PlanNanos.Add(int64(rw.Phases.Plan + rw.Phases.Layout))
+	stats.EncodeNanos.Add(int64(rw.Phases.Encode))
+	stats.SpliceNanos.Add(int64(rw.Phases.Splice))
+	stats.PatchesPlanned.Add(int64(len(rw.Patches)))
+
+	start = time.Now()
+	raw, err := out.Write()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %s: write: %w", job.Name, err)
+	}
+	stats.WriteNanos.Add(int64(time.Since(start)))
+	stats.BytesEmitted.Add(int64(len(raw)))
+	stats.Binaries.Add(1)
+
+	return &Result{
+		Name: job.Name, ELF: raw, File: out, Patches: rw.Patches,
+		Counters: counters, WantExit: job.WantExit, CheckExit: job.CheckExit,
+	}, nil
+}
+
+// Batch pushes every job through the pipeline concurrently (bounded by
+// opts.Jobs) and returns results in job order. The first error aborts the
+// report but the slice still carries every result completed before it.
+func Batch(jobs []Job, opts Options) ([]*Result, *Stats, error) {
+	stats := &Stats{}
+	results := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	width := opts.Workers()
+	if width > len(jobs) {
+		width = len(jobs)
+	}
+	// Split the budget between the cross-binary pool and the per-binary
+	// fan-out: once the batch saturates the pool, intra-binary parallelism
+	// only adds scheduling overhead, so collapse it to the serial path.
+	// Output bytes are identical either way.
+	inner := opts.Workers() / max(width, 1)
+	if inner < 1 {
+		inner = 1
+	}
+	innerOpts := opts
+	innerOpts.Jobs = inner
+	if width <= 1 {
+		for i, job := range jobs {
+			results[i], errs[i] = Instrument(job, opts, stats)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < width; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					results[i], errs[i] = Instrument(jobs[i], innerOpts, stats)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return results, stats, fmt.Errorf("pipeline: job %d (%s): %w", i, jobs[i].Name, err)
+		}
+	}
+	return results, stats, nil
+}
+
+// WorkloadJobs returns one job per internal/workload program, instrumenting
+// every entry-patchable function the suite declares.
+func WorkloadJobs() []Job {
+	var out []Job
+	for _, p := range workload.Programs() {
+		out = append(out, Job{
+			Name: p.Name, Source: p.Source, Funcs: p.Funcs,
+			WantExit: p.ExitCode, CheckExit: true,
+		})
+	}
+	return out
+}
+
+// SyntheticJobs returns n random multi-function programs (deterministic in
+// their index) for scaling benchmarks; each instruments instrFuncs of its
+// nFuncs functions.
+func SyntheticJobs(n, nFuncs, instrFuncs int) []Job {
+	if instrFuncs > nFuncs {
+		instrFuncs = nFuncs
+	}
+	var out []Job
+	for i := 0; i < n; i++ {
+		var funcs []string
+		for j := 0; j < instrFuncs; j++ {
+			funcs = append(funcs, fmt.Sprintf("fz%d", j*(nFuncs/instrFuncs)))
+		}
+		out = append(out, Job{
+			Name:   fmt.Sprintf("synthetic%d", i),
+			Source: workload.RandomProgram(int64(1000+i), nFuncs),
+			Funcs:  funcs,
+		})
+	}
+	return out
+}
