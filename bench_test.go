@@ -20,6 +20,7 @@ import (
 	"rvdyn/internal/core"
 	"rvdyn/internal/elfrv"
 	"rvdyn/internal/emu"
+	"rvdyn/internal/obs"
 	"rvdyn/internal/parse"
 	"rvdyn/internal/patch"
 	"rvdyn/internal/pipeline"
@@ -466,6 +467,44 @@ func BenchmarkEmulatorThroughputSlow(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "emulated_MIPS")
+}
+
+// BenchmarkEmulatorObsOverhead guards the observability layer's nil-sink
+// fast path: with metrics disabled (the default), throughput must stay
+// within noise of BenchmarkEmulatorThroughput — the hot loop checks one
+// pointer and touches no atomics. The enabled sub-benchmark quantifies the
+// cost of live counters for EXPERIMENTS.md.
+func BenchmarkEmulatorObsOverhead(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full matmul emulation: skipped in -short mode")
+	}
+	file, err := workload.BuildMatmul(24, 1, asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, metrics func() *emu.Metrics) {
+		var insts uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cpu, err := emu.New(file, emu.P550())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cpu.Obs = metrics()
+			if r := cpu.Run(0); r != emu.StopExit {
+				b.Fatal(r)
+			}
+			insts = cpu.Instret
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "emulated_MIPS")
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, func() *emu.Metrics { return nil })
+	})
+	b.Run("enabled", func(b *testing.B) {
+		run(b, func() *emu.Metrics { return emu.NewMetrics(obs.NewRegistry()) })
+	})
 }
 
 func BenchmarkSnippetGeneration(b *testing.B) {

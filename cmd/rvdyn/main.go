@@ -20,11 +20,19 @@
 //	rvdyn batch [-points p] [-mode m] [-synthetic N] [-o dir]
 //	                                         instrument every workload program
 //	                                         concurrently, print phase stats
+//	rvdyn profile [-func f1,f2] [-mode m] {prog.elf|workload-name}
+//	                                         instrument, run, and print a
+//	                                         per-function cycle profile
 //	rvdyn components                         the Figure 2 component graph
 //
 // The global -jobs N flag (before the subcommand) bounds the worker pool of
 // the parallel analyze/instrument phases; output is byte-identical for every
 // value. Default is GOMAXPROCS.
+//
+// Observability (global flags, before the subcommand): -metrics dumps the
+// counter registry to stderr on exit; -trace-out=FILE writes per-phase spans
+// as Chrome trace_event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
 package main
 
 import (
@@ -37,20 +45,65 @@ import (
 	"strings"
 	"time"
 
+	"rvdyn/internal/asm"
 	"rvdyn/internal/codegen"
 	"rvdyn/internal/core"
 	"rvdyn/internal/dataflow"
+	"rvdyn/internal/elfrv"
 	"rvdyn/internal/emu"
 	"rvdyn/internal/instruction"
+	"rvdyn/internal/obs"
 	"rvdyn/internal/oracle"
 	"rvdyn/internal/parse"
 	"rvdyn/internal/pipeline"
 	"rvdyn/internal/proc"
+	"rvdyn/internal/profile"
 	"rvdyn/internal/riscv"
 	"rvdyn/internal/snippet"
+	"rvdyn/internal/workload"
 )
 
-var jobsFlag = flag.Int("jobs", 0, "workers for parallel analyze/instrument phases (default GOMAXPROCS)")
+var (
+	jobsFlag     = flag.Int("jobs", 0, "workers for parallel analyze/instrument phases (default GOMAXPROCS)")
+	metricsFlag  = flag.Bool("metrics", false, "dump the metrics registry to stderr on exit")
+	traceOutFlag = flag.String("trace-out", "", "write span trace as Chrome trace_event JSON to `FILE`")
+)
+
+// obsReg and obsTr are the process-wide sinks; both stay nil (disabling
+// collection everywhere, with no-op handles) unless the flags ask for them.
+var (
+	obsReg *obs.Registry
+	obsTr  *obs.Tracer
+)
+
+func obsSetup() {
+	if *metricsFlag {
+		obsReg = obs.NewRegistry()
+	}
+	if *traceOutFlag != "" {
+		obsTr = obs.NewTracer()
+	}
+}
+
+func obsFinish() {
+	if obsReg != nil {
+		fmt.Fprint(os.Stderr, obsReg.String())
+	}
+	if obsTr != nil {
+		f, err := os.Create(*traceOutFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obsTr.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rvdyn: wrote %d trace events to %s (open in ui.perfetto.dev)\n",
+			len(obsTr.Events()), *traceOutFlag)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -60,6 +113,8 @@ func main() {
 	if flag.NArg() < 1 {
 		usage()
 	}
+	obsSetup()
+	defer obsFinish()
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 	switch cmd {
 	case "symbols":
@@ -80,6 +135,8 @@ func main() {
 		cmdOracle(args)
 	case "batch":
 		cmdBatch(args)
+	case "profile":
+		cmdProfile(args)
 	case "components":
 		cmdComponents()
 	default:
@@ -88,7 +145,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rvdyn [-jobs N] {symbols|disasm|cfg|liveness|slice|rewrite|run|oracle|batch|components} [flags] prog.elf")
+	fmt.Fprintln(os.Stderr, "usage: rvdyn [-jobs N] [-metrics] [-trace-out FILE] {symbols|disasm|cfg|liveness|slice|rewrite|run|oracle|batch|profile|components} [flags] prog.elf")
 	os.Exit(2)
 }
 
@@ -362,6 +419,9 @@ func cmdRun(args []string) {
 			log.Fatal(err)
 		}
 		cpu.Stdout = os.Stdout
+		if obsReg != nil {
+			cpu.Obs = emu.NewMetrics(obsReg)
+		}
 		if r := cpu.Run(0); r != emu.StopExit {
 			log.Fatalf("stopped: %v (%v)", r, cpu.LastTrap())
 		}
@@ -384,6 +444,10 @@ func cmdRun(args []string) {
 			p = b.Attach(cpu)
 		}
 		p.CPU().Stdout = os.Stdout
+		if obsReg != nil {
+			p.CPU().Obs = emu.NewMetrics(obsReg)
+			p.Process.Obs = proc.NewMetrics(obsReg)
+		}
 		counter := p.NewVar("count", 8)
 		kind, err := p.InstrumentFunction(fn, []snippet.Point{snippet.FuncEntry(fn)},
 			snippet.Increment(counter), codegen.ModeDeadRegister)
@@ -478,7 +542,10 @@ func cmdBatch(args []string) {
 	if *synthetic > 0 {
 		batch = append(batch, pipeline.SyntheticJobs(*synthetic, 40, 4)...)
 	}
-	opts := pipeline.Options{Jobs: *jobsFlag, Mode: parseMode(*mode), Points: *points}
+	opts := pipeline.Options{
+		Jobs: *jobsFlag, Mode: parseMode(*mode), Points: *points,
+		Metrics: obsReg, Trace: obsTr, TraceTID: 1,
+	}
 
 	start := time.Now()
 	results, stats, err := pipeline.Batch(batch, opts)
@@ -517,6 +584,61 @@ func cmdBatch(args []string) {
 	fmt.Println()
 	fmt.Print(stats)
 	fmt.Printf("wall time: %.3f ms with %d workers\n", float64(wall)/1e6, opts.Workers())
+}
+
+// cmdProfile instruments every requested function with call counters and
+// entry/exit probes, runs the binary in the emulator, and prints a
+// per-function profile whose cycle column sums exactly to the run's retired
+// cycles. The argument is an ELF path or a workload program name (e.g.
+// "matmul"), in which case the workload's instrumentable functions are
+// profiled by default.
+func cmdProfile(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	funcs := fs.String("func", "", "comma-separated functions to profile (default: workload metadata, or every named function)")
+	mode := fs.String("mode", "dead", "register allocation: dead or spill")
+	maxInst := fs.Uint64("max", 0, "instruction budget, 0 = unlimited")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("profile needs one ELF file or workload program name (e.g. matmul)")
+	}
+	arg := fs.Arg(0)
+
+	var file *elfrv.File
+	var flist []string
+	if data, err := os.ReadFile(arg); err == nil {
+		file, err = elfrv.Read(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		for _, p := range workload.Programs() {
+			if p.Name != arg {
+				continue
+			}
+			f, err := asm.Assemble(p.Source, asm.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			file, flist = f, p.Funcs
+			break
+		}
+		if file == nil {
+			log.Fatalf("%q is neither a readable file nor a workload program", arg)
+		}
+	}
+	if *funcs != "" {
+		flist = strings.Split(*funcs, ",")
+	}
+
+	rep, err := profile.Run(file, profile.Options{
+		Funcs: flist, Mode: parseMode(*mode), MaxInst: *maxInst,
+		Obs: obsReg, Trace: obsTr, TraceTID: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+	fmt.Printf("exit code %d; %d instructions retired\n", rep.ExitCode, rep.TotalInsts)
 }
 
 func cmdComponents() {

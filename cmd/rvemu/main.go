@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	rvemu [-model p550|x86] [-max N] [-trace] [-histo] [-slow] prog.elf
+//	rvemu [-model p550|x86] [-max N] [-trace] [-histo] [-slow] [-stats] prog.elf
+//
+// -stats prints the emulator's observability counters on exit: instructions
+// retired, superblock-cache hits/builds/invalidations, per-number syscall
+// counts, and the wall-clock emulation rate in MIPS.
 package main
 
 import (
@@ -14,9 +18,11 @@ import (
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"rvdyn/internal/elfrv"
 	"rvdyn/internal/emu"
+	"rvdyn/internal/obs"
 	"rvdyn/internal/riscv"
 )
 
@@ -28,6 +34,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print every executed instruction")
 	histo := flag.Bool("histo", false, "print a per-mnemonic execution histogram (top 20)")
 	slow := flag.Bool("slow", false, "force per-instruction dispatch (disable the fused block engine)")
+	stats := flag.Bool("stats", false, "print emulator counters and wall-clock MIPS on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("need exactly one ELF file")
@@ -72,7 +79,22 @@ func main() {
 			}
 		}
 	}
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+		cpu.Obs = emu.NewMetrics(reg)
+	}
+	wallStart := time.Now()
 	reason := cpu.Run(*maxInst)
+	wall := time.Since(wallStart)
+	if *stats {
+		fmt.Fprint(os.Stderr, reg.String())
+		mips := 0.0
+		if wall > 0 {
+			mips = float64(cpu.Instret) / wall.Seconds() / 1e6
+		}
+		fmt.Fprintf(os.Stderr, "%-44s %.1f (%.3f ms wall)\n", "emu.wallclock_mips", mips, float64(wall)/1e6)
+	}
 	if *histo {
 		type row struct {
 			mn riscv.Mnemonic

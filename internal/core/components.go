@@ -22,7 +22,8 @@ func Components() []Component {
 		{Name: "elfrv", Role: "ELF64/RISC-V object format (under SymtabAPI)", Uses: nil, Substrate: true},
 		{Name: "semantics", Role: "SAIL-pipeline instruction semantics", Uses: []string{"riscv"}},
 		{Name: "asm", Role: "assembler (gcc substitute)", Uses: []string{"elfrv", "riscv"}, Substrate: true},
-		{Name: "emu", Role: "RV64GC emulator (SiFive P550 substitute)", Uses: []string{"elfrv", "riscv"}, Substrate: true},
+		{Name: "obs", Role: "observability: metrics registry + trace_event spans", Uses: nil},
+		{Name: "emu", Role: "RV64GC emulator (SiFive P550 substitute)", Uses: []string{"elfrv", "obs", "riscv"}, Substrate: true},
 		{Name: "workload", Role: "benchmark programs (paper Section 4.1)", Uses: []string{"asm", "elfrv"}, Substrate: true},
 		{Name: "symtab", Role: "SymtabAPI", Uses: []string{"elfrv", "riscv"}},
 		{Name: "instruction", Role: "InstructionAPI", Uses: []string{"riscv"}},
@@ -30,16 +31,18 @@ func Components() []Component {
 		{Name: "dataflow", Role: "DataflowAPI", Uses: []string{"parse", "riscv"}},
 		{Name: "snippet", Role: "snippet ASTs and points", Uses: []string{"parse"}},
 		{Name: "codegen", Role: "CodeGenAPI", Uses: []string{"riscv", "snippet"}},
-		{Name: "patch", Role: "PatchAPI / binary rewriter", Uses: []string{"codegen", "dataflow", "elfrv", "parse", "riscv", "snippet", "symtab"}},
-		{Name: "proc", Role: "ProcControlAPI", Uses: []string{"elfrv", "emu", "riscv"}},
+		{Name: "patch", Role: "PatchAPI / binary rewriter", Uses: []string{"codegen", "dataflow", "elfrv", "obs", "parse", "riscv", "snippet", "symtab"}},
+		{Name: "proc", Role: "ProcControlAPI", Uses: []string{"elfrv", "emu", "obs", "riscv"}},
 		{Name: "stackwalk", Role: "StackwalkerAPI", Uses: []string{"dataflow", "parse", "riscv"}},
 		{Name: "core", Role: "mutator facade (BPatch layer)", Uses: []string{
 			"codegen", "dataflow", "elfrv", "emu", "parse", "patch", "proc",
 			"riscv", "snippet", "stackwalk", "symtab"}},
 		{Name: "oracle", Role: "differential-execution oracle (QEMU/hardware cross-check substitute)", Uses: []string{
 			"asm", "codegen", "core", "elfrv", "emu", "riscv", "snippet"}, Substrate: true},
+		{Name: "profile", Role: "instrumentation-based function profiler (performance-tool layer)", Uses: []string{
+			"codegen", "core", "elfrv", "emu", "obs", "proc", "snippet"}},
 		{Name: "pipeline", Role: "concurrent analyze→instrument worker pool", Uses: []string{
-			"asm", "codegen", "elfrv", "parse", "patch", "snippet", "symtab", "workload"}},
+			"asm", "codegen", "elfrv", "obs", "parse", "patch", "snippet", "symtab", "workload"}},
 	}
 	for i := range comps {
 		sort.Strings(comps[i].Uses)

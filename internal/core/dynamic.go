@@ -33,6 +33,12 @@ type Process struct {
 	// addresses (sorted by relocated address) so the stack walker can
 	// attribute frames executing inside patch areas.
 	xlatPairs []xlatPair
+
+	// relocated is the forward map: original instruction address to its
+	// relocated copy. Tools that must observe execution of instrumented code
+	// (the profiler's entry/exit probes) plant their breakpoints at the
+	// relocated addresses, since the originals never execute again.
+	relocated map[uint64]uint64
 }
 
 type xlatPair struct{ newAddr, origAddr uint64 }
@@ -181,8 +187,12 @@ func (p *Process) InstrumentFunctionFull(fn *parse.Function, points []snippet.Po
 		return 0, err
 	}
 	p.trampNext += size
+	if p.relocated == nil {
+		p.relocated = map[uint64]uint64{}
+	}
 	for orig, na := range rel.AddrMap {
 		p.xlatPairs = append(p.xlatPairs, xlatPair{newAddr: na, origAddr: orig})
+		p.relocated[orig] = na
 	}
 	sort.Slice(p.xlatPairs, func(i, j int) bool { return p.xlatPairs[i].newAddr < p.xlatPairs[j].newAddr })
 
@@ -298,6 +308,16 @@ func (p *Process) Probe(addr uint64, fn func(*Process)) error {
 		return true
 	}
 	return nil
+}
+
+// RelocatedAddr maps an original instruction address to the address of its
+// relocated copy in the patch area, when the containing function has been
+// instrumented. Probes meant to fire during instrumented execution must
+// target the relocated address — the original bytes are bypassed by the
+// entry patch.
+func (p *Process) RelocatedAddr(orig uint64) (uint64, bool) {
+	na, ok := p.relocated[orig]
+	return na, ok
 }
 
 // TranslatePC maps a program counter inside a patch area back to the

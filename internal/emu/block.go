@@ -65,15 +65,24 @@ type block struct {
 func (c *CPU) blockAt(pc uint64) *block {
 	if pc >= c.icBase && pc < c.icEnd {
 		if b := c.blkSlots[(pc-c.icBase)>>1]; b != nil && b.gen == c.icGen {
+			if c.Obs != nil {
+				c.Obs.BlockHits.Inc()
+			}
 			return b
 		}
 	} else if b, ok := c.blkMap[pc]; ok && b.gen == c.icGen {
+		if c.Obs != nil {
+			c.Obs.BlockHits.Inc()
+		}
 		return b
 	}
 	return c.buildBlock(pc)
 }
 
 func (c *CPU) buildBlock(pc uint64) *block {
+	if c.Obs != nil {
+		c.Obs.BlockBuilds.Inc()
+	}
 	b := &block{gen: c.icGen}
 	a := pc
 	for len(b.body) < maxBlockLen {

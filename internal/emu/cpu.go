@@ -81,8 +81,16 @@ type CPU struct {
 	TimeFn func() uint64
 
 	// SyscallTrace, when non-nil, observes every serviced syscall after its
-	// return value is known. Exit syscalls report ret == a0.
+	// return value is known. ret is always the value the syscall returns in
+	// A0; exit syscalls never return, so they report ret == 0 (the exit
+	// status is a0, as for every other syscall argument).
 	SyscallTrace func(num, a0, a1, a2, ret uint64)
+
+	// Obs, when non-nil, receives emulator observability counters (retired
+	// instructions, superblock-cache hits/builds/invalidations, syscall
+	// counts). nil — the default — is the fast path: the dispatch loop pays
+	// one pointer check and no atomics.
+	Obs *Metrics
 
 	resValid bool
 	resAddr  uint64
@@ -237,6 +245,9 @@ func (c *CPU) invalidate(addr, n uint64) {
 	// every clear bumps the generation), so the gate cannot miss.
 	if dirtied {
 		c.icGen++
+		if c.Obs != nil {
+			c.Obs.BlockInvalidations.Inc()
+		}
 	}
 }
 
@@ -249,6 +260,9 @@ func (c *CPU) FlushICache() {
 	c.icLo, c.icHi = ^uint64(0), 0
 	c.icGen++
 	c.blkMap = make(map[uint64]*block)
+	if c.Obs != nil {
+		c.Obs.BlockInvalidations.Inc()
+	}
 }
 
 func (c *CPU) fetch() (riscv.Inst, error) { return c.fetchAt(c.PC) }
@@ -305,6 +319,13 @@ const stopNone StopReason = -1
 // remaining instruction budget is smaller than the next block — so budget
 // exhaustion stops at exactly the same instruction on both paths.
 func (c *CPU) Run(maxInst uint64) StopReason {
+	if c.Obs != nil {
+		// Sync retired instructions into the obs counter on return; the
+		// architectural Instret counter is the single source of truth, so
+		// the hot loop never touches an atomic.
+		before := c.Instret
+		defer func() { c.Obs.Instructions.Add(c.Instret - before) }()
+	}
 	budget := maxInst
 	for {
 		if c.Exited {

@@ -1,0 +1,53 @@
+package emu
+
+import (
+	"fmt"
+
+	"rvdyn/internal/obs"
+)
+
+// Metrics receives the emulator's observability counters, backed by an
+// obs.Registry. A nil *Metrics (the CPU default) disables collection
+// entirely: the fused dispatch loop checks one pointer and touches no
+// atomics, so fast-path throughput is unchanged (the
+// BenchmarkEmulatorObsOverhead guard pins this).
+type Metrics struct {
+	// Instructions counts retired instructions, synced at every Run return
+	// (never per instruction — Instret already tracks that architecturally).
+	Instructions *obs.Counter
+	// BlockHits counts fused-dispatch superblock cache hits; BlockBuilds
+	// counts blocks (re)decoded. hits/(hits+builds) is the cache hit rate.
+	BlockHits   *obs.Counter
+	BlockBuilds *obs.Counter
+	// BlockInvalidations counts icache-generation bumps — each one retires
+	// every cached superblock (stores into code, WriteMem patches, fence.i).
+	BlockInvalidations *obs.Counter
+	// Syscalls counts serviced syscalls; per-number counts register as
+	// emu.syscall.<num> on first occurrence.
+	Syscalls *obs.Counter
+
+	reg *obs.Registry
+}
+
+// NewMetrics resolves the emulator's counters in r. Attach the result to
+// CPU.Obs to enable collection.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Instructions:       r.Counter("emu.instructions_retired"),
+		BlockHits:          r.Counter("emu.block_cache.hits"),
+		BlockBuilds:        r.Counter("emu.block_cache.builds"),
+		BlockInvalidations: r.Counter("emu.block_cache.invalidations"),
+		Syscalls:           r.Counter("emu.syscalls"),
+		reg:                r,
+	}
+}
+
+// syscall records one serviced syscall, bucketed by number. Called from the
+// syscall path only (cold), so the per-number registry lookup is fine.
+func (m *Metrics) syscall(num uint64) {
+	if m == nil {
+		return
+	}
+	m.Syscalls.Inc()
+	m.reg.Counter(fmt.Sprintf("emu.syscall.%d", num)).Inc()
+}

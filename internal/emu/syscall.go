@@ -49,8 +49,13 @@ func (c *CPU) syscall() (exited bool, err error) {
 	case sysExit, sysExitGroup:
 		c.Exited = true
 		c.ExitCode = int(int64(a0))
+		c.Obs.syscall(num)
 		if c.SyscallTrace != nil {
-			c.SyscallTrace(num, a0, a1, a2, a0)
+			// ret is the value a syscall returns in A0; exit never returns,
+			// so report 0 — the exit status is already visible as a0.
+			// (Reporting a0 here, as an early version did, made the hook's
+			// ret argument mean two different things depending on num.)
+			c.SyscallTrace(num, a0, a1, a2, 0)
 		}
 		return true, nil
 	case sysWrite:
@@ -140,6 +145,7 @@ func (c *CPU) syscall() (exited bool, err error) {
 	default:
 		return false, fmt.Errorf("emu: unimplemented syscall %d at pc=%#x", num, c.PC)
 	}
+	c.Obs.syscall(num)
 	if c.SyscallTrace != nil {
 		c.SyscallTrace(num, a0, a1, a2, ret)
 	}

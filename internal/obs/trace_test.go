@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceJSONSchema builds a nested + concurrent trace and validates the
+// exported JSON: it parses, every event is a well-formed complete event,
+// timestamps are monotone per tid in emission order, and spans on one tid
+// nest properly (no partial overlap).
+func TestTraceJSONSchema(t *testing.T) {
+	tr := NewTracer()
+
+	// tid 1: parent with two sequential children.
+	parent := tr.Begin(1, "parent", "test")
+	c1 := tr.Begin(1, "child1", "test")
+	time.Sleep(time.Millisecond)
+	c1.End()
+	c2 := tr.Begin(1, "child2", "test")
+	c2.SetArg("k", "v")
+	time.Sleep(time.Millisecond)
+	c2.End()
+	parent.End()
+
+	// tids 2..5: concurrent workers.
+	var wg sync.WaitGroup
+	for w := 2; w <= 5; w++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			s := tr.Begin(tid, "worker", "test")
+			time.Sleep(time.Millisecond)
+			s.End()
+		}(w)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+		Unit        string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(f.TraceEvents) != 7 {
+		t.Fatalf("got %d events, want 7", len(f.TraceEvents))
+	}
+	byTID := map[int][]TraceEvent{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q: ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Name == "" || ev.PID != 1 {
+			t.Errorf("malformed event: %+v", ev)
+		}
+		if ev.TS < 0 || ev.Dur < 0 {
+			t.Errorf("event %q: negative time ts=%f dur=%f", ev.Name, ev.TS, ev.Dur)
+		}
+		byTID[ev.TID] = append(byTID[ev.TID], ev)
+	}
+
+	// Monotone: complete events are appended at End, so within one tid each
+	// event's end time (ts+dur) must not precede the previous event's end.
+	for tid, evs := range byTID {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].TS+evs[i].Dur+0.5 < evs[i-1].TS+evs[i-1].Dur {
+				t.Errorf("tid %d: event %q ends before predecessor %q", tid, evs[i].Name, evs[i-1].Name)
+			}
+		}
+	}
+
+	// Nesting on tid 1: each pair of spans is either disjoint or contained;
+	// partial overlap would render as garbage in Perfetto.
+	evs := byTID[1]
+	for i := 0; i < len(evs); i++ {
+		for j := i + 1; j < len(evs); j++ {
+			a, b := evs[i], evs[j]
+			aEnd, bEnd := a.TS+a.Dur, b.TS+b.Dur
+			disjoint := aEnd <= b.TS+0.5 || bEnd <= a.TS+0.5
+			aInB := a.TS >= b.TS-0.5 && aEnd <= bEnd+0.5
+			bInA := b.TS >= a.TS-0.5 && bEnd <= aEnd+0.5
+			if !disjoint && !aInB && !bInA {
+				t.Errorf("tid 1: spans %q and %q partially overlap", a.Name, b.Name)
+			}
+		}
+	}
+
+	// The parent must contain both children.
+	var p, ch1 TraceEvent
+	for _, ev := range evs {
+		switch ev.Name {
+		case "parent":
+			p = ev
+		case "child1":
+			ch1 = ev
+		}
+	}
+	if ch1.TS < p.TS-0.5 || ch1.TS+ch1.Dur > p.TS+p.Dur+0.5 {
+		t.Errorf("child1 %+v not contained in parent %+v", ch1, p)
+	}
+
+	// Args survive the round trip.
+	found := false
+	for _, ev := range f.TraceEvents {
+		if ev.Name == "child2" && ev.Args["k"] == "v" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("child2 args lost in export")
+	}
+}
+
+// TestTracerComplete covers virtual-clock spans: explicit timestamps pass
+// through unchanged.
+func TestTracerComplete(t *testing.T) {
+	tr := NewTracer()
+	tr.Complete(9, "call", "guest", 1500*time.Microsecond, 250*time.Microsecond, map[string]string{"fn": "multiply"})
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	ev := evs[0]
+	if ev.TS != 1500 || ev.Dur != 250 || ev.TID != 9 || ev.Args["fn"] != "multiply" {
+		t.Fatalf("bad event: %+v", ev)
+	}
+}
+
+// TestTimer checks the span-or-not duration helper.
+func TestTimer(t *testing.T) {
+	tm := StartTimer(nil, 0, "x", "y")
+	time.Sleep(time.Millisecond)
+	if d := tm.Stop(); d < time.Millisecond {
+		t.Fatalf("timer measured %v", d)
+	}
+	tr := NewTracer()
+	tm = StartTimer(tr, 3, "x", "y")
+	tm.Stop()
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Name != "x" || evs[0].TID != 3 {
+		t.Fatalf("timer span not recorded: %+v", tr.Events())
+	}
+}

@@ -1,0 +1,132 @@
+package patch
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/obs"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/workload"
+)
+
+// TestRewriterObsCounters checks the observability wiring of the rewriter:
+// one patch.kind.<kind> count per installed entry patch (matching the
+// PatchRecord kinds exactly), relocation size counters consistent with the
+// emitted code, and one span per pipeline phase when a tracer is attached.
+func TestRewriterObsCounters(t *testing.T) {
+	st, cfg := analyze(t, workload.RandomProgram(21, 12), asm.Options{})
+	rw := NewRewriter(st, cfg, codegen.ModeDeadRegister)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	rw.Obs = reg
+	rw.Trace = tr
+	rw.TraceTID = 7
+
+	instrumented := 0
+	for _, fn := range cfg.Funcs {
+		if fn.Name == "" || fn.Name == "_start" {
+			continue
+		}
+		v := rw.NewVar("ctr_"+fn.Name, 8)
+		if err := rw.InsertSnippet(snippet.FuncEntry(fn), snippet.Increment(v)); err != nil {
+			t.Fatal(err)
+		}
+		instrumented++
+		if instrumented == 6 {
+			break
+		}
+	}
+	if instrumented == 0 {
+		t.Fatal("random program produced no instrumentable functions")
+	}
+	if _, err := rw.Rewrite(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kind counters must agree with the PatchRecords one-for-one.
+	want := map[string]uint64{}
+	for _, p := range rw.Patches {
+		want["patch.kind."+p.Kind.String()]++
+	}
+	var kindTotal uint64
+	for name, n := range want {
+		if got := reg.Counter(name).Load(); got != n {
+			t.Errorf("%s = %d, want %d", name, got, n)
+		}
+		kindTotal += n
+	}
+	if kindTotal != uint64(len(rw.Patches)) {
+		t.Errorf("kind counts sum to %d, %d patches installed", kindTotal, len(rw.Patches))
+	}
+
+	// Relocated code always grows (snippets plus expanded branches), so
+	// code_bytes > orig_bytes and growth picks up the difference.
+	orig := reg.Counter("patch.reloc.orig_bytes").Load()
+	code := reg.Counter("patch.reloc.code_bytes").Load()
+	growth := reg.Counter("patch.reloc.growth_bytes").Load()
+	if orig == 0 || code == 0 {
+		t.Fatalf("size counters not recorded: orig=%d code=%d", orig, code)
+	}
+	if code <= orig {
+		t.Errorf("relocated code (%d bytes) not larger than originals (%d bytes)", code, orig)
+	}
+	if growth != code-orig {
+		t.Errorf("growth_bytes = %d, want %d (all functions grew)", growth, code-orig)
+	}
+
+	// One span per phase, on the requested tid, consistent with PhaseTimes.
+	phases := map[string]bool{}
+	for _, ev := range tr.Events() {
+		if ev.Cat != "patch" {
+			continue
+		}
+		if ev.TID != 7 {
+			t.Errorf("span %s on tid %d, want 7", ev.Name, ev.TID)
+		}
+		phases[ev.Name] = true
+	}
+	for _, name := range []string{"patch.plan", "patch.layout", "patch.encode", "patch.splice"} {
+		if !phases[name] {
+			t.Errorf("no span recorded for %s", name)
+		}
+	}
+	if rw.Phases.Plan <= 0 || rw.Phases.Splice <= 0 {
+		t.Errorf("PhaseTimes not populated via timers: %+v", rw.Phases)
+	}
+}
+
+// TestRewriterObsDisabled: the nil sinks must not change behaviour — the
+// output image is byte-identical with and without collection attached.
+func TestRewriterObsDisabled(t *testing.T) {
+	build := func(withObs bool) []byte {
+		st, cfg := analyze(t, workload.RandomProgram(22, 8), asm.Options{})
+		rw := NewRewriter(st, cfg, codegen.ModeDeadRegister)
+		if withObs {
+			rw.Obs = obs.NewRegistry()
+			rw.Trace = obs.NewTracer()
+		}
+		for _, fn := range cfg.Funcs {
+			if fn.Name == "" || fn.Name == "_start" {
+				continue
+			}
+			v := rw.NewVar("ctr_"+fn.Name, 8)
+			if err := rw.InsertSnippet(snippet.FuncEntry(fn), snippet.Increment(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := rw.Rewrite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := out.Write()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	plain, metered := build(false), build(true)
+	if string(plain) != string(metered) {
+		t.Error("attaching obs changed the output image")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"rvdyn/internal/codegen"
 	"rvdyn/internal/dataflow"
 	"rvdyn/internal/elfrv"
+	"rvdyn/internal/obs"
 	"rvdyn/internal/parse"
 	"rvdyn/internal/riscv"
 	"rvdyn/internal/snippet"
@@ -57,6 +58,15 @@ type Rewriter struct {
 	Patches []PatchRecord
 	// Phases records wall-clock time spent in each Rewrite phase.
 	Phases PhaseTimes
+
+	// Obs, when non-nil, receives patch counters: one patch.kind.<kind> count
+	// per entry patch installed (which rung of the jump ladder fit) and
+	// relocation size counters (patch.reloc.orig_bytes / code_bytes /
+	// growth_bytes). Nil disables collection.
+	Obs *obs.Registry
+	// Trace, when non-nil, records each Rewrite phase as a span on TraceTID.
+	Trace    *obs.Tracer
+	TraceTID int
 }
 
 // PhaseTimes reports where one Rewrite spent its time.
@@ -337,7 +347,7 @@ func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
 	// relocation planning for each function are independent of every other
 	// function; only immutable analysis results (symtab, CFG) and the
 	// mutex-guarded liveness cache are shared.
-	start := time.Now()
+	t := obs.StartTimer(rw.Trace, rw.TraceTID, "patch.plan", "patch")
 	plans := make([]*funcPlan, len(entries))
 	errs := make([]error, len(entries))
 	rw.forEach(len(entries), func(i int) {
@@ -346,32 +356,33 @@ func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
-	rw.Phases.Plan = time.Since(start)
+	rw.Phases.Plan = t.Stop()
 
 	// Phase 2 — layout (serial). Bases come from a prefix sum over plan
 	// sizes in ascending entry order, so the patch-area layout depends only
 	// on the request set, never on worker scheduling.
-	start = time.Now()
+	t = obs.StartTimer(rw.Trace, rw.TraceTID, "patch.layout", "patch")
 	next := trampBase
 	for _, p := range plans {
 		p.base = next
 		next += p.plan.Size
 	}
-	rw.Phases.Layout = time.Since(start)
+	rw.Phases.Layout = t.Stop()
 
 	// Phase 3 — encode (parallel). Every plan now knows its base.
-	start = time.Now()
+	t = obs.StartTimer(rw.Trace, rw.TraceTID, "patch.encode", "patch")
 	rw.forEach(len(entries), func(i int) {
 		plans[i].rel, errs[i] = plans[i].plan.Encode(plans[i].base)
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
-	rw.Phases.Encode = time.Since(start)
+	rw.Phases.Encode = t.Stop()
 
 	// Phase 4 — splice (serial, in entry order): entry patches, jump-table
 	// repointing, code concatenation, symbol emission.
-	start = time.Now()
+	t = obs.StartTimer(rw.Trace, rw.TraceTID, "patch.splice", "patch")
+	defer func() { rw.Phases.Splice = t.Stop() }()
 	for _, p := range plans {
 		fn, rel := p.fn, p.rel
 
@@ -388,6 +399,14 @@ func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
 		rw.Patches = append(rw.Patches, PatchRecord{
 			Func: fn.Name, Kind: kind, From: fn.Entry, To: newEntry,
 		})
+		if rw.Obs != nil {
+			rw.Obs.Counter("patch.kind." + kind.String()).Inc()
+			rw.Obs.Counter("patch.reloc.orig_bytes").Add(p.room)
+			rw.Obs.Counter("patch.reloc.code_bytes").Add(uint64(len(rel.Code)))
+			if g := uint64(len(rel.Code)); g > p.room {
+				rw.Obs.Counter("patch.reloc.growth_bytes").Add(g - p.room)
+			}
+		}
 
 		// Repoint jump-table slots at the relocated blocks.
 		for _, b := range fn.Blocks {
@@ -421,7 +440,6 @@ func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
 			Type: elfrv.STTFunc, Section: ".dyninst.text",
 		})
 	}
-	defer func(t time.Time) { rw.Phases.Splice = time.Since(t) }(start)
 
 	if len(trampCode) > 0 {
 		out.Sections = append(out.Sections, &elfrv.Section{

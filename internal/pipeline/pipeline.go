@@ -21,11 +21,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"rvdyn/internal/asm"
 	"rvdyn/internal/codegen"
 	"rvdyn/internal/elfrv"
+	"rvdyn/internal/obs"
 	"rvdyn/internal/parse"
 	"rvdyn/internal/patch"
 	"rvdyn/internal/snippet"
@@ -43,6 +43,14 @@ type Options struct {
 	// Points chooses the instrumentation points per function: "entry"
 	// (default), "exits", or "blocks".
 	Points string
+	// Metrics, when non-nil, receives the rewriter's patch counters
+	// (jump-ladder kinds, relocation growth). Nil disables collection.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records a span per job plus per-phase child spans.
+	// TraceTID is the renderer row; Batch gives each worker its own row
+	// (TraceTID + worker index) so concurrent jobs draw in parallel.
+	Trace    *obs.Tracer
+	TraceTID int
 }
 
 // Workers resolves the effective worker-pool width.
@@ -142,14 +150,17 @@ func Instrument(job Job, opts Options, stats *Stats) (*Result, error) {
 	}
 	jobs := opts.Workers()
 
+	span := opts.Trace.Begin(opts.TraceTID, "job:"+job.Name, "pipeline")
+	defer span.End()
+
 	file := job.File
 	if file == nil {
-		start := time.Now()
+		t := obs.StartTimer(opts.Trace, opts.TraceTID, "assemble", "pipeline")
 		f, err := asm.Assemble(job.Source, asm.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: %s: assemble: %w", job.Name, err)
 		}
-		stats.AssembleNanos.Add(int64(time.Since(start)))
+		stats.AssembleNanos.Add(int64(t.Stop()))
 		file = f
 	}
 
@@ -158,18 +169,21 @@ func Instrument(job Job, opts Options, stats *Stats) (*Result, error) {
 		return nil, fmt.Errorf("pipeline: %s: symtab: %w", job.Name, err)
 	}
 
-	start := time.Now()
+	t := obs.StartTimer(opts.Trace, opts.TraceTID, "parse", "pipeline")
 	cfg, err := parse.Parse(st, parse.Options{Workers: jobs})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s: parse: %w", job.Name, err)
 	}
-	stats.ParseNanos.Add(int64(time.Since(start)))
+	stats.ParseNanos.Add(int64(t.Stop()))
 	stats.FunctionsParsed.Add(int64(cfg.Stats.Functions))
 	stats.BlocksDiscovered.Add(int64(cfg.Stats.Blocks))
 	stats.InstsDecoded.Add(int64(cfg.Stats.Instructions))
 
 	rw := patch.NewRewriter(st, cfg, opts.Mode)
 	rw.Jobs = jobs
+	rw.Obs = opts.Metrics
+	rw.Trace = opts.Trace
+	rw.TraceTID = opts.TraceTID
 	counters := map[string]uint64{}
 	for _, name := range job.Funcs {
 		fn, ok := cfg.FuncByName(name)
@@ -205,12 +219,12 @@ func Instrument(job Job, opts Options, stats *Stats) (*Result, error) {
 	stats.SpliceNanos.Add(int64(rw.Phases.Splice))
 	stats.PatchesPlanned.Add(int64(len(rw.Patches)))
 
-	start = time.Now()
+	t = obs.StartTimer(opts.Trace, opts.TraceTID, "write", "pipeline")
 	raw, err := out.Write()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %s: write: %w", job.Name, err)
 	}
-	stats.WriteNanos.Add(int64(time.Since(start)))
+	stats.WriteNanos.Add(int64(t.Stop()))
 	stats.BytesEmitted.Add(int64(len(raw)))
 	stats.Binaries.Add(1)
 
@@ -251,6 +265,10 @@ func Batch(jobs []Job, opts Options) ([]*Result, *Stats, error) {
 		var wg sync.WaitGroup
 		for k := 0; k < width; k++ {
 			wg.Add(1)
+			// Each worker traces onto its own tid so concurrent jobs render
+			// as parallel rows rather than one interleaved mess.
+			workerOpts := innerOpts
+			workerOpts.TraceTID = opts.TraceTID + k
 			go func() {
 				defer wg.Done()
 				for {
@@ -258,7 +276,7 @@ func Batch(jobs []Job, opts Options) ([]*Result, *Stats, error) {
 					if i >= len(jobs) {
 						return
 					}
-					results[i], errs[i] = Instrument(jobs[i], innerOpts, stats)
+					results[i], errs[i] = Instrument(jobs[i], workerOpts, stats)
 				}
 			}()
 		}

@@ -1,0 +1,70 @@
+package proc
+
+import (
+	"testing"
+
+	"rvdyn/internal/emu"
+	"rvdyn/internal/obs"
+	"rvdyn/internal/workload"
+)
+
+// TestProcMetrics checks the process-control counters: breakpoint hits match
+// the breakpoint's own HitCount, and single-steps match Steps — with the
+// zero-value Metrics (no registry) staying silent and harmless.
+func TestProcMetrics(t *testing.T) {
+	f := build(t, workload.FibSource)
+	p, err := Launch(f, emu.P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	p.Obs = NewMetrics(reg)
+
+	fib, _ := f.Symbol("fib")
+	bp, err := p.InsertBreakpoint(fib.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Callback = func(*Process, *Breakpoint) bool { return true } // auto-resume
+	ev, err := p.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EventExit {
+		t.Fatalf("event = %+v, want exit", ev)
+	}
+	if got := reg.Counter("proc.breakpoint_hits").Load(); got != bp.HitCount {
+		t.Errorf("proc.breakpoint_hits = %d, HitCount = %d", got, bp.HitCount)
+	}
+	if bp.HitCount == 0 {
+		t.Error("breakpoint never hit")
+	}
+	if got := reg.Counter("proc.single_steps").Load(); got != p.Steps {
+		t.Errorf("proc.single_steps = %d, Steps = %d", got, p.Steps)
+	}
+	if p.Steps == 0 {
+		t.Error("no single-steps recorded (step-over should use them)")
+	}
+}
+
+// TestProcMetricsZeroValue: a Process without NewMetrics must run exactly as
+// before — the zero-value Metrics discards increments.
+func TestProcMetricsZeroValue(t *testing.T) {
+	f := build(t, workload.FibSource)
+	p, err := Launch(f, emu.P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fib, _ := f.Symbol("fib")
+	bp, err := p.InsertBreakpoint(fib.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Callback = func(*Process, *Breakpoint) bool { return true }
+	if ev, err := p.Continue(); err != nil || ev.Kind != EventExit {
+		t.Fatalf("ev=%+v err=%v", ev, err)
+	}
+	if ev := p.Steps; ev == 0 {
+		t.Error("Steps not maintained without metrics")
+	}
+}

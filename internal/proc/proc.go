@@ -17,8 +17,29 @@ import (
 
 	"rvdyn/internal/elfrv"
 	"rvdyn/internal/emu"
+	"rvdyn/internal/obs"
 	"rvdyn/internal/riscv"
 )
+
+// Metrics holds the process-control counters. The zero value (nil handles)
+// disables collection; it is embedded by value so a Process never branches
+// on enablement — nil counters discard increments.
+type Metrics struct {
+	// BreakpointHits counts breakpoint notifications (permanent breakpoints
+	// reaching notify, whether or not a callback resumed execution).
+	BreakpointHits *obs.Counter
+	// SingleSteps counts software single-steps — each one is a plant/restore
+	// patch cycle, the overhead the paper's Section 3.2.6 calls out.
+	SingleSteps *obs.Counter
+}
+
+// NewMetrics resolves the proc counters in r.
+func NewMetrics(r *obs.Registry) Metrics {
+	return Metrics{
+		BreakpointHits: r.Counter("proc.breakpoint_hits"),
+		SingleSteps:    r.Counter("proc.single_steps"),
+	}
+}
 
 // EventKind says why the process stopped.
 type EventKind int
@@ -76,6 +97,10 @@ type Process struct {
 	// Steps counts software single-steps taken (each costs a pair of
 	// memory patches — the overhead the paper warns about).
 	Steps uint64
+
+	// Obs receives breakpoint-hit and single-step counters; the zero value
+	// discards them. Set it with NewMetrics to enable collection.
+	Obs Metrics
 }
 
 // Launch creates a process from a binary and leaves it stopped at the entry
@@ -307,6 +332,7 @@ func (p *Process) StepInst() (Event, error) {
 		temps = append(temps, t)
 	}
 	p.Steps++
+	p.Obs.SingleSteps.Inc()
 
 	reason := p.cpu.Run(0)
 	if err := cleanup(); err != nil {
@@ -385,6 +411,7 @@ func (p *Process) run(budget uint64) (Event, error) {
 // execution should auto-resume.
 func (p *Process) notify(bp *Breakpoint) bool {
 	bp.HitCount++
+	p.Obs.BreakpointHits.Inc()
 	if bp.Callback == nil {
 		return false
 	}
