@@ -8,8 +8,10 @@
 //	rvemu [-model p550|x86] [-max N] [-trace] [-histo] [-slow] [-stats] prog.elf
 //
 // -stats prints the emulator's observability counters on exit: instructions
-// retired, superblock-cache hits/builds/invalidations, per-number syscall
-// counts, and the wall-clock emulation rate in MIPS.
+// retired, superblock-cache hits/builds/invalidations, chain hits/severs,
+// software-TLB hit/miss per access kind, macro-op fusion counts per pair
+// kind, per-number syscall counts, and the wall-clock emulation rate in
+// MIPS. See README.md ("Observability & profiling") for how to read them.
 package main
 
 import (

@@ -118,6 +118,22 @@ type CPU struct {
 	blkSlots []*block
 	blkMap   map[uint64]*block
 
+	// Hot-path engine counters, kept as plain fields (no atomics) and
+	// synced into Obs at every Run return. chainHits counts block→block
+	// dispatches served from a superblock's successor cache; chainSevers
+	// counts cached successors dropped because their generation went stale.
+	// fuseCount tallies macro-op pairs fused at block-build time, by kind.
+	chainHits   uint64
+	chainSevers uint64
+	fuseCount   [numFuseKinds]uint64
+
+	// blkGen mirrors the generation of the block runBlock is executing, so
+	// fused store-pair handlers can detect a mid-pair code invalidation.
+	// fuseStage is set by a faulting fused handler to the number of
+	// constituents that retired before the fault.
+	blkGen    uint64
+	fuseStage int
+
 	lastTrap error
 }
 
@@ -276,15 +292,21 @@ func (c *CPU) fetchAt(pc uint64) (riscv.Inst, error) {
 	} else if inst, ok := c.icOverflow[pc]; ok {
 		return inst, nil
 	}
+	// Raw fetches go through the fetch TLB: instruction parcels are 2-byte
+	// aligned, so each halfword read stays within one page.
 	var buf [4]byte
-	if err := c.Mem.ReadBytes(pc, buf[:2]); err != nil {
+	lo, err := c.Mem.Fetch16(pc)
+	if err != nil {
 		return riscv.Inst{}, err
 	}
+	buf[0], buf[1] = byte(lo), byte(lo>>8)
 	n := 2
 	if buf[0]&3 == 3 {
-		if err := c.Mem.ReadBytes(pc+2, buf[2:4]); err != nil {
+		hi, err := c.Mem.Fetch16(pc + 2)
+		if err != nil {
 			return riscv.Inst{}, err
 		}
+		buf[2], buf[3] = byte(hi), byte(hi>>8)
 		n = 4
 	}
 	inst, err := riscv.Decode(buf[:n], pc)
@@ -312,21 +334,26 @@ const stopNone StopReason = -1
 // (0 = unlimited).
 //
 // Two dispatch engines sit behind Run. The superblock fast path executes
-// whole pre-decoded straight-line blocks per dispatch (block.go); it is
-// selected automatically whenever nothing needs per-instruction visibility.
-// The per-instruction slow path is used when a Trace hook is installed
-// (tools, oracle lockstep stepping), when SlowDispatch is set, or when the
-// remaining instruction budget is smaller than the next block — so budget
-// exhaustion stops at exactly the same instruction on both paths.
+// whole pre-decoded straight-line blocks per dispatch (block.go), following
+// cached block→block successor links so loop-heavy code never re-probes the
+// block map; it is selected automatically whenever nothing needs
+// per-instruction visibility. The per-instruction slow path is used when a
+// Trace hook is installed (tools, oracle lockstep stepping), when
+// SlowDispatch is set, or when the remaining instruction budget is smaller
+// than the next block — so budget exhaustion stops at exactly the same
+// instruction on both paths.
 func (c *CPU) Run(maxInst uint64) StopReason {
 	if c.Obs != nil {
-		// Sync retired instructions into the obs counter on return; the
-		// architectural Instret counter is the single source of truth, so
-		// the hot loop never touches an atomic.
-		before := c.Instret
-		defer func() { c.Obs.Instructions.Add(c.Instret - before) }()
+		// Sync the hot-path counters into obs on return; the architectural
+		// and plain-field counters are the single source of truth, so the
+		// hot loop never touches an atomic.
+		defer c.syncObs(c.Instret, c.chainHits, c.chainSevers, c.fuseCount, c.Mem.TLB)()
 	}
 	budget := maxInst
+	// chained holds the next block resolved through the successor cache of
+	// the block that just retired; nil means the next dispatch must go
+	// through blockAt.
+	var chained *block
 	for {
 		if c.Exited {
 			return StopExit
@@ -335,12 +362,18 @@ func (c *CPU) Run(maxInst uint64) StopReason {
 			return StopMaxInst
 		}
 		if c.Trace == nil && !c.SlowDispatch {
-			if b := c.blockAt(c.PC); b != nil && (maxInst == 0 || budget >= b.n) {
+			b := chained
+			chained = nil
+			if b == nil {
+				b = c.blockAt(c.PC)
+			}
+			if b != nil && (maxInst == 0 || budget >= b.n) {
 				retired, stop := c.runBlock(b)
 				if stop != stopNone {
 					return stop
 				}
 				budget -= retired
+				chained = c.chainNext(b)
 				continue
 			}
 		}
@@ -348,6 +381,28 @@ func (c *CPU) Run(maxInst uint64) StopReason {
 		if r := c.stepOne(); r != stopNone {
 			return r
 		}
+	}
+}
+
+// syncObs snapshots the hot-path counters at Run entry and returns the
+// deferred function that publishes the deltas to the obs registry.
+func (c *CPU) syncObs(instret, chainHits, chainSevers uint64,
+	fuse [numFuseKinds]uint64, tlb TLBStats) func() {
+	return func() {
+		m := c.Obs
+		m.Instructions.Add(c.Instret - instret)
+		m.ChainHits.Add(c.chainHits - chainHits)
+		m.ChainSevers.Add(c.chainSevers - chainSevers)
+		for k := 0; k < numFuseKinds; k++ {
+			m.Fused[k].Add(c.fuseCount[k] - fuse[k])
+		}
+		t := &c.Mem.TLB
+		m.TLBReadHits.Add(t.ReadHits - tlb.ReadHits)
+		m.TLBReadMisses.Add(t.ReadMisses - tlb.ReadMisses)
+		m.TLBWriteHits.Add(t.WriteHits - tlb.WriteHits)
+		m.TLBWriteMisses.Add(t.WriteMisses - tlb.WriteMisses)
+		m.TLBFetchHits.Add(t.FetchHits - tlb.FetchHits)
+		m.TLBFetchMisses.Add(t.FetchMisses - tlb.FetchMisses)
 	}
 }
 

@@ -23,14 +23,46 @@ const (
 	pageMask = pageSize - 1
 )
 
+// Software TLB geometry. Each access kind (read, write, fetch) gets its own
+// direct-mapped table so the hit counters can attribute traffic per kind and
+// a streaming writer cannot evict the loop's read translations. 64 entries
+// cover 256 KiB of working set per kind — far more than the one-entry
+// lastPage cache this replaces, which thrashed as soon as a loop touched two
+// arrays on different pages (matmul's A and B matrices).
+const (
+	tlbBits = 6
+	tlbSize = 1 << tlbBits
+	tlbMask = tlbSize - 1
+)
+
 type page [pageSize]byte
 
-// Memory is a sparse paged address space.
+// TLBStats counts software-TLB probes per access kind. The fields are plain
+// (non-atomic) counters bumped on the memory hot path; the CPU snapshots
+// them into obs counters at every Run return.
+type TLBStats struct {
+	ReadHits, ReadMisses   uint64
+	WriteHits, WriteMisses uint64
+	FetchHits, FetchMisses uint64
+}
+
+// Memory is a sparse paged address space. Address translation (page-index →
+// *page) goes through per-kind direct-mapped software TLBs; the pages map is
+// only consulted on a TLB miss or from the cold management paths (Map,
+// Mapped, Page, LoadELF).
 type Memory struct {
 	pages map[uint64]*page
-	// One-entry lookup cache: most accesses hit the same page repeatedly.
-	lastIdx  uint64
-	lastPage *page
+
+	// Direct-mapped TLBs, indexed by pageIdx&tlbMask and tagged with
+	// pageIdx+1 (0 = invalid, so a zero-value Memory starts empty). Only
+	// present pages are ever cached, and mapped pages are never replaced or
+	// removed, so entries cannot go stale; Map still flushes defensively so
+	// any future unmap path inherits a coherent baseline.
+	rTag, wTag, fTag [tlbSize]uint64
+	rPg, wPg, fPg    [tlbSize]*page
+
+	// TLB accumulates hit/miss counts per access kind.
+	TLB TLBStats
 }
 
 // NewMemory returns an empty address space.
@@ -52,28 +84,113 @@ func (e *MemFault) Error() string {
 	return fmt.Sprintf("emu: memory fault: %s at unmapped address %#x", op, e.Addr)
 }
 
+// pageFor is the cold translation path: a straight map lookup, optionally
+// creating the page. The TLBs are filled by the per-kind miss handlers, not
+// here, so management callers (Map, Mapped, Page) never pollute them.
 func (m *Memory) pageFor(addr uint64, create bool) *page {
 	idx := addr >> pageBits
-	if m.lastPage != nil && m.lastIdx == idx {
-		return m.lastPage
-	}
 	p := m.pages[idx]
-	if p == nil {
-		if !create {
-			return nil
-		}
+	if p == nil && create {
 		p = new(page)
 		m.pages[idx] = p
 	}
-	m.lastIdx, m.lastPage = idx, p
 	return p
 }
 
-// Map ensures [addr, addr+size) is backed by zeroed pages.
+// readPage translates addr for a data read through the read TLB.
+func (m *Memory) readPage(addr uint64) *page {
+	idx := addr >> pageBits
+	s := idx & tlbMask
+	if m.rTag[s] == idx+1 {
+		m.TLB.ReadHits++
+		return m.rPg[s]
+	}
+	return m.readMiss(addr)
+}
+
+func (m *Memory) readMiss(addr uint64) *page {
+	m.TLB.ReadMisses++
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p != nil {
+		s := idx & tlbMask
+		m.rTag[s], m.rPg[s] = idx+1, p
+	}
+	return p
+}
+
+// writePage translates addr for a data write through the write TLB.
+func (m *Memory) writePage(addr uint64) *page {
+	idx := addr >> pageBits
+	s := idx & tlbMask
+	if m.wTag[s] == idx+1 {
+		m.TLB.WriteHits++
+		return m.wPg[s]
+	}
+	return m.writeMiss(addr)
+}
+
+func (m *Memory) writeMiss(addr uint64) *page {
+	m.TLB.WriteMisses++
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p != nil {
+		s := idx & tlbMask
+		m.wTag[s], m.wPg[s] = idx+1, p
+	}
+	return p
+}
+
+// fetchPage translates addr for an instruction fetch through the fetch TLB.
+func (m *Memory) fetchPage(addr uint64) *page {
+	idx := addr >> pageBits
+	s := idx & tlbMask
+	if m.fTag[s] == idx+1 {
+		m.TLB.FetchHits++
+		return m.fPg[s]
+	}
+	return m.fetchMiss(addr)
+}
+
+func (m *Memory) fetchMiss(addr uint64) *page {
+	m.TLB.FetchMisses++
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p != nil {
+		s := idx & tlbMask
+		m.fTag[s], m.fPg[s] = idx+1, p
+	}
+	return p
+}
+
+// FlushTLB invalidates every software-TLB entry (all kinds). Map calls it so
+// translation state never outlives a mapping change.
+func (m *Memory) FlushTLB() {
+	for i := range m.rTag {
+		m.rTag[i], m.wTag[i], m.fTag[i] = 0, 0, 0
+		m.rPg[i], m.wPg[i], m.fPg[i] = nil, nil, nil
+	}
+}
+
+// Fetch16 reads the aligned halfword at addr through the fetch TLB.
+// Instruction parcels are 2-byte aligned, so a parcel never straddles a
+// page; the decoder fetches 32-bit instructions as two parcels.
+func (m *Memory) Fetch16(addr uint64) (uint16, error) {
+	p := m.fetchPage(addr)
+	if p == nil {
+		return 0, &MemFault{Addr: addr}
+	}
+	o := addr & pageMask
+	return uint16(p[o]) | uint16(p[o+1])<<8, nil
+}
+
+// Map ensures [addr, addr+size) is backed by zeroed pages. Mapping over an
+// already-backed range keeps the existing pages (and their contents).
 func (m *Memory) Map(addr, size uint64) {
 	for a := addr &^ pageMask; a < addr+size; a += pageSize {
 		m.pageFor(a, true)
 	}
+	m.FlushTLB()
 }
 
 // Mapped reports whether addr is backed.
@@ -104,7 +221,7 @@ func (m *Memory) Page(addr uint64) []byte {
 // ReadBytes copies n bytes at addr into dst (dst length gives n).
 func (m *Memory) ReadBytes(addr uint64, dst []byte) error {
 	for len(dst) > 0 {
-		p := m.pageFor(addr, false)
+		p := m.readPage(addr)
 		if p == nil {
 			return &MemFault{Addr: addr}
 		}
@@ -119,7 +236,7 @@ func (m *Memory) ReadBytes(addr uint64, dst []byte) error {
 // WriteBytes copies src into memory at addr.
 func (m *Memory) WriteBytes(addr uint64, src []byte) error {
 	for len(src) > 0 {
-		p := m.pageFor(addr, false)
+		p := m.writePage(addr)
 		if p == nil {
 			return &MemFault{Addr: addr, Write: true}
 		}
@@ -135,7 +252,7 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) error {
 // fast path handles the common in-page case.
 
 func (m *Memory) Read8(addr uint64) (uint8, error) {
-	p := m.pageFor(addr, false)
+	p := m.readPage(addr)
 	if p == nil {
 		return 0, &MemFault{Addr: addr}
 	}
@@ -143,7 +260,7 @@ func (m *Memory) Read8(addr uint64) (uint8, error) {
 }
 
 func (m *Memory) Write8(addr uint64, v uint8) error {
-	p := m.pageFor(addr, false)
+	p := m.writePage(addr)
 	if p == nil {
 		return &MemFault{Addr: addr, Write: true}
 	}
@@ -153,7 +270,7 @@ func (m *Memory) Write8(addr uint64, v uint8) error {
 
 func (m *Memory) Read16(addr uint64) (uint16, error) {
 	if addr&pageMask <= pageSize-2 {
-		p := m.pageFor(addr, false)
+		p := m.readPage(addr)
 		if p == nil {
 			return 0, &MemFault{Addr: addr}
 		}
@@ -168,13 +285,22 @@ func (m *Memory) Read16(addr uint64) (uint16, error) {
 }
 
 func (m *Memory) Write16(addr uint64, v uint16) error {
+	if addr&pageMask <= pageSize-2 {
+		p := m.writePage(addr)
+		if p == nil {
+			return &MemFault{Addr: addr, Write: true}
+		}
+		o := addr & pageMask
+		p[o], p[o+1] = byte(v), byte(v>>8)
+		return nil
+	}
 	var b = [2]byte{byte(v), byte(v >> 8)}
 	return m.WriteBytes(addr, b[:])
 }
 
 func (m *Memory) Read32(addr uint64) (uint32, error) {
 	if addr&pageMask <= pageSize-4 {
-		p := m.pageFor(addr, false)
+		p := m.readPage(addr)
 		if p == nil {
 			return 0, &MemFault{Addr: addr}
 		}
@@ -189,13 +315,22 @@ func (m *Memory) Read32(addr uint64) (uint32, error) {
 }
 
 func (m *Memory) Write32(addr uint64, v uint32) error {
+	if addr&pageMask <= pageSize-4 {
+		p := m.writePage(addr)
+		if p == nil {
+			return &MemFault{Addr: addr, Write: true}
+		}
+		o := addr & pageMask
+		p[o], p[o+1], p[o+2], p[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return nil
+	}
 	var b = [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
 	return m.WriteBytes(addr, b[:])
 }
 
 func (m *Memory) Read64(addr uint64) (uint64, error) {
 	if addr&pageMask <= pageSize-8 {
-		p := m.pageFor(addr, false)
+		p := m.readPage(addr)
 		if p == nil {
 			return 0, &MemFault{Addr: addr}
 		}
@@ -215,6 +350,17 @@ func (m *Memory) Read64(addr uint64) (uint64, error) {
 }
 
 func (m *Memory) Write64(addr uint64, v uint64) error {
+	if addr&pageMask <= pageSize-8 {
+		p := m.writePage(addr)
+		if p == nil {
+			return &MemFault{Addr: addr, Write: true}
+		}
+		o := addr & pageMask
+		for i := uint64(0); i < 8; i++ {
+			p[o+i] = byte(v >> (8 * i))
+		}
+		return nil
+	}
 	var b [8]byte
 	for i := 0; i < 8; i++ {
 		b[i] = byte(v >> (8 * i))

@@ -26,20 +26,51 @@ type Metrics struct {
 	// emu.syscall.<num> on first occurrence.
 	Syscalls *obs.Counter
 
+	// ChainHits counts block→block dispatches served from a superblock's
+	// cached successor links (no block-map probe); ChainSevers counts
+	// cached links dropped because the target's generation went stale
+	// (SMC or dynamic patching).
+	ChainHits   *obs.Counter
+	ChainSevers *obs.Counter
+
+	// Software-TLB probe counters, per access kind. hits/(hits+misses) is
+	// the translation hit rate; the fetch TLB only sees decode-cache
+	// misses, so its traffic is naturally tiny on cached code.
+	TLBReadHits, TLBReadMisses   *obs.Counter
+	TLBWriteHits, TLBWriteMisses *obs.Counter
+	TLBFetchHits, TLBFetchMisses *obs.Counter
+
+	// Fused counts macro-op pairs recognized at block-build time, indexed
+	// by fuse kind (emu.fuse.<kind>). A rebuilt block re-counts its pairs,
+	// so this tracks fusion opportunity in decoded code, not retirement.
+	Fused [numFuseKinds]*obs.Counter
+
 	reg *obs.Registry
 }
 
 // NewMetrics resolves the emulator's counters in r. Attach the result to
 // CPU.Obs to enable collection.
 func NewMetrics(r *obs.Registry) *Metrics {
-	return &Metrics{
+	m := &Metrics{
 		Instructions:       r.Counter("emu.instructions_retired"),
 		BlockHits:          r.Counter("emu.block_cache.hits"),
 		BlockBuilds:        r.Counter("emu.block_cache.builds"),
 		BlockInvalidations: r.Counter("emu.block_cache.invalidations"),
 		Syscalls:           r.Counter("emu.syscalls"),
+		ChainHits:          r.Counter("emu.chain.hits"),
+		ChainSevers:        r.Counter("emu.chain.severs"),
+		TLBReadHits:        r.Counter("emu.tlb.read.hits"),
+		TLBReadMisses:      r.Counter("emu.tlb.read.misses"),
+		TLBWriteHits:       r.Counter("emu.tlb.write.hits"),
+		TLBWriteMisses:     r.Counter("emu.tlb.write.misses"),
+		TLBFetchHits:       r.Counter("emu.tlb.fetch.hits"),
+		TLBFetchMisses:     r.Counter("emu.tlb.fetch.misses"),
 		reg:                r,
 	}
+	for k := 0; k < numFuseKinds; k++ {
+		m.Fused[k] = r.Counter("emu.fuse." + fuseKindNames[k])
+	}
+	return m
 }
 
 // syscall records one serviced syscall, bucketed by number. Called from the

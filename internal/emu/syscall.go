@@ -122,22 +122,22 @@ func (c *CPU) syscall() (exited bool, err error) {
 		ret = addr
 	case sysClockGettime:
 		ns := c.VirtualNanos()
-		if e := c.Mem.Write64(a1, ns/1e9); e != nil {
+		if e := c.sysWrite64(a1, ns/1e9); e != nil {
 			ret = errnoRet(14)
 			break
 		}
-		if e := c.Mem.Write64(a1+8, ns%1e9); e != nil {
+		if e := c.sysWrite64(a1+8, ns%1e9); e != nil {
 			ret = errnoRet(14)
 			break
 		}
 		ret = 0
 	case sysGettimeofday:
 		ns := c.VirtualNanos()
-		if e := c.Mem.Write64(a0, ns/1e9); e != nil {
+		if e := c.sysWrite64(a0, ns/1e9); e != nil {
 			ret = errnoRet(14)
 			break
 		}
-		if e := c.Mem.Write64(a0+8, ns%1e9/1000); e != nil {
+		if e := c.sysWrite64(a0+8, ns%1e9/1000); e != nil {
 			ret = errnoRet(14)
 			break
 		}
@@ -154,3 +154,12 @@ func (c *CPU) syscall() (exited bool, err error) {
 }
 
 func errnoRet(errno int64) uint64 { return uint64(-errno) }
+
+// sysWrite64 is Write64 plus decode-cache coherence: a syscall that stores
+// into guest memory (clock_gettime's timespec, gettimeofday's timeval) is a
+// store like any other, so it must invalidate cached decodes it lands on.
+// Without this, pointing an out-parameter at executed code would leave stale
+// superblocks chained past the overwrite.
+func (c *CPU) sysWrite64(addr uint64, v uint64) error {
+	return c.storeCheck(addr, 8, c.Mem.Write64(addr, v))
+}

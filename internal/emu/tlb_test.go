@@ -1,0 +1,153 @@
+package emu
+
+import (
+	"fmt"
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/obs"
+	"rvdyn/internal/workload"
+)
+
+// TestTLBPageStraddle: fixed-width accesses that straddle a page boundary
+// must split correctly across the two pages on both the read and write
+// paths, and fault when either half is unmapped.
+func TestTLBPageStraddle(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x10000, 2*pageSize)
+	boundary := uint64(0x10000 + pageSize)
+
+	for _, addr := range []uint64{boundary - 7, boundary - 4, boundary - 1} {
+		want := 0x1122334455667788 ^ addr
+		if err := m.Write64(addr, want); err != nil {
+			t.Fatalf("Write64(%#x): %v", addr, err)
+		}
+		got, err := m.Read64(addr)
+		if err != nil {
+			t.Fatalf("Read64(%#x): %v", addr, err)
+		}
+		if got != want {
+			t.Errorf("Read64(%#x) = %#x, want %#x", addr, got, want)
+		}
+	}
+	if err := m.Write32(boundary-2, 0xdeadbeef); err != nil {
+		t.Fatalf("Write32 straddle: %v", err)
+	}
+	if v, err := m.Read32(boundary - 2); err != nil || v != 0xdeadbeef {
+		t.Errorf("Read32 straddle = %#x, %v; want 0xdeadbeef", v, err)
+	}
+	if err := m.Write16(boundary-1, 0xabcd); err != nil {
+		t.Fatalf("Write16 straddle: %v", err)
+	}
+	if v, err := m.Read16(boundary - 1); err != nil || v != 0xabcd {
+		t.Errorf("Read16 straddle = %#x, %v; want 0xabcd", v, err)
+	}
+
+	// A straddle whose second half is unmapped must fault, and the fault
+	// address must point at the unmapped page, not the mapped first half.
+	end := uint64(0x10000 + 2*pageSize)
+	if _, err := m.Read64(end - 4); err == nil {
+		t.Error("Read64 into unmapped second page succeeded")
+	} else if f, ok := err.(*MemFault); !ok || f.Addr != end {
+		t.Errorf("fault = %v, want MemFault at %#x", err, end)
+	}
+	if err := m.Write64(end-4, 1); err == nil {
+		t.Error("Write64 into unmapped second page succeeded")
+	}
+	// The partial write before the fault is the documented WriteBytes
+	// behaviour (it mirrors a page-granular MMU); the mapped half holds
+	// the written prefix.
+}
+
+// TestTLBMapOverExistingPage: re-Mapping a live range must keep the existing
+// pages and their contents (Map is idempotent), flush the TLBs, and leave
+// every translation coherent afterwards.
+func TestTLBMapOverExistingPage(t *testing.T) {
+	m := NewMemory()
+	m.Map(0x20000, pageSize)
+	if err := m.Write64(0x20010, 0xfeedface); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the read TLB, then re-map over the same page plus a neighbour.
+	if v, _ := m.Read64(0x20010); v != 0xfeedface {
+		t.Fatalf("pre-remap read = %#x", v)
+	}
+	missesBefore := m.TLB.ReadMisses
+	m.Map(0x20000, 2*pageSize)
+	if v, err := m.Read64(0x20010); err != nil || v != 0xfeedface {
+		t.Fatalf("Map over existing page lost contents: %#x, %v", v, err)
+	}
+	if m.TLB.ReadMisses == missesBefore {
+		t.Error("Map did not flush the read TLB (re-read hit a stale entry)")
+	}
+	// The newly mapped neighbour must be zeroed and accessible.
+	if v, err := m.Read64(0x20000 + pageSize); err != nil || v != 0 {
+		t.Errorf("new neighbour page = %#x, %v; want 0", v, err)
+	}
+}
+
+// TestTLBStaleWriteAfterInvalidation: a store that goes through an
+// already-warm write-TLB entry into cached code must still trigger icache
+// invalidation — the TLB caches translations, never coherence state. The
+// program warms the write TLB with a data-style store into its own code
+// page, then patches an instruction through the same warm entry; the
+// patched code must execute on both dispatch paths.
+func TestTLBStaleWriteAfterInvalidation(t *testing.T) {
+	src := fmt.Sprintf(`
+	.text
+_start:
+	la t0, scratch
+	li t1, %d             # encoding of "addi a0, zero, 42"
+	sd zero, 0(t0)        # warm the write TLB for the code page
+	la t2, patchme
+	sw t1, 0(t2)          # patch through the warm entry
+	li a0, 0
+patchme:
+	addi a0, zero, 7      # replaced before it executes
+	li a7, 93
+	ecall
+	.balign 8
+scratch:
+	.dword 0              # same section/page as the code above
+`, patchWord(t))
+	fast, slow := runBoth(t, src, asm.Options{NoCompress: true})
+	requireSameState(t, fast, slow)
+	if fast.ExitCode != 42 {
+		t.Errorf("exit code %d, want 42 (patch through warm TLB entry not honoured)", fast.ExitCode)
+	}
+}
+
+// TestTLBCountersMatmul: the per-kind TLB counters must show a high read hit
+// rate on the matmul workload (the point of replacing the one-entry page
+// cache) and must reach the obs registry through the Run-return sync.
+func TestTLBCountersMatmul(t *testing.T) {
+	f, err := asm.Assemble(workload.MatmulSource(12, 2), asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c.Obs = NewMetrics(reg)
+	before := c.Mem.TLB // LoadELF already probed the write TLB
+	if r := c.Run(0); r != StopExit {
+		t.Fatalf("stopped with %v (%v)", r, c.LastTrap())
+	}
+	tl := c.Mem.TLB
+	if tl.ReadHits == 0 || tl.WriteHits == 0 {
+		t.Fatalf("TLB saw no hits: %+v", tl)
+	}
+	if rate := float64(tl.ReadHits) / float64(tl.ReadHits+tl.ReadMisses); rate < 0.95 {
+		t.Errorf("read TLB hit rate %.3f, want >= 0.95 (stats %+v)", rate, tl)
+	}
+	// The obs registry receives the delta accumulated during Run, not the
+	// pre-Run probes LoadELF makes while populating memory.
+	if got := reg.Counter("emu.tlb.read.hits").Load(); got != tl.ReadHits-before.ReadHits {
+		t.Errorf("obs emu.tlb.read.hits = %d, Run delta = %d", got, tl.ReadHits-before.ReadHits)
+	}
+	if got := reg.Counter("emu.tlb.write.misses").Load(); got != tl.WriteMisses-before.WriteMisses {
+		t.Errorf("obs emu.tlb.write.misses = %d, Run delta = %d", got, tl.WriteMisses-before.WriteMisses)
+	}
+}

@@ -275,10 +275,46 @@ func (g *progGen) step() {
 		default:
 			g.emit("csrrs %s, cycle, zero", g.intDest())
 		}
-	case p < 94:
+	case p < 94: // back-to-back fusable pairs (macro-op fusion candidates)
+		// Emitted under grouping so a forward-branch label can never land
+		// between the constituents — the pair reaches the block builder
+		// adjacent, the shape the emulator's fusion pass looks for.
+		g.grouping = true
+		defer func() { g.grouping = false; g.flushDue() }()
+		switch g.rng.Intn(4) {
+		case 0: // lui rd, hi ; addi rd2, rd, lo
+			d := intDests[g.rng.Intn(len(intDests))]
+			g.emit("lui %s, %d", d, g.rng.Intn(1<<20))
+			g.emit("addi %s, %s, %d", g.intDest(), d, g.rng.Intn(4096)-2048)
+		case 1: // slli rd, rs, sh ; add rd2, rd, other
+			d := intDests[g.rng.Intn(len(intDests))]
+			g.emit("slli %s, %s, %d", d, g.intSrc(), g.rng.Intn(64))
+			g.emit("add %s, %s, %s", g.intDest(), d, g.intSrc())
+		case 2: // load-pair at off/off+8(gp)
+			off := g.rng.Intn(sandboxReach/8) * 8
+			g.emit("ld %s, %d(gp)", g.intDest(), off)
+			g.emit("ld %s, %d(gp)", g.intDest(), off+8)
+		default: // store-pair at off/off+8(gp)
+			off := g.rng.Intn(sandboxReach/8) * 8
+			g.emit("sd %s, %d(gp)", g.intSrc(), off)
+			g.emit("sd %s, %d(gp)", g.intSrc(), off+8)
+		}
+	case p < 95:
 		g.emit("fence")
 	default: // forward control flow
 		skip := 1 + g.rng.Intn(6)
+		if g.rng.Intn(4) == 0 {
+			// Fused compare+branch shape: slt rd, a, b ; bne rd, zero, L.
+			// Grouped so the pair stays adjacent for the fused terminator.
+			g.grouping = true
+			defer func() { g.grouping = false; g.flushDue() }()
+			d := intDests[g.rng.Intn(len(intDests))]
+			cmp := []string{"slt", "sltu"}
+			br := []string{"bne", "beq"}
+			g.emit("%s %s, %s, %s", cmp[g.rng.Intn(2)], d, g.intSrc(), g.intSrc())
+			g.emit("%s %s, zero, %s", br[g.rng.Intn(2)], d, g.newLabel(skip))
+			return
+		}
 		if g.rng.Intn(5) == 0 {
 			g.emit("jal %s, %s", g.intDest(), g.newLabel(skip))
 			return

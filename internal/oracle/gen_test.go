@@ -1,0 +1,39 @@
+package oracle
+
+import (
+	"testing"
+
+	"rvdyn/internal/emu"
+	"rvdyn/internal/obs"
+)
+
+// TestGeneratorEmitsFusablePairs closes the loop between the generator's
+// fused-pair band and the emulator's macro-op fusion pass: across a handful
+// of seeds, generated programs must make every arithmetic/memory fuse kind
+// actually fire in the block builder. (The grouping flag keeps forward-branch
+// labels from splitting the pairs; if that regresses, the pairs stop being
+// adjacent and these counters go quiet.)
+func TestGeneratorEmitsFusablePairs(t *testing.T) {
+	kinds := []string{
+		"emu.fuse.lui_addi", "emu.fuse.slli_add",
+		"emu.fuse.ld_pair", "emu.fuse.sd_pair", "emu.fuse.cmp_branch",
+	}
+	reg := obs.NewRegistry()
+	for seed := int64(1); seed <= 30; seed++ {
+		f, err := BuildProgram(seed, 300)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c, err := emu.New(f, emu.P550())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c.Obs = emu.NewMetrics(reg)
+		c.Run(1 << 20)
+	}
+	for _, k := range kinds {
+		if reg.Counter(k).Load() == 0 {
+			t.Errorf("%s never fired across 30 generated programs", k)
+		}
+	}
+}
