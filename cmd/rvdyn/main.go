@@ -23,6 +23,10 @@
 //	rvdyn profile [-func f1,f2] [-mode m] {prog.elf|workload-name}
 //	                                         instrument, run, and print a
 //	                                         per-function cycle profile
+//	rvdyn serve [-addr host:port] [-cache-mb N] [-max-upload-mb N]
+//	                                         long-running instrumentation
+//	                                         server with a content-addressed
+//	                                         analysis cache (rvdynd)
 //	rvdyn components                         the Figure 2 component graph
 //
 // The global -jobs N flag (before the subcommand) bounds the worker pool of
@@ -39,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -59,6 +64,7 @@ import (
 	"rvdyn/internal/proc"
 	"rvdyn/internal/profile"
 	"rvdyn/internal/riscv"
+	"rvdyn/internal/server"
 	"rvdyn/internal/snippet"
 	"rvdyn/internal/workload"
 )
@@ -137,6 +143,8 @@ func main() {
 		cmdBatch(args)
 	case "profile":
 		cmdProfile(args)
+	case "serve":
+		cmdServe(args)
 	case "components":
 		cmdComponents()
 	default:
@@ -145,7 +153,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rvdyn [-jobs N] [-metrics] [-trace-out FILE] {symbols|disasm|cfg|liveness|slice|rewrite|run|oracle|batch|profile|components} [flags] prog.elf")
+	fmt.Fprintln(os.Stderr, "usage: rvdyn [-jobs N] [-metrics] [-trace-out FILE] {symbols|disasm|cfg|liveness|slice|rewrite|run|oracle|batch|profile|serve|components} [flags] prog.elf")
 	os.Exit(2)
 }
 
@@ -548,26 +556,25 @@ func cmdBatch(args []string) {
 	}
 
 	start := time.Now()
-	results, stats, err := pipeline.Batch(batch, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	results, errs, stats := pipeline.BatchAll(batch, opts)
 	wall := time.Since(start)
 
-	for _, res := range results {
+	// Verification failures join the instrumentation failures so the final
+	// summary names every bad job and the exit status reflects all of them.
+	for i, res := range results {
+		if errs[i] != nil {
+			fmt.Printf("%-14s FAILED: %v\n", batch[i].Name, errs[i])
+			continue
+		}
 		fmt.Printf("%-14s %6d bytes  %d patches", res.Name, len(res.ELF), len(res.Patches))
 		if *verify {
-			cpu, err := emu.New(res.File, emu.P550())
+			code, err := verifyResult(res)
 			if err != nil {
-				log.Fatalf("%s: %v", res.Name, err)
+				errs[i] = err
+				fmt.Printf("  VERIFY FAILED: %v\n", err)
+				continue
 			}
-			if r := cpu.Run(0); r != emu.StopExit {
-				log.Fatalf("%s: stopped %v (%v)", res.Name, r, cpu.LastTrap())
-			}
-			if res.CheckExit && cpu.ExitCode != res.WantExit {
-				log.Fatalf("%s: exit code %d, want %d", res.Name, cpu.ExitCode, res.WantExit)
-			}
-			fmt.Printf("  exit %d ok", cpu.ExitCode)
+			fmt.Printf("  exit %d ok", code)
 		}
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -584,6 +591,57 @@ func cmdBatch(args []string) {
 	fmt.Println()
 	fmt.Print(stats)
 	fmt.Printf("wall time: %.3f ms with %d workers\n", float64(wall)/1e6, opts.Workers())
+	if summary := pipeline.ErrorSummary(batch, errs); summary != "" {
+		fmt.Fprintf(os.Stderr, "rvdyn: batch: %s", summary)
+		obsFinish()
+		os.Exit(1)
+	}
+}
+
+// verifyResult executes one instrumented binary in the emulator and checks
+// its exit code.
+func verifyResult(res *pipeline.Result) (int, error) {
+	cpu, err := emu.New(res.File, emu.P550())
+	if err != nil {
+		return 0, err
+	}
+	if r := cpu.Run(0); r != emu.StopExit {
+		return 0, fmt.Errorf("stopped %v (%v)", r, cpu.LastTrap())
+	}
+	if res.CheckExit && cpu.ExitCode != res.WantExit {
+		return cpu.ExitCode, fmt.Errorf("exit code %d, want %d", cpu.ExitCode, res.WantExit)
+	}
+	return cpu.ExitCode, nil
+}
+
+// cmdServe runs the rvdynd instrumentation daemon: an HTTP server sharing
+// one worker pool and one content-addressed artifact cache across all
+// requests. See internal/server for the API surface.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8642", "listen address")
+	cacheMB := fs.Int("cache-mb", 256, "artifact cache capacity in MiB")
+	maxUploadMB := fs.Int64("max-upload-mb", 64, "per-request upload cap in MiB")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		log.Fatal("serve takes no positional arguments")
+	}
+	// The metrics endpoint always has a live registry; the global -metrics
+	// flag additionally dumps it to stderr on exit.
+	reg := obsReg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	svc := server.NewService(server.Options{
+		Jobs:       *jobsFlag,
+		CacheBytes: uint64(*cacheMB) << 20,
+		Metrics:    reg,
+	})
+	h := server.NewHandler(svc, server.HandlerOptions{MaxUploadBytes: *maxUploadMB << 20})
+	log.Printf("rvdynd listening on %s (cache %d MiB, %s)", *addr, *cacheMB, server.ToolchainVersion)
+	if err := http.ListenAndServe(*addr, h); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // cmdProfile instruments every requested function with call counters and

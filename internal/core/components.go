@@ -43,6 +43,8 @@ func Components() []Component {
 			"codegen", "core", "elfrv", "emu", "obs", "proc", "snippet"}},
 		{Name: "pipeline", Role: "concurrent analyze→instrument worker pool", Uses: []string{
 			"asm", "codegen", "elfrv", "obs", "parse", "patch", "snippet", "symtab", "workload"}},
+		{Name: "server", Role: "instrumentation-as-a-service daemon with content-addressed artifact cache", Uses: []string{
+			"asm", "codegen", "core", "elfrv", "obs", "patch", "snippet"}},
 	}
 	for i := range comps {
 		sort.Strings(comps[i].Uses)

@@ -66,7 +66,6 @@ type rItem struct {
 	hasIntra     bool
 	hasExtern    bool
 	size         uint64
-	newAddr      uint64
 	// attach marks snippet items that belong to the next original
 	// instruction: control flow targeting that instruction must enter
 	// through them. Edge-specific code does not attach.
@@ -281,31 +280,34 @@ func PlanRelocation(fn *parse.Function, st *symtab.Symtab, insertions []Insertio
 // Layout is a single pass: sizes are fixed (control flow with intra targets
 // was widened to 4-byte forms; auipc became a materialization sequence), so
 // the output depends only on the plan and the base, never on when or on
-// which goroutine the plan was built.
+// which goroutine the plan was built. Encode never mutates the plan —
+// addresses live in a local table — so one cached plan may be encoded by
+// any number of goroutines concurrently (the server replays cached plans).
 func (p *RelocPlan) Encode(newBase uint64) (*Relocation, error) {
 	fn, items, stubStartIdx := p.Func, p.items, p.stubStartIdx
 
 	addr := newBase
 	addrMap := map[uint64]uint64{}
-	for _, it := range items {
-		it.newAddr = addr
+	addrs := make([]uint64, len(items))
+	for i, it := range items {
+		addrs[i] = addr
 		addr += it.size
 	}
 	// Map each original address to the start of its preceding *attached*
 	// snippet run (edge-specific code never captures incoming control flow).
 	var pendingStart uint64
 	pendingValid := false
-	for _, it := range items {
+	for i, it := range items {
 		switch {
 		case it.kind == itemSnippet && it.attach:
 			if !pendingValid {
-				pendingStart = it.newAddr
+				pendingStart = addrs[i]
 				pendingValid = true
 			}
 		case it.kind == itemSnippet:
 			pendingValid = false
 		case it.kind == itemOrig:
-			target := it.newAddr
+			target := addrs[i]
 			if pendingValid {
 				target = pendingStart
 				pendingValid = false
@@ -318,24 +320,24 @@ func (p *RelocPlan) Encode(newBase uint64) (*Relocation, error) {
 	// Resolve stub entry addresses for retargeted terminators.
 	stubAddr := map[int]uint64{}
 	for id, idx := range stubStartIdx {
-		stubAddr[id] = items[idx].newAddr
+		stubAddr[id] = addrs[idx]
 	}
 
 	// Encode with resolved targets.
 	var code []byte
-	for _, it := range items {
+	for i, it := range items {
 		inst := it.inst
 		switch {
 		case it.stubID != 0:
-			inst.Imm = int64(stubAddr[it.stubID]) - int64(it.newAddr)
+			inst.Imm = int64(stubAddr[it.stubID]) - int64(addrs[i])
 		case it.hasIntra:
 			nt, ok := addrMap[it.intraTarget]
 			if !ok {
 				return nil, fmt.Errorf("patch: intra target %#x of %v not in relocation", it.intraTarget, inst)
 			}
-			inst.Imm = int64(nt) - int64(it.newAddr)
+			inst.Imm = int64(nt) - int64(addrs[i])
 		case it.hasExtern:
-			inst.Imm = int64(it.externTarget) - int64(it.newAddr)
+			inst.Imm = int64(it.externTarget) - int64(addrs[i])
 		}
 		var b []byte
 		var err error
@@ -351,7 +353,7 @@ func (p *RelocPlan) Encode(newBase uint64) (*Relocation, error) {
 			}
 		}
 		if err != nil {
-			return nil, fmt.Errorf("patch: encoding relocated %v at %#x: %w", inst, it.newAddr, err)
+			return nil, fmt.Errorf("patch: encoding relocated %v at %#x: %w", inst, addrs[i], err)
 		}
 		if uint64(len(b)) != it.size {
 			return nil, fmt.Errorf("patch: relocated %v sized %d, encoded %d", inst, it.size, len(b))

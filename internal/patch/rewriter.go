@@ -49,10 +49,11 @@ type Rewriter struct {
 	requests     map[uint64][]request
 	edgeRequests map[uint64][]edgeRequest
 
-	// liveness is a lazily-built per-function cache, shared by the parallel
-	// planning workers; livenessMu guards it (see TestRewriterLivenessCacheRace).
-	livenessMu sync.Mutex
-	liveness   map[uint64]*dataflow.LivenessResult
+	// liveness memoizes per-function dataflow results for the parallel
+	// planning workers. By default every Rewriter gets a private cache;
+	// SetLivenessCache shares one across Rewriters of the same binary (the
+	// server's warm path).
+	liveness *LivenessCache
 
 	// Results, for inspection by tests and the EXPERIMENTS harness.
 	Patches []PatchRecord
@@ -111,7 +112,61 @@ func NewRewriter(st *symtab.Symtab, cfg *parse.CFG, mode codegen.Mode) *Rewriter
 		varNext:      varBase,
 		requests:     map[uint64][]request{},
 		edgeRequests: map[uint64][]edgeRequest{},
-		liveness:     map[uint64]*dataflow.LivenessResult{},
+		liveness:     NewLivenessCache(),
+	}
+}
+
+// LivenessCache memoizes per-function liveness results, keyed by function
+// entry address. One cache may be shared by any number of Rewriters over the
+// *same* analyzed binary (entries are keyed by address, so sharing across
+// different binaries would collide); LivenessResult values are immutable
+// once computed, and the double-checked locking keeps concurrent fills
+// canonical (see TestRewriterLivenessCacheRace).
+type LivenessCache struct {
+	mu sync.Mutex
+	m  map[uint64]*dataflow.LivenessResult
+}
+
+// NewLivenessCache returns an empty cache.
+func NewLivenessCache() *LivenessCache {
+	return &LivenessCache{m: map[uint64]*dataflow.LivenessResult{}}
+}
+
+// For returns the cached liveness of fn, computing it on first use.
+func (c *LivenessCache) For(fn *parse.Function) *dataflow.LivenessResult {
+	c.mu.Lock()
+	lv, ok := c.m[fn.Entry]
+	c.mu.Unlock()
+	if ok {
+		return lv
+	}
+	// Computed outside the lock: liveness is pure, so two workers racing on
+	// the same function at worst duplicate work, never corrupt the cache.
+	lv = dataflow.Liveness(fn)
+	c.mu.Lock()
+	if prior, ok := c.m[fn.Entry]; ok {
+		lv = prior
+	} else {
+		c.m[fn.Entry] = lv
+	}
+	c.mu.Unlock()
+	return lv
+}
+
+// Len returns the number of memoized functions.
+func (c *LivenessCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// SetLivenessCache replaces the rewriter's private liveness cache, letting
+// repeated rewrites of the same binary skip the dataflow analysis. Call it
+// before the first InsertSnippet/Rewrite; the cache must belong to the same
+// binary this rewriter analyzes.
+func (rw *Rewriter) SetLivenessCache(c *LivenessCache) {
+	if c != nil {
+		rw.liveness = c
 	}
 }
 
@@ -160,23 +215,7 @@ func (rw *Rewriter) InsertEdgeSnippet(pt snippet.EdgePoint, sn snippet.Snippet) 
 }
 
 func (rw *Rewriter) livenessFor(fn *parse.Function) *dataflow.LivenessResult {
-	rw.livenessMu.Lock()
-	lv, ok := rw.liveness[fn.Entry]
-	rw.livenessMu.Unlock()
-	if ok {
-		return lv
-	}
-	// Computed outside the lock: liveness is pure, so two workers racing on
-	// the same function at worst duplicate work, never corrupt the cache.
-	lv = dataflow.Liveness(fn)
-	rw.livenessMu.Lock()
-	if prior, ok := rw.liveness[fn.Entry]; ok {
-		lv = prior
-	} else {
-		rw.liveness[fn.Entry] = lv
-	}
-	rw.livenessMu.Unlock()
-	return lv
+	return rw.liveness.For(fn)
 }
 
 // generate lowers one request to instructions.
@@ -305,8 +344,80 @@ func firstError(errs []error) error {
 	return nil
 }
 
+// PlanSet is the reusable phase-1 product of a Rewrite: every requested
+// function's generated snippet code, scratch-register choice, and
+// base-independent relocation plan. A PlanSet may be cached and replayed
+// through RewriteWithPlans by any Rewriter over the same analyzed binary
+// with the same requests and variable allocations (the rvdynd server's
+// content-addressed cache keys guarantee exactly that). Replay never
+// mutates the set, so concurrent replays of one cached PlanSet are safe.
+type PlanSet struct {
+	plans []*funcPlan
+}
+
+// Funcs returns the number of planned functions.
+func (ps *PlanSet) Funcs() int { return len(ps.plans) }
+
+// Size returns the total patch-area bytes the plans will occupy — a stable
+// lower bound on the memory the set retains, used for cache accounting.
+func (ps *PlanSet) Size() uint64 {
+	var n uint64
+	for _, p := range ps.plans {
+		n += p.plan.Size
+	}
+	return n
+}
+
+// Plan runs phase 1 of the rewrite — snippet generation, liveness, and
+// relocation planning, fanned out across the worker pool — and returns the
+// base-independent result. Rewrite is Plan followed by RewriteWithPlans.
+func (rw *Rewriter) Plan() (*PlanSet, error) {
+	// Deterministic function order.
+	entrySet := map[uint64]bool{}
+	for e := range rw.requests {
+		entrySet[e] = true
+	}
+	for e := range rw.edgeRequests {
+		entrySet[e] = true
+	}
+	entries := make([]uint64, 0, len(entrySet))
+	for e := range entrySet {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+
+	// Snippet generation, liveness, and relocation planning for each
+	// function are independent of every other function; only immutable
+	// analysis results (symtab, CFG) and the mutex-guarded liveness cache
+	// are shared.
+	t := obs.StartTimer(rw.Trace, rw.TraceTID, "patch.plan", "patch")
+	plans := make([]*funcPlan, len(entries))
+	errs := make([]error, len(entries))
+	rw.forEach(len(entries), func(i int) {
+		plans[i], errs[i] = rw.planFunc(entries[i])
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	rw.Phases.Plan = t.Stop()
+	return &PlanSet{plans: plans}, nil
+}
+
 // Rewrite produces the instrumented ELF image.
 func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
+	ps, err := rw.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return rw.RewriteWithPlans(ps)
+}
+
+// RewriteWithPlans runs phases 2–4 (layout, encode, splice) over an
+// already-built PlanSet — the warm path when the plans came from a cache.
+// The set must have been planned against the same binary image with the
+// same request set and variable allocations as this rewriter; layout and
+// encode work on copies, leaving ps untouched.
+func (rw *Rewriter) RewriteWithPlans(ps *PlanSet) (*elfrv.File, error) {
 	orig := rw.st.File
 
 	// Clone sections so the original file object stays pristine.
@@ -329,39 +440,20 @@ func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
 	trampBase += 0x1000
 	var trampCode []byte
 
-	// Deterministic function order.
-	entrySet := map[uint64]bool{}
-	for e := range rw.requests {
-		entrySet[e] = true
+	// Work on shallow copies: layout and encode fill base and rel, and a
+	// cached PlanSet must stay immutable for concurrent replays.
+	plans := make([]*funcPlan, len(ps.plans))
+	for i, p := range ps.plans {
+		cp := *p
+		cp.base, cp.rel = 0, nil
+		plans[i] = &cp
 	}
-	for e := range rw.edgeRequests {
-		entrySet[e] = true
-	}
-	entries := make([]uint64, 0, len(entrySet))
-	for e := range entrySet {
-		entries = append(entries, e)
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
-
-	// Phase 1 — plan (parallel). Snippet generation, liveness, and
-	// relocation planning for each function are independent of every other
-	// function; only immutable analysis results (symtab, CFG) and the
-	// mutex-guarded liveness cache are shared.
-	t := obs.StartTimer(rw.Trace, rw.TraceTID, "patch.plan", "patch")
-	plans := make([]*funcPlan, len(entries))
-	errs := make([]error, len(entries))
-	rw.forEach(len(entries), func(i int) {
-		plans[i], errs[i] = rw.planFunc(entries[i])
-	})
-	if err := firstError(errs); err != nil {
-		return nil, err
-	}
-	rw.Phases.Plan = t.Stop()
+	errs := make([]error, len(plans))
 
 	// Phase 2 — layout (serial). Bases come from a prefix sum over plan
 	// sizes in ascending entry order, so the patch-area layout depends only
 	// on the request set, never on worker scheduling.
-	t = obs.StartTimer(rw.Trace, rw.TraceTID, "patch.layout", "patch")
+	t := obs.StartTimer(rw.Trace, rw.TraceTID, "patch.layout", "patch")
 	next := trampBase
 	for _, p := range plans {
 		p.base = next
@@ -371,7 +463,7 @@ func (rw *Rewriter) Rewrite() (*elfrv.File, error) {
 
 	// Phase 3 — encode (parallel). Every plan now knows its base.
 	t = obs.StartTimer(rw.Trace, rw.TraceTID, "patch.encode", "patch")
-	rw.forEach(len(entries), func(i int) {
+	rw.forEach(len(plans), func(i int) {
 		plans[i].rel, errs[i] = plans[i].plan.Encode(plans[i].base)
 	})
 	if err := firstError(errs); err != nil {

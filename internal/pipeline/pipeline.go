@@ -237,7 +237,22 @@ func Instrument(job Job, opts Options, stats *Stats) (*Result, error) {
 // Batch pushes every job through the pipeline concurrently (bounded by
 // opts.Jobs) and returns results in job order. The first error aborts the
 // report but the slice still carries every result completed before it.
+// Callers that need to distinguish which jobs failed — rvdyn batch's exit
+// status, the server's per-request error mapping — use BatchAll instead.
 func Batch(jobs []Job, opts Options) ([]*Result, *Stats, error) {
+	results, errs, stats := BatchAll(jobs, opts)
+	for i, err := range errs {
+		if err != nil {
+			return results, stats, fmt.Errorf("pipeline: job %d (%s): %w", i, jobs[i].Name, err)
+		}
+	}
+	return results, stats, nil
+}
+
+// BatchAll is Batch without the first-error collapse: every job runs to
+// completion or failure independently, and the returned error slice is
+// parallel to the results — errs[i] != nil exactly when results[i] is nil.
+func BatchAll(jobs []Job, opts Options) ([]*Result, []error, *Stats) {
 	stats := &Stats{}
 	results := make([]*Result, len(jobs))
 	errs := make([]error, len(jobs))
@@ -282,12 +297,30 @@ func Batch(jobs []Job, opts Options) ([]*Result, *Stats, error) {
 		}
 		wg.Wait()
 	}
+	return results, errs, stats
+}
+
+// ErrorSummary renders the per-job failure table for a BatchAll run: one
+// line per failed job plus a failed/total header. It returns "" when every
+// job succeeded, so callers can gate their exit status on the summary.
+func ErrorSummary(jobs []Job, errs []error) string {
+	var b strings.Builder
+	failed := 0
 	for i, err := range errs {
-		if err != nil {
-			return results, stats, fmt.Errorf("pipeline: job %d (%s): %w", i, jobs[i].Name, err)
+		if err == nil {
+			continue
 		}
+		failed++
+		name := fmt.Sprintf("job %d", i)
+		if i < len(jobs) && jobs[i].Name != "" {
+			name = jobs[i].Name
+		}
+		fmt.Fprintf(&b, "  %-14s %v\n", name, err)
 	}
-	return results, stats, nil
+	if failed == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d jobs failed:\n%s", failed, len(errs), b.String())
 }
 
 // WorkloadJobs returns one job per internal/workload program, instrumenting

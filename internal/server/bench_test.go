@@ -1,0 +1,76 @@
+package server
+
+import (
+	"testing"
+
+	"rvdyn/internal/obs"
+	"rvdyn/internal/workload"
+)
+
+func benchRequest(b *testing.B) (*Service, Request) {
+	b.Helper()
+	svc := NewService(Options{Jobs: 1, Metrics: obs.NewRegistry()})
+	for _, p := range workload.Programs() {
+		if p.Name == "matmul" {
+			return svc, Request{Source: p.Source, Spec: Spec{Funcs: p.Funcs}}
+		}
+	}
+	b.Fatal("no matmul workload")
+	return nil, Request{}
+}
+
+// BenchmarkServeCold measures the full uncached path: hash, assemble,
+// analyze, liveness, plan, rewrite, serialize.
+func BenchmarkServeCold(b *testing.B) {
+	svc, req := benchRequest(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, level := range []string{"elf", "plan", "liveness", "analysis"} {
+			svc.Cache().DropLevel(level)
+		}
+		if _, err := svc.Instrument(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeWarm measures a fully warm resubmission: spec
+// canonicalization, input hash, one cache lookup.
+func BenchmarkServeWarm(b *testing.B) {
+	svc, req := benchRequest(b)
+	if _, err := svc.Instrument(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.Instrument(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.CacheState != "hit" {
+			b.Fatalf("warm request missed (%s)", resp.CacheState)
+		}
+	}
+}
+
+// BenchmarkServePartialPlan measures the replay path: cached plans, fresh
+// encode+serialize (the state after an elf-level eviction).
+func BenchmarkServePartialPlan(b *testing.B) {
+	svc, req := benchRequest(b)
+	if _, err := svc.Instrument(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.Cache().DropLevel("elf")
+		resp, err := svc.Instrument(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.CacheState != "partial:plan" {
+			b.Fatalf("expected partial:plan, got %s", resp.CacheState)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package server is the instrumentation-as-a-service layer: a long-running
+// daemon (rvdyn serve) that accepts binary uploads plus instrumentation
+// specs over HTTP, shards requests across a bounded worker pool, and serves
+// rewritten ELFs out of a content-addressed artifact cache.
+//
+// The cache holds four artifact levels, all keyed by SHA-256 over the
+// toolchain version, the input bytes, and (where the artifact depends on
+// it) the canonicalized spec:
+//
+//	analysis  parsed ELF + symbol table + CFG          key(input)
+//	liveness  per-function dataflow results            key(input)
+//	plan      base-independent relocation plans        key(input, spec)
+//	elf       final rewritten ELF + patch metadata     key(input, spec)
+//
+// A warm resubmission of an identical binary+spec is a single lookup at the
+// elf level; partial hits recompute only the layers above the deepest
+// cached artifact. The soundness of serving cached bytes rests on the
+// pipeline's byte-identical determinism (the cache-equivalence tests pin
+// that the warm path equals a cold rewrite, byte for byte, at every worker
+// count and every partial-hit state).
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"rvdyn/internal/obs"
+)
+
+// Artifact is one cacheable intermediate result. Implementations report a
+// stable size estimate so the LRU can bound total memory; artifacts must be
+// immutable once inserted (concurrent requests share them).
+type Artifact interface {
+	CacheBytes() uint64
+}
+
+// Outcome classifies one cache lookup.
+type Outcome int
+
+const (
+	// Miss: this caller computed the artifact.
+	Miss Outcome = iota
+	// Hit: the artifact was already resident.
+	Hit
+	// Coalesced: another in-flight request was already computing the same
+	// artifact; this caller waited for it (single-flight deduplication).
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "miss"
+}
+
+// Cache is a size-bounded, content-addressed LRU over instrumentation
+// artifacts with single-flight deduplication: concurrent GetOrCompute calls
+// for the same key do the work once and share the result. Failed computes
+// are never inserted, so an error cannot poison the cache. All methods are
+// safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity uint64
+	bytes    uint64
+	entries  map[string]*list.Element // key -> *centry element
+	lru      *list.List               // front = most recently used
+	flights  map[string]*flight
+
+	reg       *obs.Registry
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evictions *obs.Counter
+	rejected  *obs.Counter
+	bytesG    *obs.Gauge
+	entriesG  *obs.Gauge
+}
+
+type centry struct {
+	key   string
+	level string
+	val   Artifact
+	size  uint64
+}
+
+type flight struct {
+	done chan struct{}
+	val  Artifact
+	err  error
+}
+
+// NewCache creates a cache bounded to capacity bytes of artifact estimates.
+// reg may be nil (metrics disabled).
+func NewCache(capacity uint64, reg *obs.Registry) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		flights:  map[string]*flight{},
+		reg:      reg,
+		hits:     reg.Counter("cache.hits"),
+		misses:   reg.Counter("cache.misses"),
+		coalesced: reg.Counter(
+			"cache.singleflight.coalesced"),
+		evictions: reg.Counter("cache.evictions"),
+		rejected:  reg.Counter("cache.rejected_oversize"),
+		bytesG:    reg.Gauge("cache.bytes"),
+		entriesG:  reg.Gauge("cache.entries"),
+	}
+}
+
+// GetOrCompute returns the artifact stored under key, computing and
+// inserting it on a miss. Concurrent callers with the same key coalesce
+// onto one compute; every waiter receives the same artifact (or the same
+// error — errors are returned, never cached). level tags the per-level
+// metric counters (cache.hits.<level> etc.).
+func (c *Cache) GetOrCompute(key, level string, compute func() (Artifact, error)) (Artifact, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		val := el.Value.(*centry).val
+		c.mu.Unlock()
+		c.hits.Inc()
+		c.reg.Counter("cache.hits." + level).Inc()
+		return val, Hit, nil
+	}
+	if fl, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.coalesced.Inc()
+		c.reg.Counter("cache.singleflight.coalesced." + level).Inc()
+		<-fl.done
+		return fl.val, Coalesced, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[key] = fl
+	c.mu.Unlock()
+	c.misses.Inc()
+	c.reg.Counter("cache.misses." + level).Inc()
+
+	fl.val, fl.err = compute()
+	if fl.err == nil {
+		c.insert(key, level, fl.val)
+	}
+	c.mu.Lock()
+	delete(c.flights, key)
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, Miss, fl.err
+}
+
+// insert stores val and evicts from the cold end until the cache fits.
+func (c *Cache) insert(key, level string, val Artifact) {
+	size := val.CacheBytes()
+	if size > c.capacity {
+		// An artifact larger than the whole cache would evict everything and
+		// then be evicted itself on the next insert; skip it entirely.
+		c.rejected.Inc()
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A racing insert (same key recomputed after an eviction mid-flight)
+		// already stored a value; keep the resident one.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&centry{key: key, level: level, val: val, size: size})
+	c.bytes += size
+	for c.bytes > c.capacity {
+		c.evictLockedOldest()
+	}
+	c.bytesG.Set(int64(c.bytes))
+	c.entriesG.Set(int64(len(c.entries)))
+}
+
+func (c *Cache) evictLockedOldest() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*centry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+	c.evictions.Inc()
+	c.reg.Counter("cache.evictions." + e.level).Inc()
+}
+
+// DropLevel evicts every resident artifact of the given level and returns
+// how many were dropped. Tests use it to force partial-hit states ("CFG
+// cached but plan evicted"); the drops count as evictions.
+func (c *Cache) DropLevel(level string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*centry); e.level == level {
+			c.lru.Remove(el)
+			delete(c.entries, e.key)
+			c.bytes -= e.size
+			c.evictions.Inc()
+			c.reg.Counter("cache.evictions." + e.level).Inc()
+			n++
+		}
+		el = next
+	}
+	c.bytesG.Set(int64(c.bytes))
+	c.entriesG.Set(int64(len(c.entries)))
+	return n
+}
+
+// Len returns the number of resident artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the current size estimate of resident artifacts.
+func (c *Cache) Bytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rvdyn/internal/obs"
+)
+
+type fakeArtifact struct{ size uint64 }
+
+func (f *fakeArtifact) CacheBytes() uint64 { return f.size }
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(100, reg)
+	mk := func(key string, size uint64) {
+		_, _, err := c.GetOrCompute(key, "elf", func() (Artifact, error) {
+			return &fakeArtifact{size}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("a", 40)
+	mk("b", 40)
+	// Touch "a" so "b" is the LRU victim.
+	if _, out, _ := c.GetOrCompute("a", "elf", nil); out != Hit {
+		t.Fatalf("a should be resident, got %v", out)
+	}
+	mk("c", 40) // 120 > 100: evicts "b"
+	if _, out, _ := c.GetOrCompute("b", "elf", func() (Artifact, error) {
+		return &fakeArtifact{40}, nil
+	}); out != Miss {
+		t.Errorf("b should have been evicted, got %v", out)
+	}
+	if got := reg.Counter("cache.evictions").Load(); got < 1 {
+		t.Errorf("evictions = %d, want >= 1", got)
+	}
+	if c.Bytes() > 100 {
+		t.Errorf("cache over capacity: %d bytes", c.Bytes())
+	}
+	if g := reg.Gauge("cache.bytes").Load(); uint64(g) != c.Bytes() {
+		t.Errorf("bytes gauge %d != Bytes() %d", g, c.Bytes())
+	}
+	if g := reg.Gauge("cache.entries").Load(); int(g) != c.Len() {
+		t.Errorf("entries gauge %d != Len() %d", g, c.Len())
+	}
+}
+
+func TestCacheOversizedArtifactRejected(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(100, reg)
+	val, out, err := c.GetOrCompute("huge", "elf", func() (Artifact, error) {
+		return &fakeArtifact{1000}, nil
+	})
+	if err != nil || val == nil || out != Miss {
+		t.Fatalf("oversized compute must still return its value: %v %v %v", val, out, err)
+	}
+	if c.Len() != 0 {
+		t.Errorf("oversized artifact was cached")
+	}
+	if reg.Counter("cache.rejected_oversize").Load() != 1 {
+		t.Errorf("rejection not counted")
+	}
+}
+
+func TestCacheErrorsNeverCached(t *testing.T) {
+	c := NewCache(1000, nil)
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, _, err := c.GetOrCompute("k", "elf", func() (Artifact, error) {
+			calls++
+			return nil, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("got %v", err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("failed compute was cached: %d calls", calls)
+	}
+	if c.Len() != 0 {
+		t.Errorf("error poisoned the cache: %d entries", c.Len())
+	}
+}
+
+// TestCacheSingleFlight pins the deduplication contract: N concurrent
+// lookups of one cold key run the compute exactly once, and everyone gets
+// the same artifact.
+func TestCacheSingleFlight(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(1<<20, reg)
+	var computes atomic.Int64
+	release := make(chan struct{})
+
+	const waiters = 16
+	results := make([]Artifact, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, _, err := c.GetOrCompute("k", "elf", func() (Artifact, error) {
+				computes.Add(1)
+				<-release // hold the flight open so others must coalesce
+				return &fakeArtifact{8}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = val
+		}()
+	}
+	// Let the goroutines pile onto the flight, then release the compute.
+	for reg.Counter("cache.singleflight.coalesced").Load() == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	for i := 1; i < waiters; i++ {
+		if results[i] != results[0] {
+			t.Errorf("waiter %d got a different artifact", i)
+		}
+	}
+	co := reg.Counter("cache.singleflight.coalesced").Load()
+	hits := reg.Counter("cache.hits").Load()
+	misses := reg.Counter("cache.misses").Load()
+	if misses != 1 || co+hits+misses != waiters {
+		t.Errorf("counters: %d misses, %d hits, %d coalesced (want 1 miss, total %d)",
+			misses, hits, co, waiters)
+	}
+}
+
+func TestCacheDropLevel(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	for i := 0; i < 3; i++ {
+		c.GetOrCompute(fmt.Sprintf("e%d", i), "elf", func() (Artifact, error) {
+			return &fakeArtifact{10}, nil
+		})
+	}
+	c.GetOrCompute("a0", "analysis", func() (Artifact, error) {
+		return &fakeArtifact{10}, nil
+	})
+	if n := c.DropLevel("elf"); n != 3 {
+		t.Errorf("dropped %d elf entries, want 3", n)
+	}
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Errorf("after drop: %d entries, %d bytes", c.Len(), c.Bytes())
+	}
+}

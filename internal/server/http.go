@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"rvdyn/internal/obs"
+)
+
+// DefaultMaxUploadBytes bounds one request body (spec + binary) unless
+// HandlerOptions overrides it.
+const DefaultMaxUploadBytes = 64 << 20
+
+// HandlerOptions configures the HTTP surface.
+type HandlerOptions struct {
+	// MaxUploadBytes caps the request body; oversized uploads get 413.
+	MaxUploadBytes int64
+}
+
+// NewHandler wires the service into an http.Handler:
+//
+//	POST /v1/instrument   multipart form: "spec" (JSON) + "binary" (ELF
+//	                      file) or "source" (assembly text). Returns the
+//	                      rewritten ELF (application/octet-stream) with
+//	                      X-Rvdynd-Key and X-Rvdynd-Cache headers, or JSON
+//	                      metadata (patches, counters, base64 ELF) with
+//	                      ?meta=1.
+//	GET  /healthz         liveness probe: uptime and inflight count
+//	GET  /metrics         the obs registry dump (text, one metric per line)
+//
+// Malformed input of any kind — bad multipart framing, invalid spec JSON,
+// corrupt ELFs, unknown functions — yields a 4xx and leaves the cache
+// untouched (failed computes are never inserted).
+func NewHandler(s *Service, opts HandlerOptions) http.Handler {
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/instrument", func(w http.ResponseWriter, r *http.Request) {
+		handleInstrument(s, opts, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok uptime=%s inflight=%d\n", s.Uptime().Round(1e6), s.inflight.Load())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.reg.WriteTo(w)
+	})
+	return statusMetrics(s.reg, mux)
+}
+
+// statusMetrics counts responses by status class and bytes moved.
+func statusMetrics(reg *obs.Registry, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(cw, r)
+		reg.Counter(fmt.Sprintf("server.http.%dxx", cw.status/100)).Inc()
+		reg.Counter("server.http.bytes_out").Add(uint64(cw.bytes))
+	})
+}
+
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *countingWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+func handleInstrument(s *Service, opts HandlerOptions, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, opts.MaxUploadBytes)
+	// Keep parts in memory up to the body cap; the cap itself is enforced
+	// by MaxBytesReader.
+	if err := r.ParseMultipartForm(opts.MaxUploadBytes); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, status, "parse multipart body: %v", err)
+		return
+	}
+	defer r.MultipartForm.RemoveAll()
+
+	var spec Spec
+	specText := r.FormValue("spec")
+	if specText != "" {
+		dec := json.NewDecoder(strings.NewReader(specText))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, "decode spec: %v", err)
+			return
+		}
+	}
+
+	req := Request{Spec: spec, Source: r.FormValue("source")}
+	if file, _, err := r.FormFile("binary"); err == nil {
+		data, rerr := io.ReadAll(file)
+		file.Close()
+		if rerr != nil {
+			httpError(w, http.StatusBadRequest, "read binary part: %v", rerr)
+			return
+		}
+		req.Binary = data
+	}
+
+	resp, err := s.Instrument(req)
+	if err != nil {
+		var reqErr *RequestError
+		if errors.As(err, &reqErr) {
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		} else {
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+
+	w.Header().Set("X-Rvdynd-Key", resp.Key)
+	w.Header().Set("X-Rvdynd-Cache", resp.CacheState)
+	if r.URL.Query().Get("meta") == "1" {
+		type patchJSON struct {
+			Func string `json:"func"`
+			Kind string `json:"kind"`
+			From uint64 `json:"from"`
+			To   uint64 `json:"to"`
+		}
+		patches := make([]patchJSON, 0, len(resp.Patches))
+		for _, p := range resp.Patches {
+			patches = append(patches, patchJSON{p.Func, p.Kind.String(), p.From, p.To})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Key      string            `json:"key"`
+			Cache    string            `json:"cache"`
+			ELFSize  int               `json:"elf_size"`
+			Patches  []patchJSON       `json:"patches"`
+			Counters map[string]uint64 `json:"counters"`
+			ELF      string            `json:"elf_base64"`
+		}{resp.Key, resp.CacheState, len(resp.ELF), patches, resp.Counters,
+			base64.StdEncoding.EncodeToString(resp.ELF)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp.ELF)))
+	w.Write(resp.ELF)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf("rvdynd: "+format, args...), status)
+}

@@ -1,0 +1,141 @@
+package server
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rvdyn/internal/obs"
+)
+
+// TestServeEvictionChurnRace hammers one service from concurrent clients
+// with a cache deliberately too small for the working set, so artifacts are
+// evicted and recomputed continuously while other requests hold references
+// to them. Run under -race this is the torn-artifact detector; the explicit
+// assertions pin:
+//
+//   - every response, from any cache state, is byte-identical to the cold
+//     reference (no torn or stale artifact is ever served);
+//   - single-flight accounting is exact: per-level hit/coalesced/miss
+//     counters equal the per-response states the clients observed;
+//   - obs counters are monotonic while the storm is in progress;
+//   - the cache never exceeds its byte bound and eviction churn actually
+//     happened (otherwise the test proves nothing).
+func TestServeEvictionChurnRace(t *testing.T) {
+	reg := obs.NewRegistry()
+	const cacheBytes = 96 << 10
+	svc := NewService(Options{Jobs: 4, CacheBytes: cacheBytes, Metrics: reg})
+
+	cases := equivCases(t, 4)
+	refs := make(map[string][]byte, len(cases))
+	for _, tc := range cases {
+		refs[tc.name] = coldReference(t, tc)
+	}
+
+	// Monotonicity poller: sample the hot counters while the storm runs and
+	// assert no sample ever goes backwards.
+	watched := []string{
+		"server.requests", "cache.hits", "cache.misses",
+		"cache.singleflight.coalesced", "cache.evictions",
+	}
+	stop := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		prev := make([]uint64, len(watched))
+		for {
+			for i, name := range watched {
+				v := reg.Counter(name).Load()
+				if v < prev[i] {
+					t.Errorf("counter %s went backwards: %d -> %d", name, prev[i], v)
+					return
+				}
+				prev[i] = v
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}()
+
+	var hit, coalesced, miss, partial atomic.Uint64
+	const goroutines = 8
+	const iters = 12
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tc := cases[(g+i)%len(cases)]
+				resp, err := svc.Instrument(tc.request())
+				if err != nil {
+					t.Errorf("%s: %v", tc.name, err)
+					return
+				}
+				if !bytes.Equal(resp.ELF, refs[tc.name]) {
+					t.Errorf("%s: torn/stale artifact served (state %s)", tc.name, resp.CacheState)
+					return
+				}
+				switch resp.CacheState {
+				case "hit":
+					hit.Add(1)
+				case "coalesced":
+					coalesced.Add(1)
+				case "miss":
+					miss.Add(1)
+				default:
+					partial.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pollWG.Wait()
+	if t.Failed() {
+		return
+	}
+
+	total := hit.Load() + coalesced.Load() + miss.Load() + partial.Load()
+	if total != goroutines*iters {
+		t.Fatalf("accounted %d responses, want %d", total, goroutines*iters)
+	}
+
+	// Single-flight accounting must be exact: the elf-level counters are
+	// incremented once per request, in the same categories the clients saw.
+	// (A "partial:*" response is an elf-level miss that found deeper
+	// artifacts warm.)
+	if got, want := reg.Counter("cache.hits.elf").Load(), hit.Load(); got != want {
+		t.Errorf("cache.hits.elf = %d, clients saw %d hits", got, want)
+	}
+	if got, want := reg.Counter("cache.singleflight.coalesced.elf").Load(), coalesced.Load(); got != want {
+		t.Errorf("cache.singleflight.coalesced.elf = %d, clients saw %d coalesced", got, want)
+	}
+	if got, want := reg.Counter("cache.misses.elf").Load(), miss.Load()+partial.Load(); got != want {
+		t.Errorf("cache.misses.elf = %d, clients saw %d misses+partials", got, want)
+	}
+	if got := reg.Counter("server.requests").Load(); got != goroutines*iters {
+		t.Errorf("server.requests = %d, want %d", got, goroutines*iters)
+	}
+	if got := reg.Counter("server.request_errors").Load(); got != 0 {
+		t.Errorf("server.request_errors = %d, want 0", got)
+	}
+
+	// The storm must have actually churned the cache, within its bound.
+	if b := svc.Cache().Bytes(); b > cacheBytes {
+		t.Errorf("cache over capacity: %d > %d", b, cacheBytes)
+	}
+	if ev := reg.Counter("cache.evictions").Load(); ev == 0 {
+		t.Errorf("no evictions: cache (%d bytes cap) too big for the working set, test is vacuous", cacheBytes)
+	}
+	if g := reg.Gauge("server.inflight").Load(); g != 0 {
+		t.Errorf("inflight gauge leaked: %d", g)
+	}
+}
