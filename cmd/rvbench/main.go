@@ -31,8 +31,11 @@ import (
 	"time"
 
 	"rvdyn/internal/asm"
+	"rvdyn/internal/dbi"
 	"rvdyn/internal/elfrv"
 	"rvdyn/internal/emu"
+	"rvdyn/internal/proc"
+	"rvdyn/internal/snippet"
 	"rvdyn/internal/workload"
 )
 
@@ -90,6 +93,7 @@ func main() {
 	rep.Workloads = append(rep.Workloads,
 		measure(gateName, gateDispatch, mm, *reps, false),
 		measure(gateName, "slow", mm, *reps, true),
+		measureDBI("dbi-matmul", mm, []string{"multiply", "init_matrices"}, *reps),
 	)
 	for _, p := range workload.Programs() {
 		if p.Name == gateName {
@@ -154,6 +158,53 @@ func measure(name, dispatch string, file *elfrv.File, reps int, slow bool) Resul
 			best.WallNS = ns
 			best.Instructions = cpu.Instret
 			best.MIPS = float64(cpu.Instret) / float64(ns) * 1e3
+		}
+	}
+	return best
+}
+
+// measureDBI runs file under the dynamic binary instrumentation engine with
+// call-count probes at the named function entries, so the recorded rate
+// includes translation, probe execution, and engine round trips — the
+// dynamic-mode overhead the static numbers omit. Not gated: the point is the
+// trend of the dbi/fast ratio across the artifact history.
+func measureDBI(name string, file *elfrv.File, funcs []string, reps int) Result {
+	best := Result{Name: name, Dispatch: "dbi", WallNS: 1<<63 - 1}
+	for i := 0; i < reps; i++ {
+		p, err := proc.Launch(file, emu.P550())
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		e, err := dbi.Attach(p, file, dbi.Options{})
+		if err != nil {
+			log.Fatalf("%s: attach: %v", name, err)
+		}
+		for _, fn := range funcs {
+			sym, ok := file.Symbol(fn)
+			if !ok {
+				log.Fatalf("%s: no symbol %s", name, fn)
+			}
+			v := e.NewVar("bench_"+fn, 8)
+			if err := e.ProbeAt(sym.Value, snippet.Increment(v)); err != nil {
+				log.Fatalf("%s: probe %s: %v", name, fn, err)
+			}
+		}
+		start := time.Now()
+		ev, err := e.Continue()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if ev.Kind != proc.EventExit {
+			log.Fatalf("%s stopped with %v, not exit", name, ev.Kind)
+		}
+		ns := time.Since(start).Nanoseconds()
+		if ns <= 0 {
+			ns = 1
+		}
+		if ns < best.WallNS {
+			best.WallNS = ns
+			best.Instructions = p.CPU().Instret
+			best.MIPS = float64(p.CPU().Instret) / float64(ns) * 1e3
 		}
 	}
 	return best

@@ -23,6 +23,11 @@
 //	rvdyn profile [-func f1,f2] [-mode m] {prog.elf|workload-name}
 //	                                         instrument, run, and print a
 //	                                         per-function cycle profile
+//	rvdyn dbirun [-func f1,f2] [-mode m] {prog.elf|workload-name}
+//	                                         run under the dynamic binary
+//	                                         instrumentation engine (code-cache
+//	                                         translation, no rewrite) and print
+//	                                         call counts plus engine counters
 //	rvdyn serve [-addr host:port] [-cache-mb N] [-max-upload-mb N]
 //	                                         long-running instrumentation
 //	                                         server with a content-addressed
@@ -143,6 +148,8 @@ func main() {
 		cmdBatch(args)
 	case "profile":
 		cmdProfile(args)
+	case "dbirun":
+		cmdDBIRun(args)
 	case "serve":
 		cmdServe(args)
 	case "components":
@@ -153,7 +160,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rvdyn [-jobs N] [-metrics] [-trace-out FILE] {symbols|disasm|cfg|liveness|slice|rewrite|run|oracle|batch|profile|serve|components} [flags] prog.elf")
+	fmt.Fprintln(os.Stderr, "usage: rvdyn [-jobs N] [-metrics] [-trace-out FILE] {symbols|disasm|cfg|liveness|slice|rewrite|run|oracle|batch|profile|dbirun|serve|components} [flags] prog.elf")
 	os.Exit(2)
 }
 
@@ -650,6 +657,30 @@ func cmdServe(args []string) {
 // cycles. The argument is an ELF path or a workload program name (e.g.
 // "matmul"), in which case the workload's instrumentable functions are
 // profiled by default.
+// loadProgArg resolves an argument that is either an ELF path or a workload
+// program name into a parsed file plus the workload's default function list.
+func loadProgArg(arg string) (*elfrv.File, []string) {
+	if data, err := os.ReadFile(arg); err == nil {
+		file, err := elfrv.Read(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return file, nil
+	}
+	for _, p := range workload.Programs() {
+		if p.Name != arg {
+			continue
+		}
+		f, err := asm.Assemble(p.Source, asm.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return f, p.Funcs
+	}
+	log.Fatalf("%q is neither a readable file nor a workload program", arg)
+	return nil, nil
+}
+
 func cmdProfile(args []string) {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	funcs := fs.String("func", "", "comma-separated functions to profile (default: workload metadata, or every named function)")
@@ -659,31 +690,7 @@ func cmdProfile(args []string) {
 	if fs.NArg() != 1 {
 		log.Fatal("profile needs one ELF file or workload program name (e.g. matmul)")
 	}
-	arg := fs.Arg(0)
-
-	var file *elfrv.File
-	var flist []string
-	if data, err := os.ReadFile(arg); err == nil {
-		file, err = elfrv.Read(data)
-		if err != nil {
-			log.Fatal(err)
-		}
-	} else {
-		for _, p := range workload.Programs() {
-			if p.Name != arg {
-				continue
-			}
-			f, err := asm.Assemble(p.Source, asm.Options{})
-			if err != nil {
-				log.Fatal(err)
-			}
-			file, flist = f, p.Funcs
-			break
-		}
-		if file == nil {
-			log.Fatalf("%q is neither a readable file nor a workload program", arg)
-		}
-	}
+	file, flist := loadProgArg(fs.Arg(0))
 	if *funcs != "" {
 		flist = strings.Split(*funcs, ",")
 	}
@@ -697,6 +704,45 @@ func cmdProfile(args []string) {
 	}
 	fmt.Print(rep)
 	fmt.Printf("exit code %d; %d instructions retired\n", rep.ExitCode, rep.TotalInsts)
+}
+
+// cmdDBIRun runs a binary under the dynamic binary instrumentation engine:
+// no rewrite on disk, blocks translate into a code cache at first execution
+// with call-count probes woven in, and the engine's counters quantify the
+// dynamic-mode machinery (translations, chain patches, invalidations).
+func cmdDBIRun(args []string) {
+	fs := flag.NewFlagSet("dbirun", flag.ExitOnError)
+	funcs := fs.String("func", "", "comma-separated functions to probe (default: workload metadata, or every named function)")
+	mode := fs.String("mode", "dead", "register allocation: dead or spill")
+	maxInst := fs.Uint64("max", 0, "instruction budget, 0 = unlimited")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("dbirun needs one ELF file or workload program name (e.g. matmul)")
+	}
+	file, flist := loadProgArg(fs.Arg(0))
+	if *funcs != "" {
+		flist = strings.Split(*funcs, ",")
+	}
+
+	reg := obsReg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	rep, err := profile.RunDBI(file, profile.Options{
+		Funcs: flist, Mode: parseMode(*mode), MaxInst: *maxInst, Obs: reg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+	fmt.Printf("exit code %d; %d instructions retired\n", rep.ExitCode, rep.TotalInsts)
+	for _, name := range []string{
+		"emu.dbi.translations", "emu.dbi.chain.patches", "emu.dbi.chain.hits",
+		"emu.dbi.invalidations", "emu.dbi.indirect_exits", "emu.dbi.flushes",
+		"emu.dbi.probes", "emu.dbi.deopts",
+	} {
+		fmt.Printf("%-24s %d\n", name, reg.Counter(name).Load())
+	}
 }
 
 func cmdComponents() {

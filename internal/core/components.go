@@ -39,8 +39,10 @@ func Components() []Component {
 			"riscv", "snippet", "stackwalk", "symtab"}},
 		{Name: "oracle", Role: "differential-execution oracle (QEMU/hardware cross-check substitute)", Uses: []string{
 			"asm", "codegen", "core", "elfrv", "emu", "riscv", "snippet"}, Substrate: true},
+		{Name: "dbi", Role: "dynamic binary instrumentation engine (code-cache translation on a live process)", Uses: []string{
+			"codegen", "elfrv", "obs", "parse", "patch", "proc", "riscv", "snippet"}},
 		{Name: "profile", Role: "instrumentation-based function profiler (performance-tool layer)", Uses: []string{
-			"codegen", "core", "elfrv", "emu", "obs", "proc", "snippet"}},
+			"codegen", "core", "dbi", "elfrv", "emu", "obs", "proc", "snippet"}},
 		{Name: "pipeline", Role: "concurrent analyze→instrument worker pool", Uses: []string{
 			"asm", "codegen", "elfrv", "obs", "parse", "patch", "snippet", "symtab", "workload"}},
 		{Name: "server", Role: "instrumentation-as-a-service daemon with content-addressed artifact cache", Uses: []string{

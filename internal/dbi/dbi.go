@@ -1,0 +1,458 @@
+// Package dbi is a dynamic binary instrumentation engine in the MAMBO-V /
+// DynamoRIO mold, layered over the process-control API: instead of the
+// static rewrite-then-run flow, it attaches to a *running* process, copies
+// each basic block into a code cache the first time it is about to execute,
+// weaves attached probe snippets into the copies, and chains translated
+// blocks so hot paths never leave the cache. Stores into translated-from
+// bytes invalidate the affected translations (via the emulator's code-write
+// watch), which is what lets DBI handle self-modifying and JIT'd code —
+// the scenarios static rewriting structurally cannot.
+//
+// Architectural transparency contract: at every translation-group boundary
+// the guest's registers, memory, and syscall trace are bit-identical to the
+// native run — auipc results and jal/jalr link values are materialized as
+// their original-program values, so the process only ever observes original
+// addresses. Cycles and Instret necessarily differ (translated code executes
+// extra instructions); time-derived state is pinned by emu.TimeFn exactly as
+// in the static-instrumentation oracle.
+package dbi
+
+import (
+	"fmt"
+
+	"rvdyn/internal/codegen"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/parse"
+	"rvdyn/internal/proc"
+	"rvdyn/internal/riscv"
+	"rvdyn/internal/snippet"
+)
+
+// Options configures an engine.
+type Options struct {
+	// CacheBase/CacheSize place the code cache; zero auto-places it above
+	// the image (clear of the static rewriter's patch and var areas) with a
+	// 512 KiB cache — small enough that every intra-cache jal reaches.
+	CacheBase uint64
+	CacheSize uint64
+	// Arch is the mutatee's extension set for probe lowering (zero: RV64GC).
+	Arch riscv.ExtSet
+	// Mode selects probe register allocation (dead-register vs spill-always).
+	// The engine has no liveness information, so ModeDeadRegister lowers
+	// with an empty dead set — i.e. spills — making the two modes equivalent
+	// here; the knob exists for symmetry with the static rewriter.
+	Mode codegen.Mode
+	// Obs receives the emu.dbi.* counters; the zero value discards them.
+	Obs Metrics
+}
+
+const (
+	defaultCacheSize = 512 << 10
+	varRegionSize    = 0x10000
+)
+
+// Engine is one attached DBI session over a live process.
+type Engine struct {
+	p    *proc.Process
+	f    *elfrv.File
+	opts Options
+	obs  Metrics
+
+	cacheBase, cacheEnd uint64
+	cacheNext           uint64
+
+	trans map[uint64]*translation // original block start → live translation
+	exits map[uint64]*exitStub    // cache stub addr → descriptor
+
+	probes map[uint64][]byte // original addr → lowered probe code
+
+	varBase, varNext uint64
+	varMapped        bool
+
+	detached bool
+}
+
+// Attach creates a DBI engine over p, which may be anywhere in its
+// execution — stopped at entry right after Launch, or mid-run after an
+// earlier native Continue. Nothing is translated until the engine runs.
+func Attach(p *proc.Process, f *elfrv.File, opts Options) (*Engine, error) {
+	if p.Exited() {
+		return nil, fmt.Errorf("dbi: process has exited")
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = defaultCacheSize
+	}
+	if opts.CacheSize > 1<<20 {
+		// Chaining patches stubs with jal (±1 MiB reach); a larger cache
+		// could place a target out of reach of its stub.
+		return nil, fmt.Errorf("dbi: cache size %d exceeds jal chaining reach (1 MiB)", opts.CacheSize)
+	}
+	if opts.CacheBase == 0 {
+		var end uint64
+		for _, s := range f.Sections {
+			if s.Flags&elfrv.SHFAlloc != 0 && s.Addr+s.Size() > end {
+				end = s.Addr + s.Size()
+			}
+		}
+		// Above the static rewriter's patch area (image end + 4 KiB) and its
+		// var region (+2 MiB), so both mechanisms coexist on one process.
+		opts.CacheBase = (end+0xfff)&^0xfff + 0x400000
+	}
+	e := &Engine{
+		p: p, f: f, opts: opts, obs: opts.Obs,
+		cacheBase: opts.CacheBase,
+		cacheEnd:  opts.CacheBase + opts.CacheSize,
+		cacheNext: opts.CacheBase,
+		trans:     map[uint64]*translation{},
+		exits:     map[uint64]*exitStub{},
+		probes:    map[uint64][]byte{},
+		varBase:   opts.CacheBase + opts.CacheSize,
+	}
+	p.MapRegion(e.cacheBase, opts.CacheSize)
+	return e, nil
+}
+
+// Process returns the underlying controlled process.
+func (e *Engine) Process() *proc.Process { return e.p }
+
+// Probe attaches sn at fn's entry point. Snippets are lowered once through
+// the same CodeGen layer the static rewriter uses and woven into every
+// future translation of a block starting or passing through the point;
+// translations already covering the point are invalidated so the probe
+// takes effect immediately, even mid-run.
+func (e *Engine) Probe(fn *parse.Function, sn snippet.Snippet) error {
+	return e.ProbeAt(fn.Entry, sn)
+}
+
+// ProbeAt attaches sn at an arbitrary original instruction address.
+func (e *Engine) ProbeAt(addr uint64, sn snippet.Snippet) error {
+	if e.detached {
+		return fmt.Errorf("dbi: engine is detached")
+	}
+	res, err := codegen.Generate(sn, codegen.Options{Arch: e.opts.Arch, Mode: e.opts.Mode})
+	if err != nil {
+		return err
+	}
+	var code []byte
+	for _, in := range res.Insts {
+		b, err := riscv.EncodeBytes(in)
+		if err != nil {
+			return fmt.Errorf("dbi: encode probe inst %v: %w", in, err)
+		}
+		code = append(code, b...)
+	}
+	e.probes[addr] = append(e.probes[addr], code...)
+	e.obs.Probes.Inc()
+	// Drop translations that already copied the point, so the probe is
+	// woven in on the next execution.
+	return e.invalidateRange(addr, 1)
+}
+
+// NewVar allocates an instrumentation variable in fresh process memory
+// (above the code cache, outside every watched and hashed region).
+func (e *Engine) NewVar(name string, width int) *snippet.Var {
+	if !e.varMapped {
+		e.p.MapRegion(e.varBase, varRegionSize)
+		e.varMapped = true
+		e.varNext = e.varBase
+	}
+	e.varNext = (e.varNext + 7) &^ 7
+	v := &snippet.Var{Name: name, Width: width, Addr: e.varNext}
+	e.varNext += 8
+	return v
+}
+
+// ReadVar reads an instrumentation variable's current value.
+func (e *Engine) ReadVar(v *snippet.Var) (uint64, error) {
+	b, err := e.p.ReadMem(v.Addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	var out uint64
+	for i := 7; i >= 0; i-- {
+		out = out<<8 | uint64(b[i])
+	}
+	switch v.Width {
+	case 1:
+		out &= 0xff
+	case 2:
+		out &= 0xffff
+	case 4:
+		out &= 0xffffffff
+	}
+	return out, nil
+}
+
+// Continue resumes the process under translation until exit, a program
+// breakpoint (reported with its original address), or a trap.
+func (e *Engine) Continue() (proc.Event, error) { return e.run(0) }
+
+// ContinueBudget is Continue with an instruction budget (0 = unlimited).
+// The budget counts instructions the hart actually retires — translated
+// copies, probe code and all — so it measures true dynamic-mode cost. A
+// budget stop can land mid-translation-group; Detach realigns.
+func (e *Engine) ContinueBudget(maxInst uint64) (proc.Event, error) { return e.run(maxInst) }
+
+func (e *Engine) run(budget uint64) (proc.Event, error) {
+	if e.detached {
+		return proc.Event{}, fmt.Errorf("dbi: engine is detached")
+	}
+	cpu := e.p.CPU()
+	start := cpu.Instret
+	for {
+		if e.p.Exited() {
+			return proc.Event{Kind: proc.EventExit, ExitCode: e.p.ExitCode()}, nil
+		}
+		// Redirect the PC into the cache when it sits on an original
+		// address; untranslatable targets run native and trap identically.
+		pc := e.p.PC()
+		if pc < e.cacheBase || pc >= e.cacheEnd {
+			t, err := e.lookup(pc)
+			if err != nil {
+				return proc.Event{}, err
+			}
+			if t != nil {
+				e.p.SetPC(t.cache)
+			} else {
+				e.obs.Deopts.Inc()
+			}
+		}
+		rem := uint64(0)
+		if budget != 0 {
+			used := cpu.Instret - start
+			if used >= budget {
+				return proc.Event{Kind: proc.EventBudget}, nil
+			}
+			rem = budget - used
+		}
+		ev, err := e.p.ContinueBudget(rem)
+		if err != nil {
+			return proc.Event{}, err
+		}
+		switch ev.Kind {
+		case proc.EventCodeWrite:
+			// The process stored into bytes some translation was built
+			// from: drop the stale copies and resume.
+			if err := e.invalidateRange(ev.Addr, ev.Len); err != nil {
+				return proc.Event{}, err
+			}
+		case proc.EventBreakpoint:
+			st := e.exits[ev.Addr]
+			if st == nil {
+				// An ebreak the engine did not place (native deopt path, or
+				// a tool's breakpoint): report as-is.
+				return ev, nil
+			}
+			done, out, err := e.handleExit(st)
+			if err != nil {
+				return proc.Event{}, err
+			}
+			if done {
+				return out, nil
+			}
+		default:
+			return ev, nil
+		}
+	}
+}
+
+// lookup returns the live translation starting at orig, translating on
+// first use. (nil, nil) means untranslatable — deopt.
+func (e *Engine) lookup(orig uint64) (*translation, error) {
+	if t := e.trans[orig]; t != nil {
+		return t, nil
+	}
+	return e.translate(orig)
+}
+
+// handleExit services one cache exit stub.
+func (e *Engine) handleExit(st *exitStub) (done bool, ev proc.Event, err error) {
+	switch st.kind {
+	case stubBreak:
+		// The program's own ebreak: report it at its original address.
+		e.p.SetPC(st.target)
+		return true, proc.Event{Kind: proc.EventBreakpoint, Addr: st.target}, nil
+
+	case stubDirect:
+		t := e.trans[st.target]
+		if t != nil {
+			e.obs.ChainHits.Inc()
+		} else if t, err = e.translate(st.target); err != nil {
+			return false, proc.Event{}, err
+		}
+		if t == nil {
+			// Untranslatable target: run it natively; the fetch traps with
+			// the identical PC and fault the native run would report.
+			e.obs.Deopts.Inc()
+			e.p.SetPC(st.target)
+			return false, proc.Event{}, nil
+		}
+		if err := e.chain(st, t); err != nil {
+			return false, proc.Event{}, err
+		}
+		e.p.SetPC(t.cache)
+		return false, proc.Event{}, nil
+
+	case stubIndirect:
+		e.obs.IndirectExits.Inc()
+		// Perform the jalr host-side: compute the target from live
+		// registers *before* writing the link (rd may alias rs1).
+		tgt := (e.p.CPU().X[st.rs1&31] + uint64(st.imm)) &^ 1
+		if st.rd != riscv.X0 && st.rd.IsX() {
+			e.p.SetReg(st.rd, st.origNext)
+		}
+		t, err := e.lookup(tgt)
+		if err != nil {
+			return false, proc.Event{}, err
+		}
+		if t == nil {
+			e.obs.Deopts.Inc()
+			e.p.SetPC(tgt)
+			return false, proc.Event{}, nil
+		}
+		e.p.SetPC(t.cache)
+		return false, proc.Event{}, nil
+	}
+	return false, proc.Event{}, fmt.Errorf("dbi: unknown stub kind %d", st.kind)
+}
+
+// invalidateRange drops every translation whose source bytes overlap
+// [addr, addr+n), restores their incoming chain patches to exit stubs, and
+// — when the current PC sits inside a dropped translation — maps it back to
+// the original address so the next dispatch retranslates the fresh bytes.
+func (e *Engine) invalidateRange(addr, n uint64) error {
+	var dropped []*translation
+	for start, t := range e.trans {
+		if t.orig < addr+n && t.origEnd > addr {
+			t.dead = true
+			delete(e.trans, start)
+			dropped = append(dropped, t)
+		}
+	}
+	if len(dropped) == 0 {
+		return nil
+	}
+	e.obs.Invalidations.Add(uint64(len(dropped)))
+	for _, t := range dropped {
+		for _, sa := range t.incoming {
+			if err := e.unchain(sa); err != nil {
+				return err
+			}
+		}
+	}
+	pc := e.p.PC()
+	for _, t := range dropped {
+		if pc < t.cache || pc >= t.cacheEnd {
+			continue
+		}
+		orig, ok := t.mapBack(pc)
+		if !ok {
+			if st := e.exits[pc]; st != nil && st.from == t {
+				orig, ok = st.resume, true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("dbi: pc %#x mid-group in invalidated translation of %#x", pc, t.orig)
+		}
+		e.p.SetPC(orig)
+		break
+	}
+	e.rearmWatch()
+	return nil
+}
+
+// rearmWatch sets the CPU code-write watch to the union of every live
+// translation's source span. Coarse — stores to untranslated bytes between
+// two spans trip a no-op invalidation — but one compare per store.
+func (e *Engine) rearmWatch() {
+	var lo, hi uint64
+	for _, t := range e.trans {
+		if lo == hi {
+			lo, hi = t.orig, t.origEnd
+			continue
+		}
+		if t.orig < lo {
+			lo = t.orig
+		}
+		if t.origEnd > hi {
+			hi = t.origEnd
+		}
+	}
+	e.p.CPU().SetCodeWatch(lo, hi)
+}
+
+// flushAll resets the whole cache (capacity exhaustion): every translation
+// dies, every stub is forgotten, and the allocation cursor rewinds. Called
+// with the PC either outside the cache or parked on a stub whose handler
+// immediately repoints it, so no live PC survives into the stale region.
+func (e *Engine) flushAll() error {
+	for _, t := range e.trans {
+		t.dead = true
+	}
+	e.trans = map[uint64]*translation{}
+	e.exits = map[uint64]*exitStub{}
+	e.cacheNext = e.cacheBase
+	e.obs.Flushes.Inc()
+	e.rearmWatch()
+	return nil
+}
+
+// Detach disconnects the engine: the PC is mapped back to its original
+// address (single-stepping to the next group boundary when a budget stop
+// parked it mid-translation-group), the code watch is disarmed, and the
+// process continues natively — uninstrumented — from exactly equivalent
+// architectural state. The cache region stays mapped but unreachable.
+func (e *Engine) Detach() error {
+	if e.detached {
+		return nil
+	}
+	cpu := e.p.CPU()
+	defer func() {
+		cpu.SetCodeWatch(0, 0)
+		e.trans = map[uint64]*translation{}
+		e.exits = map[uint64]*exitStub{}
+		e.probes = map[uint64][]byte{}
+		e.detached = true
+	}()
+	// Worst case: a budget stop mid-group. One group is at most a probe
+	// plus a materialize sequence — far fewer than 64 instructions.
+	for i := 0; i < 256; i++ {
+		pc := e.p.PC()
+		if e.p.Exited() || pc < e.cacheBase || pc >= e.cacheEnd {
+			return nil
+		}
+		for _, t := range e.trans {
+			if pc < t.cache || pc >= t.cacheEnd {
+				continue
+			}
+			if orig, ok := t.mapBack(pc); ok {
+				e.p.SetPC(orig)
+				return nil
+			}
+		}
+		if st := e.exits[pc]; st != nil {
+			e.p.SetPC(st.resume)
+			return nil
+		}
+		// Mid-group: retire one more instruction and retry.
+		ev, err := e.p.ContinueBudget(1)
+		if err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case proc.EventExit:
+			return nil
+		case proc.EventCodeWrite:
+			if err := e.invalidateRange(ev.Addr, ev.Len); err != nil {
+				return err
+			}
+		case proc.EventBreakpoint:
+			if st := e.exits[ev.Addr]; st != nil {
+				e.p.SetPC(st.resume)
+				return nil
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("dbi: detach could not realign pc %#x to an instruction boundary", e.p.PC())
+}

@@ -1,0 +1,281 @@
+package dbi
+
+import (
+	"fmt"
+
+	"rvdyn/internal/patch"
+	"rvdyn/internal/riscv"
+)
+
+// maxBlockInsts caps straight-line translation; longer runs split into
+// chained fragments (the cap bounds cache waste per invalidation).
+const maxBlockInsts = 64
+
+// stubKind classifies a cache exit stub.
+type stubKind int
+
+const (
+	// stubDirect exits to a known original address (fall-through, branch
+	// edge, jal target, or block-cap continuation). Chainable.
+	stubDirect stubKind = iota
+	// stubIndirect exits through a jalr whose target the engine computes
+	// from live registers at exit time. Not chainable.
+	stubIndirect
+	// stubBreak represents the program's own ebreak: the engine reports a
+	// breakpoint event with the original PC.
+	stubBreak
+)
+
+// exitStub describes one ebreak placed in the cache where translated code
+// leaves a fragment.
+type exitStub struct {
+	addr uint64 // cache address of the stub
+	kind stubKind
+
+	target uint64 // stubDirect: original target; stubBreak: original ebreak
+	// stubIndirect: the jalr's operands and link value (the link is the
+	// ORIGINAL next address, so return addresses in registers are always
+	// original-program values — key to architectural transparency).
+	rs1, rd  riscv.Reg
+	imm      int64
+	origNext uint64
+
+	// resume is the original address at which native execution correctly
+	// (re)starts if the engine must abandon this fragment with the PC parked
+	// on the stub. For resolved transfers (direct edges) it is the target;
+	// for unexecuted ones (jalr, ebreak) it is the instruction itself —
+	// re-execution is idempotent because the translated prologue has already
+	// committed any register writes the original would make.
+	resume uint64
+
+	from    *translation
+	chained bool
+}
+
+// bound maps the cache address of one original instruction's translation
+// group (probe code included) back to the original address.
+type bound struct{ cache, orig uint64 }
+
+// translation is one basic block copied into the code cache.
+type translation struct {
+	orig, origEnd   uint64 // source span in the original image
+	cache, cacheEnd uint64 // translated span in the cache
+	bounds          []bound
+	stubs           []*exitStub
+	// incoming lists stub addresses patched to jump into this translation;
+	// invalidation rewrites them back into ebreaks.
+	incoming []uint64
+	dead     bool
+}
+
+// mapBack maps a cache PC sitting on a translation-group boundary back to
+// the original address.
+func (t *translation) mapBack(pc uint64) (uint64, bool) {
+	for _, b := range t.bounds {
+		if b.cache == pc {
+			return b.orig, true
+		}
+	}
+	return 0, false
+}
+
+func ebreakBytes() []byte {
+	w := riscv.MustEncode(riscv.Inst{Mn: riscv.MnEBREAK})
+	return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+}
+
+// translate copies the basic block starting at orig into the code cache,
+// weaving in attached probe code and rewriting PC-relative instructions and
+// terminators. It returns (nil, nil) when the first instruction cannot be
+// fetched or decoded — the caller deopts to native execution, which traps at
+// the same PC with the same fault.
+func (e *Engine) translate(orig uint64) (*translation, error) {
+	insts, origEnd := e.scan(orig)
+	if len(insts) == 0 {
+		return nil, nil
+	}
+
+	var (
+		buf    []byte
+		bounds []bound
+		stubs  []*exitStub
+	)
+	base := func() uint64 { return e.cacheNext + uint64(len(buf)) }
+	emit := func(in riscv.Inst) error {
+		b, err := riscv.EncodeBytes(in)
+		if err != nil {
+			return fmt.Errorf("dbi: encode %v: %w", in, err)
+		}
+		buf = append(buf, b...)
+		return nil
+	}
+	stub := func(s exitStub) {
+		s.addr = base()
+		buf = append(buf, ebreakBytes()...)
+		sp := s
+		stubs = append(stubs, &sp)
+	}
+
+	for _, in := range insts {
+		bounds = append(bounds, bound{cache: base(), orig: in.Addr})
+		if code, ok := e.probes[in.Addr]; ok {
+			buf = append(buf, code...)
+		}
+		switch {
+		case in.Mn == riscv.MnAUIPC:
+			// auipc computes a PC-relative value; materialize the original
+			// result absolutely so rd holds exactly the native bits.
+			for _, m := range patch.MaterializeAbs(in.Rd, int64(in.Addr)+in.Imm<<12) {
+				if err := emit(m); err != nil {
+					return nil, err
+				}
+			}
+		case in.Cat() == riscv.CatBranch:
+			// Re-encode the branch to hop over the fall-through stub into
+			// the taken stub; both edges exit through direct stubs.
+			br := in
+			br.Compressed = false
+			br.Len = 4
+			br.Imm = 8
+			if err := emit(br); err != nil {
+				return nil, err
+			}
+			stub(exitStub{kind: stubDirect, target: in.Next(), resume: in.Next()})
+			taken := in.Addr + uint64(in.Imm)
+			stub(exitStub{kind: stubDirect, target: taken, resume: taken})
+		case in.Cat() == riscv.CatJAL:
+			if in.Rd != riscv.X0 {
+				// The link value is the ORIGINAL return address.
+				for _, m := range patch.MaterializeAbs(in.Rd, int64(in.Next())) {
+					if err := emit(m); err != nil {
+						return nil, err
+					}
+				}
+			}
+			tgt := in.Addr + uint64(in.Imm)
+			stub(exitStub{kind: stubDirect, target: tgt, resume: tgt})
+		case in.Cat() == riscv.CatJALR:
+			stub(exitStub{
+				kind: stubIndirect,
+				rs1:  in.Rs1, rd: in.Rd, imm: in.Imm,
+				origNext: in.Next(),
+				resume:   in.Addr,
+			})
+		case in.Mn == riscv.MnEBREAK:
+			stub(exitStub{kind: stubBreak, target: in.Addr, resume: in.Addr})
+		default:
+			// Position-independent: copy the original encoding verbatim.
+			raw, err := e.p.ReadMem(in.Addr, int(in.Size()))
+			if err != nil {
+				return nil, err
+			}
+			buf = append(buf, raw...)
+		}
+	}
+	if last := insts[len(insts)-1]; !isTerminator(last) {
+		// Block cap or decode stop: continue at the next original address.
+		stub(exitStub{kind: stubDirect, target: origEnd, resume: origEnd})
+	}
+
+	if e.cacheNext+uint64(len(buf)) > e.cacheEnd {
+		if err := e.flushAll(); err != nil {
+			return nil, err
+		}
+		if e.cacheNext+uint64(len(buf)) > e.cacheEnd {
+			return nil, fmt.Errorf("dbi: translation of %#x (%d bytes) exceeds cache size %d",
+				orig, len(buf), e.cacheEnd-e.cacheBase)
+		}
+		// The emitted addresses assumed the pre-flush cacheNext; re-emit
+		// against the reset cursor.
+		return e.translate(orig)
+	}
+
+	t := &translation{
+		orig: orig, origEnd: origEnd,
+		cache: e.cacheNext, cacheEnd: e.cacheNext + uint64(len(buf)),
+		bounds: bounds, stubs: stubs,
+	}
+	for _, s := range stubs {
+		s.from = t
+		e.exits[s.addr] = s
+	}
+	if err := e.p.WriteMem(t.cache, buf); err != nil {
+		return nil, err
+	}
+	e.cacheNext = (t.cacheEnd + 3) &^ 3
+	e.trans[orig] = t
+	e.obs.Translations.Inc()
+	e.rearmWatch()
+	return t, nil
+}
+
+// scan decodes the straight-line run starting at orig through the
+// breakpoint-transparent debugger view, stopping at the first control
+// transfer, undecodable bytes, or the block cap.
+func (e *Engine) scan(orig uint64) (insts []riscv.Inst, end uint64) {
+	pc := orig
+	for len(insts) < maxBlockInsts {
+		raw, err := e.p.ReadMem(pc, 4)
+		if err != nil {
+			if raw, err = e.p.ReadMem(pc, 2); err != nil {
+				break
+			}
+		}
+		in, err := riscv.Decode(raw, pc)
+		if err != nil {
+			break
+		}
+		insts = append(insts, in)
+		pc = in.Next()
+		if isTerminator(in) {
+			break
+		}
+	}
+	return insts, pc
+}
+
+func isTerminator(in riscv.Inst) bool {
+	switch in.Cat() {
+	case riscv.CatBranch, riscv.CatJAL, riscv.CatJALR:
+		return true
+	}
+	return in.Mn == riscv.MnEBREAK
+}
+
+// chain patches a direct exit stub into `jal x0, target` so the edge stays
+// inside the cache. Stubs of dead fragments are left alone — their bytes may
+// already belong to a newer translation after a flush.
+func (e *Engine) chain(s *exitStub, to *translation) error {
+	if s.kind != stubDirect || s.chained || s.from == nil || s.from.dead {
+		return nil
+	}
+	delta := int64(to.cache) - int64(s.addr)
+	j := riscv.Inst{Mn: riscv.MnJAL, Rd: riscv.X0, Rs1: riscv.RegNone,
+		Rs2: riscv.RegNone, Rs3: riscv.RegNone, Imm: delta}
+	w, err := riscv.Encode(j)
+	if err != nil {
+		// Out of jal reach (cannot happen while the cache fits in ±1 MiB);
+		// leave the stub unchained — correct, just slower.
+		return nil
+	}
+	if err := e.p.WriteMem(s.addr, []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}); err != nil {
+		return err
+	}
+	s.chained = true
+	to.incoming = append(to.incoming, s.addr)
+	e.obs.ChainPatches.Inc()
+	return nil
+}
+
+// unchain restores a patched stub back to its ebreak.
+func (e *Engine) unchain(stubAddr uint64) error {
+	s := e.exits[stubAddr]
+	if s == nil || !s.chained {
+		return nil
+	}
+	if err := e.p.WriteMem(s.addr, ebreakBytes()); err != nil {
+		return err
+	}
+	s.chained = false
+	return nil
+}

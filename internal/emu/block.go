@@ -345,6 +345,16 @@ func (c *CPU) runBlock(b *block) (retired uint64, stop StopReason) {
 			c.lastTrap = &Trap{PC: c.PC, Why: "execute " + fi.String(), Wrap: err}
 			return b.cumN[i] + k, StopTrap
 		}
+		if bi.store && c.watchHit {
+			// The store landed in the armed code-watch range. Retire the
+			// executed prefix (store included) and stop with the PC already
+			// past it, exactly like the slow path's post-exec check.
+			c.watchHit = false
+			c.PC = bi.next
+			c.Cycles += b.cum[i] + bi.cost
+			c.Instret += b.cumN[i] + uint64(bi.n)
+			return b.cumN[i] + uint64(bi.n), StopCodeWrite
+		}
 		if bi.store && b.gen != c.icGen {
 			// The store invalidated cached code — possibly the rest of this
 			// very block. Retire the executed prefix and re-dispatch so the

@@ -27,6 +27,7 @@ const (
 	StopBreakpoint                   // an ebreak was executed (PC at the ebreak)
 	StopMaxInst                      // the instruction budget was exhausted
 	StopTrap                         // illegal instruction or memory fault
+	StopCodeWrite                    // a store landed in the armed code-watch range
 )
 
 func (r StopReason) String() string {
@@ -39,6 +40,8 @@ func (r StopReason) String() string {
 		return "max-instructions"
 	case StopTrap:
 		return "trap"
+	case StopCodeWrite:
+		return "code-write"
 	}
 	return "unknown"
 }
@@ -85,6 +88,13 @@ type CPU struct {
 	// A0; exit syscalls never return, so they report ret == 0 (the exit
 	// status is a0, as for every other syscall argument).
 	SyscallTrace func(num, a0, a1, a2, ret uint64)
+
+	// CounterFn, when non-nil, overrides reads of the cycle (0xC00) and
+	// instret (0xC02) counter CSRs. Equivalence harnesses pin both runs to
+	// one counter source when comparing executions whose retired-instruction
+	// counts legitimately differ (DBI-translated code retires extra
+	// materialization instructions, so instret is not transparent).
+	CounterFn func(csr uint16) uint64
 
 	// Obs, when non-nil, receives emulator observability counters (retired
 	// instructions, superblock-cache hits/builds/invalidations, syscall
@@ -133,6 +143,17 @@ type CPU struct {
 	// constituents that retired before the fault.
 	blkGen    uint64
 	fuseStage int
+
+	// Code-watch range [watchLo, watchHi): a guest store overlapping it
+	// stops Run with StopCodeWrite *after* the store retires, with
+	// CodeWrite() reporting the written span. The DBI engine arms this over
+	// the pages it has translated so self-modifying code invalidates
+	// translations. Both bounds zero (the default) disarms the watch; the
+	// overlap test then never fires, so uninstrumented runs pay one compare
+	// per store.
+	watchLo, watchHi    uint64
+	watchAddr, watchLen uint64
+	watchHit            bool
 
 	lastTrap error
 }
@@ -373,6 +394,14 @@ func (c *CPU) Run(maxInst uint64) StopReason {
 					return stop
 				}
 				budget -= retired
+				if c.watchHit {
+					// A watched store that also invalidated code (or split a
+					// fused pair) came back through a stopNone retire-prefix
+					// path; surface it here with the PC already past the
+					// store.
+					c.watchHit = false
+					return StopCodeWrite
+				}
 				chained = c.chainNext(b)
 				continue
 			}
@@ -425,6 +454,10 @@ func (c *CPU) stepOne() StopReason {
 		return StopTrap
 	} else if stop {
 		return StopExit
+	}
+	if c.watchHit {
+		c.watchHit = false
+		return StopCodeWrite
 	}
 	return stopNone
 }
@@ -790,8 +823,41 @@ func (c *CPU) storeCheck(addr uint64, width uint64, err error) error {
 	if addr < c.icHi && addr+width > c.icLo {
 		c.invalidate(addr, width)
 	}
+	if addr < c.watchHi && addr+width > c.watchLo {
+		if c.watchHit {
+			// A fused store pair can trip twice before dispatch notices;
+			// widen the recorded span to cover both stores.
+			lo, hi := c.watchAddr, c.watchAddr+c.watchLen
+			if addr < lo {
+				lo = addr
+			}
+			if addr+width > hi {
+				hi = addr + width
+			}
+			c.watchAddr, c.watchLen = lo, hi-lo
+		} else {
+			c.watchHit = true
+			c.watchAddr, c.watchLen = addr, width
+		}
+	}
 	return nil
 }
+
+// SetCodeWatch arms (or, with lo == hi == 0, disarms) the code-write watch
+// range. A guest store overlapping [lo, hi) retires normally and then stops
+// Run with StopCodeWrite; CodeWrite reports the span. Debugger-path writes
+// (WriteMem) do not trip the watch — only guest stores do.
+func (c *CPU) SetCodeWatch(lo, hi uint64) {
+	c.watchLo, c.watchHi = lo, hi
+	c.watchHit = false
+}
+
+// CodeWatch returns the armed code-write watch range.
+func (c *CPU) CodeWatch() (lo, hi uint64) { return c.watchLo, c.watchHi }
+
+// CodeWrite returns the address span of the store that caused the most
+// recent StopCodeWrite.
+func (c *CPU) CodeWrite() (addr, n uint64) { return c.watchAddr, c.watchLen }
 
 func (c *CPU) csrOp(inst riscv.Inst) error {
 	csr := inst.CSR
@@ -799,10 +865,16 @@ func (c *CPU) csrOp(inst riscv.Inst) error {
 	switch csr {
 	case 0xC00: // cycle
 		old = c.Cycles
+		if c.CounterFn != nil {
+			old = c.CounterFn(csr)
+		}
 	case 0xC01: // time
 		old = c.VirtualNanos()
 	case 0xC02: // instret
 		old = c.Instret
+		if c.CounterFn != nil {
+			old = c.CounterFn(csr)
+		}
 	case 0x001: // fflags
 		old = uint64(c.FCSR & 0x1f)
 	case 0x002: // frm

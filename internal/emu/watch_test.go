@@ -1,0 +1,145 @@
+package emu
+
+import (
+	"testing"
+
+	"rvdyn/internal/asm"
+)
+
+// watchProgram stores below, inside, and above the watched span of buf on
+// each of three loop iterations; only the middle store overlaps the armed
+// range [buf+8, buf+16).
+const watchProgram = `
+	.text
+_start:
+	la t0, buf
+	li t1, 0
+loop:
+	sw t1, 0(t0)
+	sd t1, 8(t0)
+	sw t1, 16(t0)
+	addi t1, t1, 1
+	li t2, 3
+	blt t1, t2, loop
+	li a0, 7
+	li a7, 93
+	ecall
+	.data
+buf:
+	.dword 0
+	.dword 0
+	.dword 0
+`
+
+type watchStop struct {
+	pc, cycles, instret uint64
+	addr, n             uint64
+}
+
+// runWatched runs watchProgram with the code watch armed over [buf+8,
+// buf+16) and records every StopCodeWrite until exit.
+func runWatched(t *testing.T, slow bool) (stops []watchStop, c *CPU) {
+	t.Helper()
+	f, err := asm.Assemble(watchProgram, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err = New(f, P550())
+	if err != nil {
+		t.Fatalf("new cpu: %v", err)
+	}
+	c.SlowDispatch = slow
+	buf, ok := f.Symbol("buf")
+	if !ok {
+		t.Fatal("no buf symbol")
+	}
+	c.SetCodeWatch(buf.Value+8, buf.Value+16)
+	for {
+		switch r := c.Run(1_000_000); r {
+		case StopCodeWrite:
+			addr, n := c.CodeWrite()
+			stops = append(stops, watchStop{c.PC, c.Cycles, c.Instret, addr, n})
+			if len(stops) > 10 {
+				t.Fatal("watch storm: more stops than stores")
+			}
+		case StopExit:
+			return stops, c
+		default:
+			t.Fatalf("stopped with %v (trap: %v, pc=%#x)", r, c.LastTrap(), c.PC)
+		}
+	}
+}
+
+// TestCodeWatchParity pins the watch semantics — exactly one stop per
+// overlapping store, PC past the store, span equal to the store — and that
+// the fast superblock path and the slow per-instruction path agree on every
+// architectural coordinate of every stop.
+func TestCodeWatchParity(t *testing.T) {
+	fast, cFast := runWatched(t, false)
+	slow, cSlow := runWatched(t, true)
+
+	if len(fast) != 3 {
+		t.Fatalf("fast path: %d stops, want 3 (one per sd into the watch)", len(fast))
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("stop counts differ: fast %d, slow %d", len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i] != slow[i] {
+			t.Errorf("stop %d differs: fast %+v, slow %+v", i, fast[i], slow[i])
+		}
+		if fast[i].n != 8 {
+			t.Errorf("stop %d: span %d bytes, want 8 (the sd)", i, fast[i].n)
+		}
+	}
+	if cFast.ExitCode != 7 || cSlow.ExitCode != 7 {
+		t.Errorf("exit codes: fast %d, slow %d, want 7", cFast.ExitCode, cSlow.ExitCode)
+	}
+	if cFast.Cycles != cSlow.Cycles || cFast.Instret != cSlow.Instret {
+		t.Errorf("final counters differ: fast (%d cycles, %d insts), slow (%d, %d)",
+			cFast.Cycles, cFast.Instret, cSlow.Cycles, cSlow.Instret)
+	}
+}
+
+// TestCodeWatchDisarmed proves the zero-value watch never fires and that
+// SetCodeWatch(0, 0) disarms a previously armed watch.
+func TestCodeWatchDisarmed(t *testing.T) {
+	f, err := asm.Assemble(watchProgram, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatalf("new cpu: %v", err)
+	}
+	buf, _ := f.Symbol("buf")
+	c.SetCodeWatch(buf.Value, buf.Value+24)
+	c.SetCodeWatch(0, 0)
+	if r := c.Run(1_000_000); r != StopExit {
+		t.Fatalf("stopped with %v, want exit", r)
+	}
+	if c.ExitCode != 7 {
+		t.Errorf("exit code = %d, want 7", c.ExitCode)
+	}
+}
+
+// TestCodeWatchDebuggerWriteDoesNotTrip: WriteMem is the debugger path and
+// must not trip the guest-store watch.
+func TestCodeWatchDebuggerWriteDoesNotTrip(t *testing.T) {
+	f, err := asm.Assemble(watchProgram, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := New(f, P550())
+	if err != nil {
+		t.Fatalf("new cpu: %v", err)
+	}
+	buf, _ := f.Symbol("buf")
+	c.SetCodeWatch(buf.Value+8, buf.Value+16)
+	if err := c.WriteMem(buf.Value+8, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatalf("WriteMem: %v", err)
+	}
+	if c.watchHit {
+		t.Fatal("debugger WriteMem tripped the code watch")
+	}
+}

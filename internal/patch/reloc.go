@@ -437,6 +437,12 @@ func relocInst(fn *parse.Function, inst riscv.Inst, intraStarts map[uint64]bool)
 	return []*rItem{{kind: itemOrig, inst: inst, origAddr: inst.Addr, size: inst.Size()}}, nil
 }
 
+// MaterializeAbs builds a fixed-width (4-byte instructions) li sequence that
+// leaves rd holding exactly v. The static rewriter uses it to flatten auipc
+// into position-independent form; the DBI engine reuses it for the same
+// purpose when copying blocks into the code cache (and for jal link values).
+func MaterializeAbs(rd riscv.Reg, v int64) []riscv.Inst { return materializeAbs(rd, v) }
+
 // materializeAbs builds a fixed-width (4-byte instructions) li sequence.
 func materializeAbs(rd riscv.Reg, v int64) []riscv.Inst {
 	mk := func(mn riscv.Mnemonic, rd, rs1 riscv.Reg, imm int64) riscv.Inst {

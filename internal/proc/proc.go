@@ -48,7 +48,8 @@ const (
 	EventBreakpoint EventKind = iota
 	EventExit
 	EventTrap
-	EventBudget // instruction budget exhausted (emulation artifact)
+	EventBudget    // instruction budget exhausted (emulation artifact)
+	EventCodeWrite // the process stored into the armed code-watch range
 )
 
 func (k EventKind) String() string {
@@ -61,6 +62,8 @@ func (k EventKind) String() string {
 		return "trap"
 	case EventBudget:
 		return "budget"
+	case EventCodeWrite:
+		return "code-write"
 	}
 	return "?"
 }
@@ -68,7 +71,8 @@ func (k EventKind) String() string {
 // Event is one stop notification.
 type Event struct {
 	Kind     EventKind
-	Addr     uint64 // breakpoint address
+	Addr     uint64 // breakpoint address, or the written address for EventCodeWrite
+	Len      uint64 // span of the write for EventCodeWrite
 	ExitCode int
 	Err      error
 }
@@ -82,7 +86,8 @@ type Breakpoint struct {
 	// false reports the stop to the caller instead of auto-resuming.
 	Callback func(p *Process, bp *Breakpoint) bool
 
-	orig    []byte
+	orig    []byte // the original bytes the patch replaced
+	patch   []byte // the planted ebreak encoding, same length as orig
 	enabled bool
 	temp    bool
 }
@@ -154,14 +159,66 @@ func (p *Process) SetReg(r riscv.Reg, v uint64) {
 	}
 }
 
-// ReadMem reads process memory.
+// ReadMem reads process memory, breakpoint-transparently: wherever a live
+// breakpoint patch overlaps the read, the saved original bytes are returned
+// instead of the planted ebreak — clients that disassemble, checksum, or
+// translate code through the debugger never see the patches (the view ptrace
+// PEEKTEXT famously does *not* give you).
 func (p *Process) ReadMem(addr uint64, n int) ([]byte, error) {
-	return p.cpu.ReadMem(addr, n)
+	b, err := p.cpu.ReadMem(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	end := addr + uint64(n)
+	for _, bp := range p.bps {
+		if !bp.enabled {
+			continue
+		}
+		lo, hi := bp.Addr, bp.Addr+uint64(len(bp.orig))
+		if lo < addr {
+			lo = addr
+		}
+		if hi > end {
+			hi = end
+		}
+		if lo < hi {
+			copy(b[lo-addr:hi-addr], bp.orig[lo-bp.Addr:hi-bp.Addr])
+		}
+	}
+	return b, nil
 }
 
 // WriteMem writes process memory (keeping the target's instruction cache
-// coherent, as ptrace pokes do).
+// coherent, as ptrace pokes do), breakpoint-transparently: client bytes that
+// overlap a live breakpoint are merged into the breakpoint's saved original
+// bytes — so RemoveBreakpoint restores what the client wrote, not stale
+// pre-plant bytes — while the planted ebreak stays live in memory.
 func (p *Process) WriteMem(addr uint64, b []byte) error {
+	end := addr + uint64(len(b))
+	var buf []byte // copy-on-write: never mutate the caller's slice
+	for _, bp := range p.bps {
+		if !bp.enabled {
+			continue
+		}
+		lo, hi := bp.Addr, bp.Addr+uint64(len(bp.orig))
+		if lo < addr {
+			lo = addr
+		}
+		if hi > end {
+			hi = end
+		}
+		if lo >= hi {
+			continue
+		}
+		if buf == nil {
+			buf = append([]byte(nil), b...)
+		}
+		copy(bp.orig[lo-bp.Addr:hi-bp.Addr], b[lo-addr:hi-addr])
+		copy(buf[lo-addr:hi-addr], bp.patch[lo-bp.Addr:hi-bp.Addr])
+	}
+	if buf != nil {
+		b = buf
+	}
 	return p.cpu.WriteMem(addr, b)
 }
 
@@ -193,7 +250,18 @@ func (p *Process) InsertBreakpoint(addr uint64) (*Breakpoint, error) {
 }
 
 func (p *Process) plant(addr uint64, temp bool) (*Breakpoint, error) {
-	head, err := p.cpu.ReadMem(addr, 2)
+	// Reject a plant whose patch would overlap a live breakpoint's patch:
+	// writing a second ebreak into the middle of (or across) an existing one
+	// corrupts both restore paths. Exact-address duplicates are deduped by
+	// InsertBreakpoint before plant is reached.
+	for _, bp := range p.bps {
+		if bp.enabled && addr < bp.Addr+uint64(len(bp.orig)) && addr+2 > bp.Addr {
+			return nil, fmt.Errorf("proc: breakpoint at %#x overlaps live breakpoint at %#x", addr, bp.Addr)
+		}
+	}
+	// Reads go through the breakpoint-transparent path so the saved bytes
+	// are the program's, never a neighboring patch.
+	head, err := p.ReadMem(addr, 2)
 	if err != nil {
 		return nil, fmt.Errorf("proc: breakpoint at %#x: %w", addr, err)
 	}
@@ -201,9 +269,17 @@ func (p *Process) plant(addr uint64, temp bool) (*Breakpoint, error) {
 	if head[0]&3 == 3 {
 		size = 4
 	}
-	orig, err := p.cpu.ReadMem(addr, size)
+	// A 4-byte instruction whose second parcel is unmapped (tail of a mapped
+	// region) fails here, before any byte is patched.
+	orig, err := p.ReadMem(addr, size)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("proc: breakpoint at %#x: %w", addr, err)
+	}
+	if _, err := riscv.Decode(orig, addr); err != nil {
+		return nil, fmt.Errorf("proc: breakpoint at %#x: not an instruction: %w", addr, err)
+	}
+	if p.midInstruction(addr) {
+		return nil, fmt.Errorf("proc: breakpoint at %#x: mid-instruction (second parcel of a 4-byte instruction)", addr)
 	}
 	var patch []byte
 	if size == 2 {
@@ -215,7 +291,53 @@ func (p *Process) plant(addr uint64, temp bool) (*Breakpoint, error) {
 	if err := p.cpu.WriteMem(addr, patch); err != nil {
 		return nil, err
 	}
-	return &Breakpoint{Addr: addr, orig: orig, enabled: true, temp: temp}, nil
+	return &Breakpoint{Addr: addr, orig: orig, patch: patch, enabled: true, temp: temp}, nil
+}
+
+// midInstruction reports whether addr falls strictly inside an instruction
+// of the executable image. RISC-V instruction lengths are self-describing
+// (low two bits of the first parcel), so a linear sweep from the nearest
+// preceding symbol — always an instruction boundary — in the containing
+// executable section settles alignment. Addresses outside the image's
+// executable sections (runtime-mapped trampolines, JIT regions) are not
+// checked: the image carries no boundary information for them.
+func (p *Process) midInstruction(addr uint64) bool {
+	if p.file == nil {
+		return false
+	}
+	var sec *elfrv.Section
+	for _, s := range p.file.Sections {
+		if s.Flags&elfrv.SHFAlloc != 0 && s.Flags&elfrv.SHFExecinstr != 0 &&
+			addr >= s.Addr && addr < s.Addr+s.Size() {
+			sec = s
+			break
+		}
+	}
+	if sec == nil {
+		return false
+	}
+	start := sec.Addr
+	for _, sym := range p.file.Symbols {
+		if sym.Value > start && sym.Value <= addr && sym.Value < sec.Addr+sec.Size() {
+			start = sym.Value
+		}
+	}
+	// One breakpoint-masked read of the whole span, then walk parcel lengths.
+	span, err := p.ReadMem(start, int(addr-start))
+	if err != nil {
+		return false // unreadable stream: leave the decision to the decode check
+	}
+	for off := 0; off < len(span); {
+		if span[off]&3 == 3 {
+			off += 4
+		} else {
+			off += 2
+		}
+		if off > len(span) {
+			return true // the instruction at the last boundary covers addr
+		}
+	}
+	return false
 }
 
 // RemoveBreakpoint restores the original bytes.
@@ -257,9 +379,11 @@ func (p *Process) enable(bp *Breakpoint) error {
 // instruction at pc, reading registers for indirect targets. This is the
 // core of breakpoint-emulated single-stepping.
 func (p *Process) successors(pc uint64) ([]uint64, error) {
-	raw, err := p.cpu.ReadMem(pc, 4)
+	// Breakpoint-masked reads: stepping from a PC near another live
+	// breakpoint must decode the original instruction, not the patch.
+	raw, err := p.ReadMem(pc, 4)
 	if err != nil {
-		raw, err = p.cpu.ReadMem(pc, 2)
+		raw, err = p.ReadMem(pc, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -345,6 +469,9 @@ func (p *Process) StepInst() (Event, error) {
 		return Event{Kind: EventBreakpoint, Addr: p.cpu.PC}, nil
 	case emu.StopTrap:
 		return Event{Kind: EventTrap, Err: p.cpu.LastTrap()}, nil
+	case emu.StopCodeWrite:
+		addr, n := p.cpu.CodeWrite()
+		return Event{Kind: EventCodeWrite, Addr: addr, Len: n}, nil
 	}
 	return Event{Kind: EventBudget}, nil
 }
@@ -392,6 +519,9 @@ func (p *Process) run(budget uint64) (Event, error) {
 			return Event{Kind: EventBudget}, nil
 		case emu.StopTrap:
 			return Event{Kind: EventTrap, Err: p.cpu.LastTrap()}, nil
+		case emu.StopCodeWrite:
+			addr, n := p.cpu.CodeWrite()
+			return Event{Kind: EventCodeWrite, Addr: addr, Len: n}, nil
 		case emu.StopBreakpoint:
 			bp, ok := p.bps[p.cpu.PC]
 			if !ok {

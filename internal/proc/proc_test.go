@@ -247,9 +247,15 @@ func TestRemoveBreakpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	patched, _ := p.ReadMem(fib.Value, 4)
+	// The raw CPU view shows the planted patch; the debugger view (ReadMem)
+	// is breakpoint-transparent and still shows the original bytes.
+	patched, _ := p.CPU().ReadMem(fib.Value, 4)
 	if string(patched) == string(orig) {
 		t.Fatal("breakpoint did not change memory")
+	}
+	masked, _ := p.ReadMem(fib.Value, 4)
+	if string(masked) != string(orig) {
+		t.Fatalf("ReadMem not breakpoint-transparent: %x != %x", masked, orig)
 	}
 	if err := p.RemoveBreakpoint(bp); err != nil {
 		t.Fatal(err)

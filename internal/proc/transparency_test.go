@@ -1,0 +1,284 @@
+package proc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rvdyn/internal/emu"
+)
+
+// transparencyProgram pins one 2-byte site (c.mv at site2) and one 4-byte
+// site (the uncompressible xor at site4) with labels, so the table below can
+// plant breakpoints of both patch widths at known addresses.
+const transparencyProgram = `
+	.text
+_start:
+	li t0, 1
+	li t1, 2
+site2:
+	mv t2, t0
+site4:
+	xor t3, t0, t1
+	add a0, t2, t3
+	li a7, 93
+	ecall
+`
+
+// TestBreakpointTransparentReadWrite is the regression test for the
+// ReadMem/WriteMem transparency bugs: reads across a live breakpoint must
+// return the original program bytes, and client writes overlapping the patch
+// must land in the saved bytes (so removal restores the *client's* code) while
+// the ebreak stays live in memory.
+func TestBreakpointTransparentReadWrite(t *testing.T) {
+	f := build(t, transparencyProgram)
+	cases := []struct {
+		name string
+		sym  string
+		size int
+	}{
+		{"2-byte", "site2", 2},
+		{"4-byte", "site4", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Launch(f, emu.P550())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sym, ok := f.Symbol(tc.sym)
+			if !ok {
+				t.Fatalf("no %s symbol", tc.sym)
+			}
+			addr := sym.Value
+
+			// Surrounding read: one byte before through one past the patch.
+			before, err := p.ReadMem(addr-2, tc.size+4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bp, err := p.InsertBreakpoint(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bp.orig) != tc.size {
+				t.Fatalf("patch size = %d, want %d", len(bp.orig), tc.size)
+			}
+
+			// Raw memory changed; the debugger view did not.
+			raw, _ := p.CPU().ReadMem(addr-2, tc.size+4)
+			if bytes.Equal(raw, before) {
+				t.Fatal("plant did not change raw memory")
+			}
+			masked, err := p.ReadMem(addr-2, tc.size+4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(masked, before) {
+				t.Fatalf("read across live breakpoint: got %x, want %x", masked, before)
+			}
+
+			// A read that only clips the first byte of the patch is masked too.
+			clip, err := p.ReadMem(addr-2, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(clip, before[:3]) {
+				t.Fatalf("clipped read: got %x, want %x", clip, before[:3])
+			}
+
+			// Client writes a fresh instruction over the breakpoint span
+			// (c.nop-sized stores for the 2-byte site, addi for the 4-byte):
+			// the bytes must merge into bp.orig, the ebreak must stay live.
+			repl := []byte{0x01, 0x00} // c.nop
+			if tc.size == 4 {
+				repl = []byte{0x13, 0x00, 0x00, 0x00} // nop (addi x0,x0,0)
+			}
+			if err := p.WriteMem(addr, repl); err != nil {
+				t.Fatal(err)
+			}
+			rawAfter, _ := p.CPU().ReadMem(addr, tc.size)
+			if !bytes.Equal(rawAfter, raw[2:2+tc.size]) {
+				t.Fatalf("client write displaced the live patch: %x", rawAfter)
+			}
+			maskedAfter, _ := p.ReadMem(addr, tc.size)
+			if !bytes.Equal(maskedAfter, repl) {
+				t.Fatalf("masked read after client write = %x, want %x", maskedAfter, repl)
+			}
+
+			// Removal must restore the client's bytes, not the stale ones.
+			if err := p.RemoveBreakpoint(bp); err != nil {
+				t.Fatal(err)
+			}
+			restored, _ := p.CPU().ReadMem(addr, tc.size)
+			if !bytes.Equal(restored, repl) {
+				t.Fatalf("removal restored %x, want client bytes %x", restored, repl)
+			}
+
+			// The program still runs to exit with the nop'd site.
+			ev, err := p.Continue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ev.Kind != EventExit {
+				t.Fatalf("event = %+v", ev)
+			}
+		})
+	}
+}
+
+// TestWriteMemPartialOverlap writes a span that covers only part of a live
+// 4-byte patch plus surrounding bytes, and checks byte-exact merge behavior
+// on both sides of the boundary.
+func TestWriteMemPartialOverlap(t *testing.T) {
+	f := build(t, transparencyProgram)
+	p, err := Launch(f, emu.P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, _ := f.Symbol("site4")
+	addr := sym.Value
+	bp, err := p.InsertBreakpoint(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origHead := append([]byte(nil), bp.orig...)
+
+	// Overwrite the two bytes straddling the patch start: one byte before
+	// the patch, one inside it.
+	w := []byte{0xAA, 0xBB}
+	if err := p.WriteMem(addr-1, w); err != nil {
+		t.Fatal(err)
+	}
+	// Byte before the patch hits raw memory.
+	rb, _ := p.CPU().ReadMem(addr-1, 1)
+	if rb[0] != 0xAA {
+		t.Errorf("byte before patch = %#x, want 0xAA", rb[0])
+	}
+	// Byte inside the patch went to bp.orig; raw memory keeps the ebreak.
+	if bp.orig[0] != 0xBB {
+		t.Errorf("bp.orig[0] = %#x, want 0xBB (merged client byte)", bp.orig[0])
+	}
+	if bp.orig[1] != origHead[1] {
+		t.Errorf("bp.orig[1] = %#x, want untouched %#x", bp.orig[1], origHead[1])
+	}
+	raw, _ := p.CPU().ReadMem(addr, 1)
+	if raw[0] != bp.patch[0] {
+		t.Errorf("raw patch byte = %#x, want live ebreak %#x", raw[0], bp.patch[0])
+	}
+	// The masked view reflects the client's write.
+	m, _ := p.ReadMem(addr-1, 2)
+	if m[0] != 0xAA || m[1] != 0xBB {
+		t.Errorf("masked view = %x, want aabb", m)
+	}
+}
+
+// TestStepNearOtherBreakpoint single-steps across an address adjacent to a
+// second live breakpoint: successors() must decode the original instruction
+// through the mask, not the planted ebreak.
+func TestStepNearOtherBreakpoint(t *testing.T) {
+	f := build(t, transparencyProgram)
+	p, err := Launch(f, emu.P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := f.Symbol("site2")
+	s4, _ := f.Symbol("site4")
+	if _, err := p.InsertBreakpoint(s2.Value); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.InsertBreakpoint(s4.Value); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EventBreakpoint || ev.Addr != s2.Value {
+		t.Fatalf("first stop = %+v", ev)
+	}
+	// Step off site2; the successor is site4, already trapped. The step must
+	// land exactly there with t2 updated by the original c.mv.
+	ev, err = p.StepInst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PC() != s4.Value {
+		t.Fatalf("pc after step = %#x, want %#x", p.PC(), s4.Value)
+	}
+	ev, err = p.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != EventExit || ev.ExitCode != 4 { // t2+t3 = 1 + (1^2)
+		t.Fatalf("exit = %+v", ev)
+	}
+}
+
+// TestPlantEdges is the table-driven regression test for the plant edge
+// cases: tail-of-region 4-byte instructions, mid-instruction parcels, and
+// overlapping plants must all fail cleanly without touching memory.
+func TestPlantEdges(t *testing.T) {
+	f := build(t, transparencyProgram)
+	s4, _ := f.Symbol("site4")
+
+	t.Run("tail-of-region", func(t *testing.T) {
+		p, err := Launch(f, emu.P550())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Map one page and place the head parcel of a 4-byte instruction in
+		// its last two bytes; the second parcel is unmapped.
+		const page = uint64(0x30000000)
+		p.MapRegion(page, 4096)
+		head := []byte{0x13, 0x00} // starts a 4-byte addi
+		if err := p.WriteMem(page+4094, head); err != nil {
+			t.Fatal(err)
+		}
+		_, err = p.InsertBreakpoint(page + 4094)
+		if err == nil {
+			t.Fatal("plant over region tail succeeded")
+		}
+		// No partial patch: the mapped bytes are untouched.
+		got, _ := p.ReadMem(page+4094, 2)
+		if !bytes.Equal(got, head) {
+			t.Fatalf("partial patch left behind: %x", got)
+		}
+	})
+
+	t.Run("mid-instruction", func(t *testing.T) {
+		p, err := Launch(f, emu.P550())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = p.InsertBreakpoint(s4.Value + 2)
+		if err == nil {
+			t.Fatal("plant on second parcel of 4-byte instruction succeeded")
+		}
+		if !strings.Contains(err.Error(), "mid-instruction") {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		// The instruction stream is untouched and the program still exits.
+		ev, err := p.Continue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind != EventExit {
+			t.Fatalf("event = %+v", ev)
+		}
+	})
+
+	t.Run("overlapping-plant", func(t *testing.T) {
+		p, err := Launch(f, emu.P550())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.InsertBreakpoint(s4.Value); err != nil {
+			t.Fatal(err)
+		}
+		_, err = p.InsertBreakpoint(s4.Value + 2)
+		if err == nil {
+			t.Fatal("plant inside a live breakpoint's span succeeded")
+		}
+	})
+}

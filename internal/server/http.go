@@ -17,10 +17,20 @@ import (
 // HandlerOptions overrides it.
 const DefaultMaxUploadBytes = 64 << 20
 
+// DefaultMaxMemoryBytes is the per-request in-memory multipart budget; parts
+// beyond it spill to disk (and are removed when the request finishes).
+const DefaultMaxMemoryBytes = 8 << 20
+
 // HandlerOptions configures the HTTP surface.
 type HandlerOptions struct {
 	// MaxUploadBytes caps the request body; oversized uploads get 413.
 	MaxUploadBytes int64
+	// MaxMemoryBytes is how much of a multipart body is held in memory
+	// before parts spill to temp files. Keeping it well below
+	// MaxUploadBytes bounds per-request memory at the cost of disk spills
+	// for large binaries; spilled files are deleted when the handler
+	// returns, so temp-dir usage is bounded by the in-flight request count.
+	MaxMemoryBytes int64
 }
 
 // NewHandler wires the service into an http.Handler:
@@ -40,6 +50,9 @@ type HandlerOptions struct {
 func NewHandler(s *Service, opts HandlerOptions) http.Handler {
 	if opts.MaxUploadBytes <= 0 {
 		opts.MaxUploadBytes = DefaultMaxUploadBytes
+	}
+	if opts.MaxMemoryBytes <= 0 {
+		opts.MaxMemoryBytes = DefaultMaxMemoryBytes
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/instrument", func(w http.ResponseWriter, r *http.Request) {
@@ -85,9 +98,12 @@ func (w *countingWriter) Write(b []byte) (int, error) {
 
 func handleInstrument(s *Service, opts HandlerOptions, w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, opts.MaxUploadBytes)
-	// Keep parts in memory up to the body cap; the cap itself is enforced
-	// by MaxBytesReader.
-	if err := r.ParseMultipartForm(opts.MaxUploadBytes); err != nil {
+	// The body cap is enforced by MaxBytesReader; the parse budget only
+	// decides what stays in memory. Passing the full upload cap here would
+	// let every in-flight request pin MaxUploadBytes of heap — parts beyond
+	// the memory budget spill to temp files instead, which RemoveAll below
+	// deletes at the end of the request.
+	if err := r.ParseMultipartForm(opts.MaxMemoryBytes); err != nil {
 		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {

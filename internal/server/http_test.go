@@ -4,13 +4,17 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/json"
+	"fmt"
 	"io"
 	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"rvdyn/internal/asm"
 	"rvdyn/internal/elfrv"
 	"rvdyn/internal/obs"
 	"rvdyn/internal/workload"
@@ -166,6 +170,51 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics dump missing %s", want)
 		}
+	}
+}
+
+// TestHTTPMultipartTempFileChurn pins the multipart spill discipline: with a
+// one-byte in-memory budget every uploaded binary spills to a temp file, and
+// after a burst of distinct-keyed requests (each a full compute, churning the
+// cache) the temp directory holds no more multipart-* files than before —
+// RemoveAll reclaims each request's spill when the handler returns.
+func TestHTTPMultipartTempFileChurn(t *testing.T) {
+	_, ts, _ := newTestServer(t, HandlerOptions{MaxMemoryBytes: 1})
+	p := workload.Programs()[0]
+	f, err := asm.Assemble(p.Source, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := f.Write()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spillCount := func() int {
+		matches, err := filepath.Glob(filepath.Join(os.TempDir(), "multipart-*"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(matches)
+	}
+	before := spillCount()
+
+	for i := 0; i < 16; i++ {
+		// A distinct spec name per request keys every request differently,
+		// so each one runs the full compute path while the binary part sits
+		// spilled on disk.
+		spec := fmt.Sprintf(`{"name":"churn-%d","funcs":["%s"]}`, i, p.Funcs[0])
+		resp := postMultipart(t, ts.URL, map[string]string{"spec": spec},
+			map[string][]byte{"binary": raw})
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	if after := spillCount(); after > before {
+		t.Errorf("multipart temp files grew from %d to %d — spilled parts are leaking", before, after)
 	}
 }
 

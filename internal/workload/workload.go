@@ -470,6 +470,56 @@ spin_loop:
 // FramePointerExpected is the exit code of FramePointerSource: 1+8+4+2+1.
 const FramePointerExpected = 16
 
+// SMCSource is a self-modifying workload: smcloop runs ten iterations of an
+// accumulate site emitted as a forced 4-byte addi (the .word), and after the
+// fifth iteration the program stores a new encoding over the site (addi
+// s0,s0,1 → addi s0,s0,3), so iterations 6–10 add 3 instead of 1. The
+// native emulator handles this through decode-cache invalidation; the DBI
+// engine must invalidate and retranslate the affected block. Static
+// rewriting structurally cannot: the relocated copy of smcloop keeps the old
+// encoding while the store patches the (never again executed) original — so
+// a statically instrumented run exits with SMCStaticResult instead. It is
+// deliberately NOT part of Programs(): suite-wide golden tests assume
+// rewrite-equivalence, which this program exists to break.
+const SMCSource = `
+	.text
+	.globl _start
+_start:
+	call smcloop
+	mv a0, s0
+	li a7, 93
+	ecall
+
+	.globl smcloop
+smcloop:
+	li s0, 0
+	li s1, 0
+	li s2, 10
+	li s3, 5
+smc_loop:
+	.globl smc_site
+smc_site:
+	.word 0x00140413          # addi s0, s0, 1 (forced 4-byte encoding)
+	addi s1, s1, 1
+	bne s1, s3, smc_next      # after iteration 5: rewrite the site
+	la t0, smc_site
+	li t1, 0x00340413         # addi s0, s0, 3
+	sw t1, 0(t0)
+	fence.i
+smc_next:
+	blt s1, s2, smc_loop
+	ret
+	.size smcloop, .-smcloop
+`
+
+// SMCExpected is the exit code of SMCSource when self-modification takes
+// effect: 5 iterations adding 1, then 5 adding 3.
+const SMCExpected = 5*1 + 5*3
+
+// SMCStaticResult is the exit code a statically rewritten smcloop produces:
+// the store never reaches the relocated copy, so all 10 iterations add 1.
+const SMCStaticResult = 10
+
 // Program is one named workload in the suite, with enough metadata for
 // tools that iterate over all of them (the differential oracle, the CLI).
 type Program struct {
