@@ -104,6 +104,12 @@ func main() {
 			log.Fatalf("assemble %s: %v", p.Name, err)
 		}
 		rep.Workloads = append(rep.Workloads, measure(p.Name, "fast", f, *reps, false))
+		if p.Name == "fib" {
+			// fib is the indirect-branch-dense workload (every recursive
+			// return is a jalr): its dbi row tracks the inline-lookup path,
+			// where dbi-matmul mostly exercises chained direct edges.
+			rep.Workloads = append(rep.Workloads, measureDBI("dbi-fib", f, p.Funcs, *reps))
+		}
 	}
 
 	for _, r := range rep.Workloads {

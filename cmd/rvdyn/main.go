@@ -23,7 +23,7 @@
 //	rvdyn profile [-func f1,f2] [-mode m] {prog.elf|workload-name}
 //	                                         instrument, run, and print a
 //	                                         per-function cycle profile
-//	rvdyn dbirun [-func f1,f2] [-mode m] {prog.elf|workload-name}
+//	rvdyn dbirun [-func f1,f2] [-mode m] [-novirt] {prog.elf|workload-name}
 //	                                         run under the dynamic binary
 //	                                         instrumentation engine (code-cache
 //	                                         translation, no rewrite) and print
@@ -715,6 +715,7 @@ func cmdDBIRun(args []string) {
 	funcs := fs.String("func", "", "comma-separated functions to probe (default: workload metadata, or every named function)")
 	mode := fs.String("mode", "dead", "register allocation: dead or spill")
 	maxInst := fs.Uint64("max", 0, "instruction budget, 0 = unlimited")
+	noVirt := fs.Bool("novirt", false, "disable counter virtualization (report raw translation-inflated counters)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		log.Fatal("dbirun needs one ELF file or workload program name (e.g. matmul)")
@@ -730,6 +731,7 @@ func cmdDBIRun(args []string) {
 	}
 	rep, err := profile.RunDBI(file, profile.Options{
 		Funcs: flist, Mode: parseMode(*mode), MaxInst: *maxInst, Obs: reg,
+		NoCounterVirt: *noVirt,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -738,8 +740,9 @@ func cmdDBIRun(args []string) {
 	fmt.Printf("exit code %d; %d instructions retired\n", rep.ExitCode, rep.TotalInsts)
 	for _, name := range []string{
 		"emu.dbi.translations", "emu.dbi.chain.patches", "emu.dbi.chain.hits",
-		"emu.dbi.invalidations", "emu.dbi.indirect_exits", "emu.dbi.flushes",
-		"emu.dbi.probes", "emu.dbi.deopts",
+		"emu.dbi.invalidations", "emu.dbi.indirect_exits",
+		"emu.dbi.ibl.hits", "emu.dbi.ibl.misses", "emu.dbi.probe_removals",
+		"emu.dbi.flushes", "emu.dbi.probes", "emu.dbi.deopts",
 	} {
 		fmt.Printf("%-24s %d\n", name, reg.Counter(name).Load())
 	}

@@ -3,18 +3,24 @@
 // static rewrite-then-run flow, it attaches to a *running* process, copies
 // each basic block into a code cache the first time it is about to execute,
 // weaves attached probe snippets into the copies, and chains translated
-// blocks so hot paths never leave the cache. Stores into translated-from
-// bytes invalidate the affected translations (via the emulator's code-write
-// watch), which is what lets DBI handle self-modifying and JIT'd code —
-// the scenarios static rewriting structurally cannot.
+// blocks so hot paths never leave the cache. Direct edges chain into jal
+// jumps; indirect edges (jalr) resolve through an inline hash-table lookup
+// stub (see ibl.go) and reach the engine only on a miss. Stores into
+// translated-from bytes invalidate the affected translations (via the
+// emulator's code-write watch), which is what lets DBI handle
+// self-modifying and JIT'd code — the scenarios static rewriting
+// structurally cannot.
 //
 // Architectural transparency contract: at every translation-group boundary
 // the guest's registers, memory, and syscall trace are bit-identical to the
 // native run — auipc results and jal/jalr link values are materialized as
 // their original-program values, so the process only ever observes original
-// addresses. Cycles and Instret necessarily differ (translated code executes
-// extra instructions); time-derived state is pinned by emu.TimeFn exactly as
-// in the static-instrumentation oracle.
+// addresses. The cycle and instret counters are virtualized: every
+// translated group carries a compensation delta (dbi.acc/dbi.jt, see
+// internal/riscv/xdbi.go and emu.DBIComp) recording its divergence from the
+// original instruction stream, so rdcycle/rdinstret reads inside the guest
+// return the values the native run would see. Time-derived state is pinned
+// by emu.TimeFn exactly as in the static-instrumentation oracle.
 package dbi
 
 import (
@@ -22,6 +28,7 @@ import (
 
 	"rvdyn/internal/codegen"
 	"rvdyn/internal/elfrv"
+	"rvdyn/internal/emu"
 	"rvdyn/internal/parse"
 	"rvdyn/internal/proc"
 	"rvdyn/internal/riscv"
@@ -42,6 +49,12 @@ type Options struct {
 	// with an empty dead set — i.e. spills — making the two modes equivalent
 	// here; the knob exists for symmetry with the static rewriter.
 	Mode codegen.Mode
+	// NoCounterVirt disables counter virtualization: guest rdcycle/rdinstret
+	// reads expose the raw (translation-inflated) counters instead of the
+	// compensated native-identical values. The compensation state is still
+	// installed and maintained — the inline-lookup stubs need the scratch
+	// CSRs regardless — only the CSR read path changes.
+	NoCounterVirt bool
 	// Obs receives the emu.dbi.* counters; the zero value discards them.
 	Obs Metrics
 }
@@ -64,17 +77,44 @@ type Engine struct {
 	trans map[uint64]*translation // original block start → live translation
 	exits map[uint64]*exitStub    // cache stub addr → descriptor
 
-	probes map[uint64][]byte // original addr → lowered probe code
+	probes map[uint64]*probeCode // original addr → lowered probe
 
 	varBase, varNext uint64
 	varMapped        bool
 
+	// comp is the counter-compensation state installed on the CPU;
+	// deltaIdx interns immutable deltas (index into comp.Deltas).
+	comp     *emu.DBIComp
+	deltaIdx map[emu.CompDelta]int
+
+	// iblBase is the inline-lookup table (above the var region).
+	iblBase uint64
+
+	// pubHits is the high-water mark of comp.IBLHits already published to
+	// the obs counter (the CPU increments comp.IBLHits; the engine diffs).
+	pubHits uint64
+
+	// drain is a probe-invalidated translation the PC was inside of when it
+	// died: its source bytes are unchanged, so the stale copy runs to its
+	// next exit rather than being realigned mid-group. Cleared when the PC
+	// is next observed outside it.
+	drain *translation
+
 	detached bool
+}
+
+// probeCode is the lowered form of every snippet attached at one address.
+type probeCode struct {
+	code  []byte       // concatenated 4-byte encodings
+	insts []riscv.Inst // for instruction count and cost accounting
 }
 
 // Attach creates a DBI engine over p, which may be anywhere in its
 // execution — stopped at entry right after Launch, or mid-run after an
 // earlier native Continue. Nothing is translated until the engine runs.
+// If the CPU already carries compensation state from an earlier session
+// (attach → detach → attach), its accumulated totals are preserved so
+// counter reads stay native-identical across sessions.
 func Attach(p *proc.Process, f *elfrv.File, opts Options) (*Engine, error) {
 	if p.Exited() {
 		return nil, fmt.Errorf("dbi: process has exited")
@@ -105,15 +145,37 @@ func Attach(p *proc.Process, f *elfrv.File, opts Options) (*Engine, error) {
 		cacheNext: opts.CacheBase,
 		trans:     map[uint64]*translation{},
 		exits:     map[uint64]*exitStub{},
-		probes:    map[uint64][]byte{},
+		probes:    map[uint64]*probeCode{},
 		varBase:   opts.CacheBase + opts.CacheSize,
+		deltaIdx:  map[emu.CompDelta]int{},
 	}
+	e.iblBase = e.varBase + varRegionSize
+	cpu := p.CPU()
+	comp := cpu.DBIComp
+	if comp == nil {
+		comp = &emu.DBIComp{}
+		cpu.DBIComp = comp
+	}
+	comp.Virtualize = !opts.NoCounterVirt
+	// Any deltas referenced by a previous session's (now unreachable) cache
+	// are dead; the accumulated Extra* totals carry over untouched.
+	comp.Deltas = comp.Deltas[:0]
+	e.comp = comp
+	e.pubHits = comp.IBLHits
 	p.MapRegion(e.cacheBase, opts.CacheSize)
+	p.MapRegion(e.iblBase, iblRegionSize)
+	if err := e.iblZero(); err != nil {
+		return nil, err
+	}
 	return e, nil
 }
 
 // Process returns the underlying controlled process.
 func (e *Engine) Process() *proc.Process { return e.p }
+
+// Comp returns the live compensation state (tools and tests read the
+// accumulated divergence and the inline-lookup hit count from it).
+func (e *Engine) Comp() *emu.DBIComp { return e.comp }
 
 // Probe attaches sn at fn's entry point. Snippets are lowered once through
 // the same CodeGen layer the static rewriter uses and woven into every
@@ -124,7 +186,9 @@ func (e *Engine) Probe(fn *parse.Function, sn snippet.Snippet) error {
 	return e.ProbeAt(fn.Entry, sn)
 }
 
-// ProbeAt attaches sn at an arbitrary original instruction address.
+// ProbeAt attaches sn at an arbitrary original instruction address — a
+// function entry or any instruction point inside a block; the translator
+// splices the probe in at the owning translation group.
 func (e *Engine) ProbeAt(addr uint64, sn snippet.Snippet) error {
 	if e.detached {
 		return fmt.Errorf("dbi: engine is detached")
@@ -141,11 +205,63 @@ func (e *Engine) ProbeAt(addr uint64, sn snippet.Snippet) error {
 		}
 		code = append(code, b...)
 	}
-	e.probes[addr] = append(e.probes[addr], code...)
+	pr := e.probes[addr]
+	if pr == nil {
+		pr = &probeCode{}
+		e.probes[addr] = pr
+	}
+	pr.code = append(pr.code, code...)
+	pr.insts = append(pr.insts, res.Insts...)
 	e.obs.Probes.Inc()
 	// Drop translations that already copied the point, so the probe is
 	// woven in on the next execution.
-	return e.invalidateRange(addr, 1)
+	return e.invalidateRange(addr, 1, false)
+}
+
+// RemoveProbeAt detaches every probe at addr and patches its body out of
+// all live translations in place — the probe instructions become nops and
+// the splice's compensation delta is updated to account for them — without
+// invalidating or retranslating anything. It refuses when the PC sits
+// inside one of the splices (the pass in flight would retire a mix of
+// probe and nop against a delta describing neither).
+func (e *Engine) RemoveProbeAt(addr uint64) error {
+	if e.detached {
+		return fmt.Errorf("dbi: engine is detached")
+	}
+	if _, ok := e.probes[addr]; !ok {
+		return fmt.Errorf("dbi: no probe at %#x", addr)
+	}
+	pc := e.p.PC()
+	for _, t := range e.trans {
+		for _, sp := range t.splices {
+			if sp.orig == addr && pc > sp.cacheStart && pc <= sp.cacheEnd {
+				return fmt.Errorf("dbi: probe at %#x is executing (pc %#x inside its splice)", addr, pc)
+			}
+		}
+	}
+	delete(e.probes, addr)
+	nop := riscv.MustEncode(riscv.Inst{Mn: riscv.MnADDI, Rd: riscv.X0, Rs1: riscv.X0})
+	nopB := []byte{byte(nop), byte(nop >> 8), byte(nop >> 16), byte(nop >> 24)}
+	nopCost := e.cost(riscv.MnADDI)
+	accCost := e.cost(riscv.MnDBIACC)
+	for _, t := range e.trans {
+		for _, sp := range t.splices {
+			if sp.orig != addr {
+				continue
+			}
+			for a := sp.cacheStart; a < sp.cacheEnd; a += 4 {
+				if err := e.p.WriteMem(a, nopB); err != nil {
+					return err
+				}
+			}
+			e.comp.Deltas[sp.deltaIdx] = emu.CompDelta{
+				Insts:  sp.nInsts + 1,
+				Cycles: sp.nInsts*nopCost + accCost,
+			}
+		}
+	}
+	e.obs.ProbeRemovals.Inc()
+	return nil
 }
 
 // NewVar allocates an instrumentation variable in fresh process memory
@@ -201,11 +317,18 @@ func (e *Engine) run(budget uint64) (proc.Event, error) {
 	start := cpu.Instret
 	for {
 		if e.p.Exited() {
+			e.publishHits()
 			return proc.Event{Kind: proc.EventExit, ExitCode: e.p.ExitCode()}, nil
 		}
 		// Redirect the PC into the cache when it sits on an original
 		// address; untranslatable targets run native and trap identically.
 		pc := e.p.PC()
+		if e.drain != nil && (pc < e.drain.cache || pc >= e.drain.cacheEnd) {
+			// The stale fragment finished draining; its span no longer
+			// needs watching.
+			e.drain = nil
+			e.rearmWatch()
+		}
 		if pc < e.cacheBase || pc >= e.cacheEnd {
 			t, err := e.lookup(pc)
 			if err != nil {
@@ -226,6 +349,7 @@ func (e *Engine) run(budget uint64) (proc.Event, error) {
 			rem = budget - used
 		}
 		ev, err := e.p.ContinueBudget(rem)
+		e.publishHits()
 		if err != nil {
 			return proc.Event{}, err
 		}
@@ -233,7 +357,7 @@ func (e *Engine) run(budget uint64) (proc.Event, error) {
 		case proc.EventCodeWrite:
 			// The process stored into bytes some translation was built
 			// from: drop the stale copies and resume.
-			if err := e.invalidateRange(ev.Addr, ev.Len); err != nil {
+			if err := e.invalidateRange(ev.Addr, ev.Len, true); err != nil {
 				return proc.Event{}, err
 			}
 		case proc.EventBreakpoint:
@@ -256,6 +380,18 @@ func (e *Engine) run(budget uint64) (proc.Event, error) {
 	}
 }
 
+// publishHits forwards the CPU-side inline-lookup hit count (incremented by
+// dbi.jt retirements) to the obs counter.
+func (e *Engine) publishHits() {
+	if e.comp == nil {
+		return
+	}
+	if d := e.comp.IBLHits - e.pubHits; d != 0 {
+		e.obs.IBLHits.Add(d)
+		e.pubHits = e.comp.IBLHits
+	}
+}
+
 // lookup returns the live translation starting at orig, translating on
 // first use. (nil, nil) means untranslatable — deopt.
 func (e *Engine) lookup(orig uint64) (*translation, error) {
@@ -274,6 +410,10 @@ func (e *Engine) handleExit(st *exitStub) (done bool, ev proc.Event, err error) 
 		return true, proc.Event{Kind: proc.EventBreakpoint, Addr: st.target}, nil
 
 	case stubDirect:
+		// The stub's accumulator pre-accounted the chained jal that did
+		// not retire this time (the engine services the exit instead).
+		e.comp.ExtraInstret--
+		e.comp.ExtraCycles -= e.cost(riscv.MnJAL)
 		t := e.trans[st.target]
 		if t != nil {
 			e.obs.ChainHits.Inc()
@@ -294,13 +434,15 @@ func (e *Engine) handleExit(st *exitStub) (done bool, ev proc.Event, err error) 
 		return false, proc.Event{}, nil
 
 	case stubIndirect:
+		// Inline-lookup miss: the stub already computed the original
+		// target into scratch CSR 0x7C3 and committed the link register;
+		// account the stub path, resolve, and refill the table so the
+		// next jump to this target hits in-cache.
 		e.obs.IndirectExits.Inc()
-		// Perform the jalr host-side: compute the target from live
-		// registers *before* writing the link (rd may alias rs1).
-		tgt := (e.p.CPU().X[st.rs1&31] + uint64(st.imm)) &^ 1
-		if st.rd != riscv.X0 && st.rd.IsX() {
-			e.p.SetReg(st.rd, st.origNext)
-		}
+		e.obs.IBLMisses.Inc()
+		e.comp.ExtraInstret += st.missFix.Insts
+		e.comp.ExtraCycles += st.missFix.Cycles
+		tgt := e.comp.Scratch[3]
 		t, err := e.lookup(tgt)
 		if err != nil {
 			return false, proc.Event{}, err
@@ -310,17 +452,43 @@ func (e *Engine) handleExit(st *exitStub) (done bool, ev proc.Event, err error) 
 			e.p.SetPC(tgt)
 			return false, proc.Event{}, nil
 		}
+		if err := e.iblInsert(tgt, t); err != nil {
+			return false, proc.Event{}, err
+		}
 		e.p.SetPC(t.cache)
 		return false, proc.Event{}, nil
 	}
 	return false, proc.Event{}, fmt.Errorf("dbi: unknown stub kind %d", st.kind)
 }
 
+// realignStub maps the PC parked on an exit stub back to original code,
+// settling the stub's compensation: a direct stub's accumulator assumed a
+// chained jal that will not retire; an indirect (lookup-miss) stub owes its
+// path fixup and holds the original target in scratch CSR 0x7C3.
+func (e *Engine) realignStub(st *exitStub) {
+	switch st.kind {
+	case stubDirect:
+		e.comp.ExtraInstret--
+		e.comp.ExtraCycles -= e.cost(riscv.MnJAL)
+		e.p.SetPC(st.resume)
+	case stubBreak:
+		e.p.SetPC(st.target)
+	case stubIndirect:
+		e.comp.ExtraInstret += st.missFix.Insts
+		e.comp.ExtraCycles += st.missFix.Cycles
+		e.p.SetPC(e.comp.Scratch[3])
+	}
+}
+
 // invalidateRange drops every translation whose source bytes overlap
 // [addr, addr+n), restores their incoming chain patches to exit stubs, and
-// — when the current PC sits inside a dropped translation — maps it back to
-// the original address so the next dispatch retranslates the fresh bytes.
-func (e *Engine) invalidateRange(addr, n uint64) error {
+// severs their inline-lookup entries. When the current PC sits inside a
+// dropped translation it is mapped back to the original address (group
+// bounds, stub slots, and stub accumulators all realign exactly); a
+// probe-sourced invalidation (codeWrite false) that catches the PC
+// mid-group instead leaves the stale fragment to drain — its source bytes
+// are unchanged, so the copy stays correct through its next exit.
+func (e *Engine) invalidateRange(addr, n uint64, codeWrite bool) error {
 	var dropped []*translation
 	for start, t := range e.trans {
 		if t.orig < addr+n && t.origEnd > addr {
@@ -328,6 +496,14 @@ func (e *Engine) invalidateRange(addr, n uint64) error {
 			delete(e.trans, start)
 			dropped = append(dropped, t)
 		}
+	}
+	// A draining stale fragment whose source was just overwritten must be
+	// abandoned too — its copy no longer matches the bytes.
+	pc := e.p.PC()
+	if codeWrite && e.drain != nil && e.drain.orig < addr+n && e.drain.origEnd > addr &&
+		pc >= e.drain.cache && pc < e.drain.cacheEnd {
+		dropped = append(dropped, e.drain)
+		e.drain = nil
 	}
 	if len(dropped) == 0 {
 		return nil
@@ -339,37 +515,58 @@ func (e *Engine) invalidateRange(addr, n uint64) error {
 				return err
 			}
 		}
+		if err := e.iblSever(t); err != nil {
+			return err
+		}
 	}
-	pc := e.p.PC()
 	for _, t := range dropped {
 		if pc < t.cache || pc >= t.cacheEnd {
 			continue
 		}
-		orig, ok := t.mapBack(pc)
-		if !ok {
-			if st := e.exits[pc]; st != nil && st.from == t {
-				orig, ok = st.resume, true
-			}
+		if orig, ok := t.mapBack(pc); ok {
+			e.p.SetPC(orig)
+			break
 		}
-		if !ok {
-			return fmt.Errorf("dbi: pc %#x mid-group in invalidated translation of %#x", pc, t.orig)
+		if !codeWrite {
+			// Probe-sourced drop with the PC mid-fragment (inside a group,
+			// a lookup stub, or parked on an exit stub): the source bytes
+			// are unchanged and the fragment's exits stay registered, so
+			// the stale copy drains to its next exit with exact
+			// compensation — accumulators and stub handlers settle their
+			// own deltas as they retire or get serviced.
+			e.drain = t
+			break
 		}
-		e.p.SetPC(orig)
-		break
+		// A code write stops with the PC at the store's group end: the next
+		// group bound (handled above), a direct stub's accumulator, or its
+		// slot — never mid-group.
+		if st := e.exits[pc]; st != nil && st.from == t {
+			e.realignStub(st)
+			break
+		}
+		if st := e.exits[pc+4]; st != nil && st.from == t && st.accAddr == pc {
+			// Parked on a bare-edge stub's accumulator (not yet retired):
+			// nothing of the stub is accounted — resume at the target.
+			e.p.SetPC(st.resume)
+			break
+		}
+		return fmt.Errorf("dbi: pc %#x mid-group in invalidated translation of %#x", pc, t.orig)
 	}
 	e.rearmWatch()
 	return nil
 }
 
 // rearmWatch sets the CPU code-write watch to the union of every live
-// translation's source span. Coarse — stores to untranslated bytes between
-// two spans trip a no-op invalidation — but one compare per store.
+// translation's source span (plus a draining fragment's — its stale copy
+// must still be abandoned if its source changes under it). Coarse — stores
+// to untranslated bytes between two spans trip a no-op invalidation — but
+// one compare per store.
 func (e *Engine) rearmWatch() {
 	var lo, hi uint64
-	for _, t := range e.trans {
+	span := func(t *translation) {
 		if lo == hi {
 			lo, hi = t.orig, t.origEnd
-			continue
+			return
 		}
 		if t.orig < lo {
 			lo = t.orig
@@ -378,13 +575,21 @@ func (e *Engine) rearmWatch() {
 			hi = t.origEnd
 		}
 	}
+	for _, t := range e.trans {
+		span(t)
+	}
+	if e.drain != nil {
+		span(e.drain)
+	}
 	e.p.CPU().SetCodeWatch(lo, hi)
 }
 
-// flushAll resets the whole cache (capacity exhaustion): every translation
-// dies, every stub is forgotten, and the allocation cursor rewinds. Called
-// with the PC either outside the cache or parked on a stub whose handler
-// immediately repoints it, so no live PC survives into the stale region.
+// flushAll resets the whole cache (capacity or delta-table exhaustion):
+// every translation dies, every stub is forgotten, the lookup table is
+// zeroed, the compensation-delta table truncates (no surviving code
+// references it), and the allocation cursor rewinds. Called with the PC
+// either outside the cache or parked on a stub whose handler immediately
+// repoints it, so no live PC survives into the stale region.
 func (e *Engine) flushAll() error {
 	for _, t := range e.trans {
 		t.dead = true
@@ -392,31 +597,43 @@ func (e *Engine) flushAll() error {
 	e.trans = map[uint64]*translation{}
 	e.exits = map[uint64]*exitStub{}
 	e.cacheNext = e.cacheBase
+	e.comp.Deltas = e.comp.Deltas[:0]
+	e.deltaIdx = map[emu.CompDelta]int{}
+	e.drain = nil
+	if err := e.iblZero(); err != nil {
+		return err
+	}
 	e.obs.Flushes.Inc()
 	e.rearmWatch()
 	return nil
 }
 
 // Detach disconnects the engine: the PC is mapped back to its original
-// address (single-stepping to the next group boundary when a budget stop
-// parked it mid-translation-group), the code watch is disarmed, and the
-// process continues natively — uninstrumented — from exactly equivalent
-// architectural state. The cache region stays mapped but unreachable.
+// address (single-stepping to the next realignment point when a budget stop
+// parked it mid-translation-group or inside an inline-lookup stub), the
+// code watch is disarmed, and the process continues natively —
+// uninstrumented — from exactly equivalent architectural state. The cache
+// region stays mapped but unreachable; the compensation state stays on the
+// CPU, frozen, so counter reads remain native-identical after detach (and
+// a later re-Attach carries the totals forward).
 func (e *Engine) Detach() error {
 	if e.detached {
 		return nil
 	}
 	cpu := e.p.CPU()
 	defer func() {
+		e.publishHits()
 		cpu.SetCodeWatch(0, 0)
 		e.trans = map[uint64]*translation{}
 		e.exits = map[uint64]*exitStub{}
-		e.probes = map[uint64][]byte{}
+		e.probes = map[uint64]*probeCode{}
+		e.drain = nil
 		e.detached = true
 	}()
-	// Worst case: a budget stop mid-group. One group is at most a probe
-	// plus a materialize sequence — far fewer than 64 instructions.
-	for i := 0; i < 256; i++ {
+	// Worst case: a budget stop at the start of a stale draining fragment —
+	// up to a whole translated block (64 groups with probe and
+	// materialization expansions) executes before a realignment point.
+	for i := 0; i < 1024; i++ {
 		pc := e.p.PC()
 		if e.p.Exited() || pc < e.cacheBase || pc >= e.cacheEnd {
 			return nil
@@ -430,11 +647,21 @@ func (e *Engine) Detach() error {
 				return nil
 			}
 		}
+		if d := e.drain; d != nil && pc >= d.cache && pc < d.cacheEnd {
+			// A probe-invalidated fragment's source bytes are unchanged, so
+			// its bounds still map back exactly.
+			if orig, ok := d.mapBack(pc); ok {
+				e.p.SetPC(orig)
+				return nil
+			}
+		}
 		if st := e.exits[pc]; st != nil {
-			e.p.SetPC(st.resume)
+			e.realignStub(st)
 			return nil
 		}
-		// Mid-group: retire one more instruction and retry.
+		// Mid-group (or inside a lookup stub): retire one more instruction
+		// and retry — accumulators settle their deltas as they retire, so
+		// compensation stays exact at whichever boundary we land on.
 		ev, err := e.p.ContinueBudget(1)
 		if err != nil {
 			return err
@@ -443,12 +670,12 @@ func (e *Engine) Detach() error {
 		case proc.EventExit:
 			return nil
 		case proc.EventCodeWrite:
-			if err := e.invalidateRange(ev.Addr, ev.Len); err != nil {
+			if err := e.invalidateRange(ev.Addr, ev.Len, true); err != nil {
 				return err
 			}
 		case proc.EventBreakpoint:
 			if st := e.exits[ev.Addr]; st != nil {
-				e.p.SetPC(st.resume)
+				e.realignStub(st)
 				return nil
 			}
 			return nil

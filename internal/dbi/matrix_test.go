@@ -1,0 +1,199 @@
+package dbi
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rvdyn/internal/asm"
+	"rvdyn/internal/core"
+	"rvdyn/internal/elfrv"
+	"rvdyn/internal/emu"
+	"rvdyn/internal/oracle"
+	"rvdyn/internal/proc"
+	"rvdyn/internal/snippet"
+	"rvdyn/internal/workload"
+)
+
+// probeMode is one row of the equivalence matrix's probe dimension.
+type probeMode int
+
+const (
+	probeNone probeMode = iota
+	probeEntries
+	probeInstPoints // a point on a mid-block instruction of each function
+	probeRemovedMid // entry probes attached, then removed mid-run
+)
+
+func (m probeMode) String() string {
+	switch m {
+	case probeNone:
+		return "noprobe"
+	case probeEntries:
+		return "entry"
+	case probeInstPoints:
+		return "instpoint"
+	case probeRemovedMid:
+		return "removed"
+	}
+	return "?"
+}
+
+// instPoints returns one mid-function instruction address per named
+// function: the first decoded instruction that is not the entry itself —
+// never the point the entry-probe mode uses.
+func instPoints(t *testing.T, f *elfrv.File, funcs []string) []uint64 {
+	t.Helper()
+	bin, err := core.FromFile(f)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	var out []uint64
+	for _, name := range funcs {
+		fn, err := bin.FindFunction(name)
+		if err != nil {
+			t.Fatalf("find %s: %v", name, err)
+		}
+		found := false
+		for _, b := range fn.Blocks {
+			for _, in := range b.Insts {
+				if in.Addr != fn.Entry {
+					out = append(out, in.Addr)
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("%s has no instruction beyond its entry", name)
+		}
+	}
+	return out
+}
+
+// observeMatrix runs f under one matrix cell and captures the oracle
+// observables. Counter reads are NOT pinned: with virtualization on they
+// must be native-transparent, and none of the suite workloads read them
+// anyway — the cell with NoCounterVirt documents exactly that.
+func observeMatrix(t *testing.T, f *elfrv.File, addrs []uint64, mode probeMode, noVirt bool) *oracle.Observation {
+	t.Helper()
+	p, err := proc.Launch(f, emu.P550())
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	cpu := p.CPU()
+	var out bytes.Buffer
+	o := &oracle.Observation{}
+	cpu.Stdout = &out
+	cpu.TimeFn = func() uint64 { return pinnedClock }
+	cpu.SyscallTrace = func(num, a0, a1, a2, ret uint64) {
+		o.Trace = append(o.Trace, oracle.SyscallRecord{Num: num, A0: a0, A1: a1, A2: a2, Ret: ret})
+	}
+	var ev proc.Event
+	if mode == probeNone && noVirt {
+		// The native baseline cell.
+		if ev, err = p.ContinueBudget(runBudget); err != nil {
+			t.Fatalf("native run: %v", err)
+		}
+	} else {
+		e, err := Attach(p, f, Options{NoCounterVirt: noVirt})
+		if err != nil {
+			t.Fatalf("attach: %v", err)
+		}
+		for _, a := range addrs {
+			if err := e.ProbeAt(a, snippet.Empty()); err != nil {
+				t.Fatalf("probe at %#x: %v", a, err)
+			}
+		}
+		if mode == probeRemovedMid {
+			// Run a slice so the probes fire inside live translations, then
+			// patch them out and finish. Removal can race the PC sitting
+			// inside a splice; nudge forward and retry.
+			if ev, err = e.ContinueBudget(500); err != nil {
+				t.Fatalf("pre-removal slice: %v", err)
+			}
+			for _, a := range addrs {
+				for ev.Kind == proc.EventBudget {
+					if err = e.RemoveProbeAt(a); err == nil {
+						break
+					}
+					if !strings.Contains(err.Error(), "is executing") {
+						t.Fatalf("remove at %#x: %v", a, err)
+					}
+					if ev, err = e.ContinueBudget(50); err != nil {
+						t.Fatalf("removal nudge: %v", err)
+					}
+				}
+			}
+		}
+		if ev.Kind != proc.EventExit {
+			if ev, err = e.ContinueBudget(runBudget); err != nil {
+				t.Fatalf("dbi run: %v", err)
+			}
+		}
+	}
+	if ev.Kind != proc.EventExit {
+		t.Fatalf("run stopped with %v (addr=%#x, err=%v, pc=%#x)", ev.Kind, ev.Addr, ev.Err, p.PC())
+	}
+	h := sha256.New()
+	for _, s := range oracle.WritableSections(f) {
+		b, err := cpu.ReadMem(s.Addr, int(s.Size()))
+		if err != nil {
+			t.Fatalf("hashing %s: %v", s.Name, err)
+		}
+		h.Write(b)
+	}
+	copy(o.MemHash[:], h.Sum(nil))
+	o.ExitCode = p.ExitCode()
+	o.Stdout = out.Bytes()
+	o.Steps = cpu.Instret
+	return o
+}
+
+// TestDBIEquivalenceMatrix sweeps {every workload} × {no probes, entry
+// probes, instruction points, probe-removed-mid-run} × {counter
+// virtualization on, off} and requires every cell's observables — exit
+// code, stdout, syscall trace, final writable memory — to match the native
+// run bit-for-bit.
+func TestDBIEquivalenceMatrix(t *testing.T) {
+	for _, prog := range workload.Programs() {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			f, err := asm.Assemble(prog.Source, asm.Options{})
+			if err != nil {
+				t.Fatalf("assemble: %v", err)
+			}
+			native := observeNative(t, f)
+			if native.ExitCode != prog.ExitCode {
+				t.Fatalf("native exit %d, workload expects %d", native.ExitCode, prog.ExitCode)
+			}
+			var entries []uint64
+			for _, fn := range prog.Funcs {
+				sym, ok := f.Symbol(fn)
+				if !ok {
+					t.Fatalf("no symbol %s", fn)
+				}
+				entries = append(entries, sym.Value)
+			}
+			points := instPoints(t, f, prog.Funcs)
+			for _, mode := range []probeMode{probeNone, probeEntries, probeInstPoints, probeRemovedMid} {
+				addrs := entries
+				if mode == probeNone {
+					addrs = nil
+				} else if mode == probeInstPoints {
+					addrs = points
+				}
+				for _, noVirt := range []bool{false, true} {
+					name := fmt.Sprintf("%s/virt=%v", mode, !noVirt)
+					got := observeMatrix(t, f, addrs, mode, noVirt)
+					compareObs(t, name, native, got)
+				}
+			}
+		})
+	}
+}

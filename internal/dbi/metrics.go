@@ -20,9 +20,20 @@ type Metrics struct {
 	// into their source bytes (self-modifying code) or a probe was attached
 	// over them.
 	Invalidations *obs.Counter
-	// IndirectExits counts indirect-jump (jalr) exits; they cannot be
-	// chained, so each one costs a full engine round trip.
+	// IndirectExits counts indirect-jump (jalr) exits that reached the
+	// engine; with inline lookup these are exactly the lookup misses.
 	IndirectExits *obs.Counter
+	// IBLHits counts indirect jumps the inline-lookup stubs resolved
+	// in-cache, without an engine round trip.
+	IBLHits *obs.Counter
+	// IBLMisses counts inline-lookup misses (first sight of a target, or a
+	// severed entry after invalidation) — each one is an engine round trip
+	// that refills the lookup table.
+	IBLMisses *obs.Counter
+	// ProbeRemovals counts probes detached mid-run; each removal patches
+	// the probe body out of every live translation in place, without a
+	// cache flush.
+	ProbeRemovals *obs.Counter
 	// Flushes counts whole-cache resets (cache exhaustion or Detach).
 	Flushes *obs.Counter
 	// Probes counts probe snippets attached.
@@ -40,6 +51,9 @@ func NewMetrics(r *obs.Registry) Metrics {
 		ChainHits:     r.Counter("emu.dbi.chain.hits"),
 		Invalidations: r.Counter("emu.dbi.invalidations"),
 		IndirectExits: r.Counter("emu.dbi.indirect_exits"),
+		IBLHits:       r.Counter("emu.dbi.ibl.hits"),
+		IBLMisses:     r.Counter("emu.dbi.ibl.misses"),
+		ProbeRemovals: r.Counter("emu.dbi.probe_removals"),
 		Flushes:       r.Counter("emu.dbi.flushes"),
 		Probes:        r.Counter("emu.dbi.probes"),
 		Deopts:        r.Counter("emu.dbi.deopts"),

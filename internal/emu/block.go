@@ -265,6 +265,13 @@ func (c *CPU) buildBlock(pc uint64) *block {
 func (c *CPU) prepareTerm(b *block) {
 	t := &b.term
 	b.termCost = c.Model.Cost(t.Mn)
+	// dbi.jt is CatJALR by nature (an indirect jump) but takes its target
+	// from DBI scratch state, not rs1+imm — dispatch it by value through
+	// exec rather than the jalr fast path.
+	if t.Mn == riscv.MnDBIJT {
+		b.termKind = tkExec
+		return
+	}
 	switch t.Cat() {
 	case riscv.CatBranch:
 		b.termKind = tkBranch

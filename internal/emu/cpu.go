@@ -96,6 +96,11 @@ type CPU struct {
 	// materialization instructions, so instret is not transparent).
 	CounterFn func(csr uint16) uint64
 
+	// DBIComp, when non-nil, is the counter-compensation and scratch-CSR
+	// state a dynamic-instrumentation engine installed (see dbicomp.go).
+	// nil keeps native semantics: raw counters, scratch CSRs fault.
+	DBIComp *DBIComp
+
 	// Obs, when non-nil, receives emulator observability counters (retired
 	// instructions, superblock-cache hits/builds/invalidations, syscall
 	// counts). nil — the default — is the fast path: the dispatch loop pays
@@ -493,6 +498,19 @@ func (c *CPU) exec(inst riscv.Inst) (stop bool, err error) {
 		t := (rs1 + uint64(inst.Imm)) &^ 1
 		c.setX(inst.Rd, next)
 		next = t
+	case riscv.MnDBIJT:
+		// Inline-lookup transfer (xdbi): jump to the translated cache
+		// address the stub stashed in scratch CSR 0x7C3, applying the
+		// stub's compensation delta. Only valid inside a DBI code cache.
+		dc := c.DBIComp
+		if dc == nil {
+			return false, fmt.Errorf("emu: dbi.jt outside DBI-attached CPU at %#x", inst.Addr)
+		}
+		if !dc.apply(inst.Imm + 2048) {
+			return false, fmt.Errorf("emu: dbi.jt with unallocated delta %d at %#x", inst.Imm, inst.Addr)
+		}
+		dc.IBLHits++
+		next = dc.Scratch[3]
 	case riscv.MnBEQ:
 		if rs1 == rs2 {
 			next = inst.Addr + uint64(inst.Imm)
@@ -567,6 +585,16 @@ func (c *CPU) execStraight(inst *riscv.Inst) error {
 	rs2 := c.X[inst.Rs2&31]
 
 	switch mn {
+	// ----- Xdbi (DBI code-cache internals) -----
+	case riscv.MnDBIACC:
+		dc := c.DBIComp
+		if dc == nil {
+			return fmt.Errorf("emu: dbi.acc outside DBI-attached CPU at %#x", inst.Addr)
+		}
+		if !dc.apply(inst.Imm + 2048) {
+			return fmt.Errorf("emu: dbi.acc with unallocated delta %d at %#x", inst.Imm, inst.Addr)
+		}
+
 	// ----- RV64I integer computation -----
 	case riscv.MnLUI:
 		c.setX(inst.Rd, uint64(inst.Imm<<12))
@@ -865,6 +893,9 @@ func (c *CPU) csrOp(inst riscv.Inst) error {
 	switch csr {
 	case 0xC00: // cycle
 		old = c.Cycles
+		if dc := c.DBIComp; dc != nil && dc.Virtualize {
+			old = uint64(int64(c.Cycles) - dc.ExtraCycles)
+		}
 		if c.CounterFn != nil {
 			old = c.CounterFn(csr)
 		}
@@ -872,9 +903,17 @@ func (c *CPU) csrOp(inst riscv.Inst) error {
 		old = c.VirtualNanos()
 	case 0xC02: // instret
 		old = c.Instret
+		if dc := c.DBIComp; dc != nil && dc.Virtualize {
+			old = uint64(int64(c.Instret) - dc.ExtraInstret)
+		}
 		if c.CounterFn != nil {
 			old = c.CounterFn(csr)
 		}
+	case 0x7C0, 0x7C1, 0x7C2, 0x7C3: // DBI scratch (custom read/write)
+		if c.DBIComp == nil {
+			return fmt.Errorf("emu: access to unimplemented CSR %#x", csr)
+		}
+		old = c.DBIComp.Scratch[csr-0x7C0]
 	case 0x001: // fflags
 		old = uint64(c.FCSR & 0x1f)
 	case 0x002: // frm
@@ -913,6 +952,8 @@ func (c *CPU) csrOp(inst riscv.Inst) error {
 			c.FCSR = uint32(nv) & 0xff
 		case 0xC00, 0xC01, 0xC02:
 			// counters are read-only; writes are ignored
+		case 0x7C0, 0x7C1, 0x7C2, 0x7C3:
+			c.DBIComp.Scratch[csr-0x7C0] = nv
 		}
 	}
 	c.setX(inst.Rd, old)

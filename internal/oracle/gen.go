@@ -301,6 +301,19 @@ func (g *progGen) step() {
 		}
 	case p < 95:
 		g.emit("fence")
+	case p < 97: // indirect forward jump (inline-lookup fodder for the DBI)
+		// la + jalr through a materialized forward label, grouped so the
+		// label can never land between the address setup and the jump. The
+		// link register alternates between discarded and ra — the shapes a
+		// translator's indirect-branch path must both preserve.
+		skip := 1 + g.rng.Intn(6)
+		g.grouping = true
+		defer func() { g.grouping = false; g.flushDue() }()
+		d := intDests[g.rng.Intn(len(intDests))]
+		lbl := g.newLabel(skip + 2) // +2: la and jalr themselves
+		links := []string{"zero", "ra"}
+		g.emit("la %s, %s", d, lbl)
+		g.emit("jalr %s, 0(%s)", links[g.rng.Intn(2)], d)
 	default: // forward control flow
 		skip := 1 + g.rng.Intn(6)
 		if g.rng.Intn(4) == 0 {

@@ -43,7 +43,7 @@ func RunDBI(f *elfrv.File, opts Options) (*Report, error) {
 	if opts.Obs != nil {
 		m = dbi.NewMetrics(opts.Obs)
 	}
-	e, err := dbi.Attach(p, f, dbi.Options{Mode: opts.Mode, Obs: m})
+	e, err := dbi.Attach(p, f, dbi.Options{Mode: opts.Mode, Obs: m, NoCounterVirt: opts.NoCounterVirt})
 	if err != nil {
 		return nil, err
 	}
@@ -97,10 +97,20 @@ func RunDBI(f *elfrv.File, opts Options) (*Report, error) {
 		rows[i+1].Calls = calls
 	}
 
+	// Report the virtualized (compensated) totals: the cycles and
+	// instructions the native program retired, with the code-cache and
+	// probe overhead subtracted out by the per-translation deltas. With
+	// NoCounterVirt the raw (inflated) counters are reported instead —
+	// their difference is the true dynamic-mode overhead.
 	rep := &Report{
 		TotalCycles: p.CPU().Cycles,
 		TotalInsts:  p.CPU().Instret,
 		ExitCode:    p.ExitCode(),
+	}
+	if !opts.NoCounterVirt {
+		comp := e.Comp()
+		rep.TotalCycles = uint64(int64(rep.TotalCycles) - comp.ExtraCycles)
+		rep.TotalInsts = uint64(int64(rep.TotalInsts) - comp.ExtraInstret)
 	}
 	// All cycles charge to the root row so the table still sums to the total.
 	rows[0].Cycles = rep.TotalCycles

@@ -49,6 +49,10 @@ type Options struct {
 	TraceTID int
 	// MaxInst bounds the run (0 = unlimited).
 	MaxInst uint64
+	// NoCounterVirt (RunDBI only) disables counter virtualization: the
+	// report's totals and any guest rdcycle/rdinstret reads expose the raw
+	// translation-inflated counters instead of native-identical values.
+	NoCounterVirt bool
 }
 
 // Row is one function's line in the profile.

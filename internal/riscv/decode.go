@@ -442,6 +442,11 @@ func decode32(w uint32, addr uint64) (Inst, error) {
 	case opFP:
 		return decodeFP(w, addr, inst, rd, f3, rs1, rs2, f7)
 	default:
+		// Extension modules (xdbi.go) may claim whole opcodes the base ISA
+		// leaves unused (the custom-* spaces).
+		if ext, ok := decodeExtI(inst, opcode, f3, rd, rs1, immI(w)); ok {
+			return ext, nil
+		}
 		return ill()
 	}
 	if inst.Mn == MnInvalid {

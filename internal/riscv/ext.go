@@ -30,6 +30,10 @@ const (
 	ExtZicond // integer conditional operations (czero.eqz/czero.nez)
 	ExtZba    // address-generation shifts (sh1add/sh2add/sh3add)
 	ExtZbb    // basic bit manipulation (andn/orn/xnor/min/max/...)
+
+	// Custom extension used only inside the DBI code cache (see xdbi.go):
+	// counter-compensation accumulators and the inline-lookup transfer.
+	ExtXdbi
 )
 
 // ExtG is the "general" bundle: IMAFD + Zicsr + Zifencei.
@@ -40,7 +44,7 @@ const RV64GC = ExtG | ExtC
 
 // RVA23Subset is RV64GC plus the RVA23-profile extensions this
 // reproduction implements (the paper's planned next step).
-const RVA23Subset = RV64GC | ExtZicond | ExtZba | ExtZbb
+const RVA23Subset = RV64GC | ExtZicond | ExtZba | ExtZbb | ExtXdbi
 
 // Has reports whether every extension in req is present in s.
 func (s ExtSet) Has(req ExtSet) bool { return s&req == req }
@@ -62,6 +66,7 @@ var extOrder = []struct {
 	{ExtZicond, "zicond"},
 	{ExtZba, "zba"},
 	{ExtZbb, "zbb"},
+	{ExtXdbi, "xdbi"},
 }
 
 // ArchString renders the set as a RISC-V architecture string of the form
@@ -207,6 +212,8 @@ func multiExt(name string) ExtSet {
 		return ExtZba
 	case "zbb":
 		return ExtZbb
+	case "xdbi":
+		return ExtXdbi
 	}
 	return 0
 }

@@ -237,6 +237,9 @@ const (
 	MnMINU
 	MnMAX
 	MnMAXU
+	// Xdbi (DBI code-cache internals; see xdbi.go).
+	MnDBIACC
+	MnDBIJT
 
 	numMnemonics
 )

@@ -61,7 +61,7 @@ func TestRVA23ArchString(t *testing.T) {
 	if back != set {
 		t.Errorf("round trip %q -> %v, want %v", set.ArchString(), back, set)
 	}
-	parsed, err := ParseArchString("rv64gc_zba_zbb_zicond")
+	parsed, err := ParseArchString("rv64gc_zba_zbb_zicond_xdbi")
 	if err != nil {
 		t.Fatal(err)
 	}
