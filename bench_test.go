@@ -507,6 +507,52 @@ func BenchmarkEmulatorObsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkEmulatorSampleOverhead guards the sampling trigger's fast path:
+// with no sampler configured (the default), the dispatch loop adds one
+// predictable branch, so throughput must stay within noise of
+// BenchmarkEmulatorThroughput. The enabled sub-benchmarks quantify live
+// sampling at several periods for EXPERIMENTS.md — the cost there is the
+// per-mark trigger plus the fast path declining superblocks near a mark.
+func BenchmarkEmulatorSampleOverhead(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full matmul emulation: skipped in -short mode")
+	}
+	file, err := workload.BuildMatmul(24, 1, asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, period uint64) {
+		var insts, samples uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cpu, err := emu.New(file, emu.P550())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if period != 0 {
+				samples = 0
+				cpu.SetSampler(period, func(c *emu.CPU) bool {
+					samples++
+					return true
+				})
+			}
+			if r := cpu.Run(0); r != emu.StopExit {
+				b.Fatal(r)
+			}
+			insts = cpu.Instret
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(insts)*float64(b.N)/b.Elapsed().Seconds()/1e6, "emulated_MIPS")
+		if period != 0 {
+			b.ReportMetric(float64(samples), "samples/run")
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, 0) })
+	b.Run("period=100000", func(b *testing.B) { run(b, 100000) })
+	b.Run("period=10000", func(b *testing.B) { run(b, 10000) })
+	b.Run("period=1000", func(b *testing.B) { run(b, 1000) })
+}
+
 func BenchmarkSnippetGeneration(b *testing.B) {
 	v := &snippet.Var{Name: "v", Width: 8, Addr: 0x200000}
 	sn := snippet.Increment(v)

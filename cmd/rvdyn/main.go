@@ -45,6 +45,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
@@ -68,6 +69,7 @@ import (
 	"rvdyn/internal/pipeline"
 	"rvdyn/internal/proc"
 	"rvdyn/internal/profile"
+	"rvdyn/internal/profile/sample"
 	"rvdyn/internal/riscv"
 	"rvdyn/internal/server"
 	"rvdyn/internal/snippet"
@@ -686,6 +688,12 @@ func cmdProfile(args []string) {
 	funcs := fs.String("func", "", "comma-separated functions to profile (default: workload metadata, or every named function)")
 	mode := fs.String("mode", "dead", "register allocation: dead or spill")
 	maxInst := fs.Uint64("max", 0, "instruction budget, 0 = unlimited")
+	doSample := fs.Bool("sample", false, "sample on the virtual clock instead of instrumenting (deterministic sampling profiler)")
+	period := fs.Uint64("period", 4096, "sampling period in virtual cycles (with -sample)")
+	engine := fs.String("engine", "fast", "sampling engine: fast, slow, or dbi (with -sample)")
+	pprofOut := fs.String("pprof", "", "write a gzipped pprof profile.proto to `FILE` (with -sample)")
+	foldedOut := fs.String("folded", "", "write folded stacks for flamegraph.pl/speedscope to `FILE` (with -sample)")
+	topN := fs.Int("top", 10, "rows in the top-functions table (with -sample; 0 = all)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		log.Fatal("profile needs one ELF file or workload program name (e.g. matmul)")
@@ -693,6 +701,25 @@ func cmdProfile(args []string) {
 	file, flist := loadProgArg(fs.Arg(0))
 	if *funcs != "" {
 		flist = strings.Split(*funcs, ",")
+	}
+
+	if *doSample {
+		var eng sample.Engine
+		switch *engine {
+		case "fast":
+			eng = sample.EngineFast
+		case "slow":
+			eng = sample.EngineSlow
+		case "dbi":
+			eng = sample.EngineDBI
+		default:
+			log.Fatalf("unknown sampling engine %q (want fast, slow, or dbi)", *engine)
+		}
+		runSampled(file, sample.Options{
+			Period: *period, Engine: eng, MaxInst: *maxInst,
+			Obs: obsReg, Name: fs.Arg(0),
+		}, *pprofOut, *foldedOut, *topN)
+		return
 	}
 
 	rep, err := profile.Run(file, profile.Options{
@@ -706,6 +733,55 @@ func cmdProfile(args []string) {
 	fmt.Printf("exit code %d; %d instructions retired\n", rep.ExitCode, rep.TotalInsts)
 }
 
+// runSampled executes one sampled run and emits every requested export:
+// the top-N table on stdout, optionally a gzipped pprof profile (which is
+// immediately re-read through the in-tree decoder so a malformed encoding
+// fails loudly rather than downstream in pprof) and a folded-stack file.
+func runSampled(file *elfrv.File, opts sample.Options, pprofPath, foldedPath string, topN int) {
+	prof, err := sample.Run(file, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled %d stacks over %d cycles (engine %v, period %d)\n",
+		len(prof.Samples), prof.TotalCycles, opts.Engine, prof.Period)
+	if err := prof.WriteTop(os.Stdout, topN); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exit code %d; %d instructions retired; virtual %.6fs\n",
+		prof.ExitCode, prof.TotalInsts, float64(prof.DurationNanos)/1e9)
+	if pprofPath != "" {
+		var buf bytes.Buffer
+		if err := prof.WritePprof(&buf); err != nil {
+			log.Fatal(err)
+		}
+		dec, err := sample.ParsePprof(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			log.Fatalf("pprof self-check failed: %v", err)
+		}
+		if got, want := dec.TotalSamples(), int64(len(prof.Samples)); got != want {
+			log.Fatalf("pprof self-check: decoded %d samples, profile has %d", got, want)
+		}
+		if err := os.WriteFile(pprofPath, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d bytes, %d sample records, %d locations, %d functions (round-trip verified)\n",
+			pprofPath, buf.Len(), len(dec.Samples), len(dec.Locations), len(dec.Functions))
+	}
+	if foldedPath != "" {
+		f, err := os.Create(foldedPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := prof.WriteFolded(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d folded stacks (one line per sample)\n", foldedPath, len(prof.Samples))
+	}
+}
+
 // cmdDBIRun runs a binary under the dynamic binary instrumentation engine:
 // no rewrite on disk, blocks translate into a code cache at first execution
 // with call-count probes woven in, and the engine's counters quantify the
@@ -716,6 +792,9 @@ func cmdDBIRun(args []string) {
 	mode := fs.String("mode", "dead", "register allocation: dead or spill")
 	maxInst := fs.Uint64("max", 0, "instruction budget, 0 = unlimited")
 	noVirt := fs.Bool("novirt", false, "disable counter virtualization (report raw translation-inflated counters)")
+	samplePeriod := fs.Uint64("sample-period", 0, "sample the run on the (compensated) virtual clock every N cycles instead of probing")
+	pprofOut := fs.String("pprof", "", "write a gzipped pprof profile.proto to `FILE` (with -sample-period)")
+	foldedOut := fs.String("folded", "", "write folded stacks to `FILE` (with -sample-period)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		log.Fatal("dbirun needs one ELF file or workload program name (e.g. matmul)")
@@ -723,6 +802,14 @@ func cmdDBIRun(args []string) {
 	file, flist := loadProgArg(fs.Arg(0))
 	if *funcs != "" {
 		flist = strings.Split(*funcs, ",")
+	}
+
+	if *samplePeriod != 0 {
+		runSampled(file, sample.Options{
+			Period: *samplePeriod, Engine: sample.EngineDBI, MaxInst: *maxInst,
+			Obs: obsReg, NoCounterVirt: *noVirt, Name: fs.Arg(0),
+		}, *pprofOut, *foldedOut, 10)
+		return
 	}
 
 	reg := obsReg

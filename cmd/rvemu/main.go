@@ -25,6 +25,7 @@ import (
 	"rvdyn/internal/elfrv"
 	"rvdyn/internal/emu"
 	"rvdyn/internal/obs"
+	"rvdyn/internal/profile/sample"
 	"rvdyn/internal/riscv"
 )
 
@@ -37,6 +38,8 @@ func main() {
 	histo := flag.Bool("histo", false, "print a per-mnemonic execution histogram (top 20)")
 	slow := flag.Bool("slow", false, "force per-instruction dispatch (disable the fused block engine)")
 	stats := flag.Bool("stats", false, "print emulator counters and wall-clock MIPS on exit")
+	pprofOut := flag.String("pprof", "", "sample the run on the virtual clock and write a gzipped pprof profile to `FILE`")
+	period := flag.Uint64("period", 4096, "sampling period in virtual cycles (with -pprof)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		log.Fatal("need exactly one ELF file")
@@ -57,6 +60,16 @@ func main() {
 		model = emu.X86Comparator()
 	default:
 		log.Fatalf("unknown model %q", *modelName)
+	}
+	if *pprofOut != "" {
+		// The sampled path drives the run through the profiler harness
+		// (stack walking needs the process layer), so the per-instruction
+		// hooks don't compose with it.
+		if *trace || *histo {
+			log.Fatal("-pprof is incompatible with -trace and -histo")
+		}
+		runSampled(f, model, *pprofOut, *period, *slow, *stats, *maxInst)
+		return
 	}
 	cpu, err := emu.New(f, model)
 	if err != nil {
@@ -128,4 +141,41 @@ func main() {
 		os.Exit(cpu.ExitCode & 0x7f)
 	}
 	os.Exit(0)
+}
+
+// runSampled runs the binary under the virtual-clock sampling profiler on
+// the chosen dispatch engine and writes the gzipped pprof profile.
+func runSampled(f *elfrv.File, model *emu.CostModel, out string, period uint64, slow, stats bool, maxInst uint64) {
+	eng := sample.EngineFast
+	if slow {
+		eng = sample.EngineSlow
+	}
+	var reg *obs.Registry
+	if stats {
+		reg = obs.NewRegistry()
+	}
+	prof, err := sample.Run(f, sample.Options{
+		Model: model, Period: period, Engine: eng, MaxInst: maxInst, Obs: reg,
+		Name: flag.Arg(0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	of, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := prof.WritePprof(of); err != nil {
+		log.Fatal(err)
+	}
+	if err := of.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if stats {
+		fmt.Fprint(os.Stderr, reg.String())
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d samples at period %d\n", out, len(prof.Samples), period)
+	fmt.Fprintf(os.Stderr, "stop: exit (code %d)\ninstret: %d\ncycles:  %d (%s @ %d MHz)\nvirtual: %.6fs\n",
+		prof.ExitCode, prof.TotalInsts, prof.TotalCycles, model.Name, model.MHz, float64(prof.DurationNanos)/1e9)
+	os.Exit(prof.ExitCode & 0x7f)
 }

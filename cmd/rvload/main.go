@@ -43,6 +43,7 @@ var (
 	workFlag    = flag.String("workloads", "", "comma-separated workload names (default: all)")
 	minHitFlag  = flag.Float64("min-hit-rate", -1, "fail if the cache hit(+coalesced) rate is below this fraction")
 	metricsOut  = flag.String("metrics-out", "", "scrape /metrics into `FILE` after the burst")
+	promOut     = flag.String("prom-out", "", "scrape /metrics in Prometheus exposition format into `FILE` after the burst, validating that it parses")
 	timeoutFlag = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 )
 
@@ -223,6 +224,36 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote server metrics to %s\n", *metricsOut)
+	}
+
+	if *promOut != "" {
+		// Scrape the way Prometheus would: negotiate the exposition format
+		// via the Accept header, then require the body to parse cleanly.
+		req, err := http.NewRequest("GET", base+"/metrics", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("Accept", "text/plain;version=0.0.4")
+		resp, err := client.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+			log.Fatalf("prometheus scrape: Content-Type %q, want %q", ct, obs.PromContentType)
+		}
+		fams, err := obs.ParsePrometheus(bytes.NewReader(data))
+		if err != nil {
+			log.Fatalf("prometheus scrape does not parse: %v", err)
+		}
+		if err := os.WriteFile(*promOut, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote prometheus exposition to %s (%d metric families)\n", *promOut, len(fams))
 	}
 
 	fail := false

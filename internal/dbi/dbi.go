@@ -177,6 +177,30 @@ func (e *Engine) Process() *proc.Process { return e.p }
 // accumulated divergence and the inline-lookup hit count from it).
 func (e *Engine) Comp() *emu.DBIComp { return e.comp }
 
+// CacheRange returns the code-cache span [lo, hi). PCs inside it execute
+// translated copies; everything outside is original program code.
+func (e *Engine) CacheRange() (lo, hi uint64) { return e.cacheBase, e.cacheEnd }
+
+// OrigPC maps a cache-resident PC sitting exactly on a translation-group
+// bound back to the original-program address the group was translated
+// from. It reports false for PCs between bounds (mid-group expansions,
+// probe splices, exit and lookup stubs) — states where the compensated
+// counters are not yet exact and no unique original address exists. The
+// sampling profiler keys on exactly this property: a sample deferred at a
+// non-bound state fires at the next bound, whose architectural state and
+// compensated clock match the native run's bit-for-bit.
+func (e *Engine) OrigPC(pc uint64) (uint64, bool) {
+	for _, t := range e.trans {
+		if pc >= t.cache && pc < t.cacheEnd {
+			return t.mapBack(pc)
+		}
+	}
+	if d := e.drain; d != nil && pc >= d.cache && pc < d.cacheEnd {
+		return d.mapBack(pc)
+	}
+	return 0, false
+}
+
 // Probe attaches sn at fn's entry point. Snippets are lowered once through
 // the same CodeGen layer the static rewriter uses and woven into every
 // future translation of a block starting or passing through the point;

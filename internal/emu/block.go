@@ -105,6 +105,13 @@ type block struct {
 	nBody uint64     // total body constituent count
 	end   uint64     // address after the last body instruction
 	n     uint64     // constituent count including the terminator(s)
+	// maxCost bounds the cycles one full dispatch of this block can
+	// consume (body + fused compare + terminator + taken-branch penalty).
+	// The sample trigger's fast-path gate uses it: a block is only taken
+	// when even its worst case cannot reach the pending sample mark, so
+	// the mark is always met on the per-instruction path — at the same
+	// boundary the slow engine would meet it.
+	maxCost uint64
 
 	hasTerm  bool
 	term     riscv.Inst // terminator (valid when hasTerm)
@@ -248,6 +255,7 @@ func (c *CPU) buildBlock(pc uint64) *block {
 			b.n++
 		}
 	}
+	b.maxCost = b.cost + b.cmpCost + b.termCost + c.Model.BranchTakenPenalty
 	if b.n == 0 {
 		return nil
 	}

@@ -107,6 +107,21 @@ type CPU struct {
 	// one pointer check and no atomics.
 	Obs *Metrics
 
+	// Virtual-clock sample trigger (see SetSampler). SamplePeriod is the
+	// cycle distance between sample marks (0 disarms); SampleFn runs at the
+	// first instruction-boundary state whose sample clock has reached the
+	// next mark. Both dispatch engines observe the identical boundary: the
+	// slow path polls every loop iteration, and the fast path refuses to
+	// dispatch a superblock that could cross the pending mark mid-block
+	// (the same trick that makes budget stops bit-identical). SampleFn
+	// returning false defers the mark to the next boundary without
+	// consuming it — the DBI sampler uses this to skip cache states that
+	// sit between translation-group bounds, where the compensated clock is
+	// not yet exact.
+	SamplePeriod uint64
+	SampleFn     func(c *CPU) bool
+	sampleNext   uint64
+
 	resValid bool
 	resAddr  uint64
 
@@ -356,6 +371,62 @@ func (c *CPU) fetchAt(pc uint64) (riscv.Inst, error) {
 // stopNone is the internal "keep running" sentinel for dispatch helpers.
 const stopNone StopReason = -1
 
+// SetSampler arms (or, with period 0, disarms) the virtual-clock sample
+// trigger: fn runs at the first instruction boundary at or after every
+// period-th cycle of the sample clock, counted from the current clock.
+// Because marks are laid on the deterministic virtual clock, two runs of
+// the same program armed at the same state fire at bit-identical times.
+// fn returning false defers the pending mark to the next boundary.
+func (c *CPU) SetSampler(period uint64, fn func(c *CPU) bool) {
+	c.SamplePeriod = period
+	c.SampleFn = fn
+	if period != 0 {
+		c.sampleNext = c.SampleClock() + period
+	}
+}
+
+// SampleClock is the clock samples are spaced on: the raw cycle counter,
+// or the compensated (native-equivalent) counter when a DBI engine has
+// counter virtualization installed — so sampling under dynamic translation
+// fires at the virtual times the native run would.
+func (c *CPU) SampleClock() uint64 {
+	if dc := c.DBIComp; dc != nil && dc.Virtualize {
+		return uint64(int64(c.Cycles) - dc.ExtraCycles)
+	}
+	return c.Cycles
+}
+
+// samplePoll fires the sampler for every mark the clock has passed. A
+// deferred mark (SampleFn false) stays pending and re-polls at the next
+// boundary; the fast-path gate in Run keeps dispatch on the slow path
+// until it resolves, so the accepting boundary is engine-independent.
+func (c *CPU) samplePoll() {
+	for c.SampleClock() >= c.sampleNext {
+		if !c.SampleFn(c) {
+			return
+		}
+		c.sampleNext += c.SamplePeriod
+	}
+}
+
+// SampleDrain consumes every pending sample mark without running SampleFn
+// and returns how many there were. Tools call it after Run returns
+// StopExit: the exit syscall retires without another loop-top poll, so
+// marks the final instructions passed are drained here and attributed to
+// the exit state — keeping sum(samples)*period within one period of the
+// total clock, deterministically.
+func (c *CPU) SampleDrain() int {
+	if c.SamplePeriod == 0 {
+		return 0
+	}
+	n := 0
+	for c.SampleClock() >= c.sampleNext {
+		n++
+		c.sampleNext += c.SamplePeriod
+	}
+	return n
+}
+
 // Run executes until exit, breakpoint, trap, or maxInst instructions
 // (0 = unlimited).
 //
@@ -384,6 +455,9 @@ func (c *CPU) Run(maxInst uint64) StopReason {
 		if c.Exited {
 			return StopExit
 		}
+		if c.SamplePeriod != 0 && c.SampleClock() >= c.sampleNext {
+			c.samplePoll()
+		}
 		if maxInst != 0 && budget == 0 {
 			return StopMaxInst
 		}
@@ -393,7 +467,8 @@ func (c *CPU) Run(maxInst uint64) StopReason {
 			if b == nil {
 				b = c.blockAt(c.PC)
 			}
-			if b != nil && (maxInst == 0 || budget >= b.n) {
+			if b != nil && (maxInst == 0 || budget >= b.n) &&
+				(c.SamplePeriod == 0 || c.SampleClock()+b.maxCost < c.sampleNext) {
 				retired, stop := c.runBlock(b)
 				if stop != stopNone {
 					return stop

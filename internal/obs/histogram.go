@@ -93,9 +93,11 @@ func (h *Histogram) Count() uint64 {
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) of the observed values.
-// It returns 0 when the histogram is empty. The estimate interpolates
-// linearly within the covering bucket; the overflow bucket interpolates up
-// to the observed maximum.
+// It returns 0 when the histogram is empty and NaN for NaN q. The extremes
+// are exact: Quantile(0) is the observed minimum and Quantile(1) the
+// observed maximum (out-of-range q clamps to those). In between, the
+// estimate interpolates linearly within the covering bucket; the overflow
+// bucket interpolates up to the observed maximum.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -104,11 +106,16 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
-	if q < 0 {
-		q = 0
+	if math.IsNaN(q) {
+		// Without this, NaN fails every rank comparison below and would
+		// silently report the maximum.
+		return math.NaN()
 	}
-	if q > 1 {
-		q = 1
+	if q <= 0 {
+		return float64(h.min.Load())
+	}
+	if q >= 1 {
+		return float64(h.max.Load())
 	}
 	// rank is 1-based: the smallest value has rank 1, the largest rank
 	// total, so Quantile(0) ~ min and Quantile(1) ~ max.
@@ -155,6 +162,29 @@ func (h *Histogram) bucketRange(i int) (lo, hi float64) {
 		hi = lo
 	}
 	return lo, hi
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets snapshots the bucket layout: the ascending upper bounds and the
+// per-bucket observation counts. counts has one more entry than bounds —
+// the trailing overflow bucket. The nil Histogram returns nil slices.
+func (h *Histogram) Buckets() (bounds, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = append([]uint64(nil), h.bounds...)
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
 }
 
 // HistSummary is a point-in-time histogram digest.

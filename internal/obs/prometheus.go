@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format version 0.0.4, the format WritePrometheus emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; every illegal rune (the registry's
+// dotted namespaces in particular) becomes an underscore.
+func sanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4): a # TYPE line per family, counters and gauges as
+// single samples, histograms as cumulative le-labelled _bucket series plus
+// _sum and _count. Families are sorted by sanitized name so the output is
+// deterministic. A nil registry renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		name, typ string
+		render    func(bw *bufio.Writer, name string)
+	}
+	r.mu.Lock()
+	fams := make([]family, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		v := c.Load()
+		fams = append(fams, family{sanitizeMetricName(name), "counter",
+			func(bw *bufio.Writer, name string) {
+				fmt.Fprintf(bw, "%s %d\n", name, v)
+			}})
+	}
+	for name, g := range r.gauges {
+		v := g.Load()
+		fams = append(fams, family{sanitizeMetricName(name), "gauge",
+			func(bw *bufio.Writer, name string) {
+				fmt.Fprintf(bw, "%s %d\n", name, v)
+			}})
+	}
+	for name, h := range r.hists {
+		bounds, counts := h.Buckets()
+		sum, count := h.Sum(), h.Count()
+		fams = append(fams, family{sanitizeMetricName(name), "histogram",
+			func(bw *bufio.Writer, name string) {
+				var cum uint64
+				for i, bound := range bounds {
+					cum += counts[i]
+					fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, count)
+				fmt.Fprintf(bw, "%s_sum %d\n", name, sum)
+				fmt.Fprintf(bw, "%s_count %d\n", name, count)
+			}})
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		f.render(bw, f.name)
+	}
+	return bw.Flush()
+}
+
+// PromSample is one sample line of a parsed exposition.
+type PromSample struct {
+	Name   string // full sample name, e.g. foo_bucket
+	Labels string // raw label block without braces ("" when unlabelled)
+	Value  float64
+}
+
+// PromFamily is one metric family of a parsed exposition.
+type PromFamily struct {
+	Name    string // family name from the # TYPE line
+	Type    string // counter | gauge | histogram | summary | untyped
+	Samples []PromSample
+}
+
+// Sample returns the value of the family's sample with the given full name
+// and raw label block.
+func (f *PromFamily) Sample(name, labels string) (float64, bool) {
+	for _, s := range f.Samples {
+		if s.Name == name && s.Labels == labels {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// ParsePrometheus parses text exposition format, validating structure as a
+// scraper would: sample lines must be name[{labels}] value, every sample
+// must belong to the family its name prefixes, histogram bucket series must
+// be cumulative with a le="+Inf" bucket equal to _count. Families are
+// returned in exposition order.
+func ParsePrometheus(r io.Reader) ([]PromFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var fams []PromFamily
+	byName := map[string]*PromFamily{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("prom: line %d: malformed TYPE line %q", lineNo, line)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom: line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := byName[name]; dup {
+					return nil, fmt.Errorf("prom: line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				fams = append(fams, PromFamily{Name: name, Type: typ})
+				byName[name] = &fams[len(fams)-1]
+			}
+			continue // other comments (# HELP, ...) are ignored
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", lineNo, err)
+		}
+		fam := familyFor(byName, s.Name)
+		if fam == nil {
+			// Untyped sample with no TYPE line: give it its own family.
+			fams = append(fams, PromFamily{Name: s.Name, Type: "untyped"})
+			byName[s.Name] = &fams[len(fams)-1]
+			fam = byName[s.Name]
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range fams {
+		if fams[i].Type == "histogram" {
+			if err := validateHistogramFamily(&fams[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyFor resolves a sample name to its family, accounting for histogram
+// and summary suffixes (_bucket, _sum, _count).
+func familyFor(byName map[string]*PromFamily, sampleName string) *PromFamily {
+	if f, ok := byName[sampleName]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sampleName, suffix); ok {
+			if f, ok := byName[base]; ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	var s PromSample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		s.Name = rest[:i]
+		s.Labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return s, fmt.Errorf("empty sample line")
+		}
+		s.Name = fields[0]
+		rest = strings.TrimSpace(rest[len(fields[0]):])
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("missing metric name in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func validateHistogramFamily(f *PromFamily) error {
+	var buckets []PromSample
+	var count float64
+	haveCount := false
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			buckets = append(buckets, s)
+		case f.Name + "_count":
+			count = s.Value
+			haveCount = true
+		}
+	}
+	if !haveCount {
+		return fmt.Errorf("prom: histogram %s has no _count sample", f.Name)
+	}
+	prev := math.Inf(-1)
+	var cum float64
+	haveInf := false
+	for _, b := range buckets {
+		le, ok := labelValue(b.Labels, "le")
+		if !ok {
+			return fmt.Errorf("prom: histogram %s bucket without le label", f.Name)
+		}
+		var bound float64
+		if le == "+Inf" {
+			bound = math.Inf(1)
+			haveInf = true
+			if b.Value != count {
+				return fmt.Errorf("prom: histogram %s: le=\"+Inf\" bucket %g != count %g",
+					f.Name, b.Value, count)
+			}
+		} else {
+			var err error
+			bound, err = strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("prom: histogram %s: bad le %q", f.Name, le)
+			}
+		}
+		if bound <= prev {
+			return fmt.Errorf("prom: histogram %s: bucket bounds not ascending at le=%q", f.Name, le)
+		}
+		if b.Value < cum {
+			return fmt.Errorf("prom: histogram %s: bucket counts not cumulative at le=%q", f.Name, le)
+		}
+		prev, cum = bound, b.Value
+	}
+	if len(buckets) > 0 && !haveInf {
+		return fmt.Errorf("prom: histogram %s has buckets but no le=\"+Inf\"", f.Name)
+	}
+	return nil
+}
+
+// labelValue extracts one label's (unquoted) value from a raw label block.
+func labelValue(labels, key string) (string, bool) {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || k != key {
+			continue
+		}
+		return strings.Trim(v, `"`), true
+	}
+	return "", false
+}

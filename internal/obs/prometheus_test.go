@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuantileEdgeCases is the edge-case audit table: empty histogram,
+// exact extremes, out-of-range q, NaN q, and single-bucket data.
+func TestQuantileEdgeCases(t *testing.T) {
+	empty := NewHistogram([]uint64{10, 100})
+
+	loaded := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{3, 7, 42, 42, 99, 500} {
+		loaded.Observe(v)
+	}
+
+	// Every observation lands in one bucket (11..100).
+	single := NewHistogram([]uint64{10, 100, 1000})
+	for _, v := range []uint64{20, 30, 90} {
+		single.Observe(v)
+	}
+
+	tests := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64
+	}{
+		{"nil histogram", nil, 0.5, 0},
+		{"empty q=0.5", empty, 0.5, 0},
+		{"empty q=0", empty, 0, 0},
+		{"empty q=1", empty, 1, 0},
+		{"q=0 is exact min", loaded, 0, 3},
+		{"q=1 is exact max", loaded, 1, 500},
+		{"q<0 clamps to min", loaded, -0.5, 3},
+		{"q>1 clamps to max", loaded, 1.5, 500},
+		{"single-bucket q=0", single, 0, 20},
+		{"single-bucket q=1", single, 1, 90},
+	}
+	for _, tc := range tests {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+
+	// NaN q must report NaN, not silently return the maximum.
+	if got := loaded.Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %v, want NaN", got)
+	}
+	if got := empty.Quantile(math.NaN()); got != 0 {
+		t.Errorf("empty Quantile(NaN) = %v, want 0", got)
+	}
+
+	// Interior quantiles of the single-bucket histogram stay inside the
+	// observed range (bucketRange clamps to min/max).
+	for _, q := range []float64{0.25, 0.5, 0.75} {
+		got := single.Quantile(q)
+		if got < 20 || got > 90 {
+			t.Errorf("single-bucket Quantile(%v) = %v, outside observed [20, 90]", q, got)
+		}
+	}
+}
+
+func TestHistogramBucketsSnapshot(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	for _, v := range []uint64{5, 50, 5000} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 2 || bounds[0] != 10 || bounds[1] != 100 {
+		t.Fatalf("bounds = %v, want [10 100]", bounds)
+	}
+	if len(counts) != 3 || counts[0] != 1 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts = %v, want [1 1 1]", counts)
+	}
+	if h.Sum() != 5055 {
+		t.Errorf("sum = %d, want 5055", h.Sum())
+	}
+	var nilH *Histogram
+	if b, c := nilH.Buckets(); b != nil || c != nil {
+		t.Error("nil histogram Buckets() must return nil slices")
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"emu.instructions_retired", "emu_instructions_retired"},
+		{"dbi.cache-bytes", "dbi_cache_bytes"},
+		{"9lives", "_lives"},
+		{"ok_name:sub", "ok_name:sub"},
+		{"", "_"},
+		{"a b\tc", "a_b_c"},
+	}
+	for _, tc := range tests {
+		if got := sanitizeMetricName(tc.in); got != tc.want {
+			t.Errorf("sanitizeMetricName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte: sorted
+// families, TYPE lines, cumulative histogram buckets with le="+Inf", _sum
+// and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("emu.instructions_retired").Add(123)
+	r.Gauge("server.inflight").Set(-2)
+	h := r.Histogram("api.latency.cycles", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(60)
+	h.Observe(5000)
+
+	const want = `# TYPE api_latency_cycles histogram
+api_latency_cycles_bucket{le="10"} 1
+api_latency_cycles_bucket{le="100"} 3
+api_latency_cycles_bucket{le="+Inf"} 4
+api_latency_cycles_sum 5115
+api_latency_cycles_count 4
+# TYPE emu_instructions_retired counter
+emu_instructions_retired 123
+# TYPE server_inflight gauge
+server_inflight -2
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+
+	var nb strings.Builder
+	var nilReg *Registry
+	if err := nilReg.WritePrometheus(&nb); err != nil || nb.Len() != 0 {
+		t.Errorf("nil registry: err=%v, wrote %q", err, nb.String())
+	}
+}
+
+// TestParsePrometheusRoundTrip scrapes WritePrometheus output back through
+// the parser, as rvload does against a live server.
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("emu.instructions_retired").Add(9999)
+	r.Gauge("cache.groups").Set(7)
+	h := r.Histogram("span.cycles", []uint64{1, 8, 64})
+	for _, v := range []uint64{1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParsePrometheus: %v\nexposition:\n%s", err, b.String())
+	}
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+	byName := map[string]*PromFamily{}
+	for i := range fams {
+		byName[fams[i].Name] = &fams[i]
+	}
+	ctr := byName["emu_instructions_retired"]
+	if ctr == nil || ctr.Type != "counter" {
+		t.Fatalf("counter family missing or mistyped: %+v", ctr)
+	}
+	if v, ok := ctr.Sample("emu_instructions_retired", ""); !ok || v != 9999 {
+		t.Errorf("counter value = %v (ok=%v), want 9999", v, ok)
+	}
+	hist := byName["span_cycles"]
+	if hist == nil || hist.Type != "histogram" {
+		t.Fatalf("histogram family missing or mistyped: %+v", hist)
+	}
+	if v, ok := hist.Sample("span_cycles_count", ""); !ok || v != 4 {
+		t.Errorf("histogram count = %v (ok=%v), want 4", v, ok)
+	}
+	if v, ok := hist.Sample("span_cycles_bucket", `le="+Inf"`); !ok || v != 4 {
+		t.Errorf("+Inf bucket = %v (ok=%v), want 4", v, ok)
+	}
+	if v, ok := hist.Sample("span_cycles_bucket", `le="8"`); !ok || v != 3 {
+		t.Errorf(`le="8" bucket = %v (ok=%v), want cumulative 3`, v, ok)
+	}
+}
+
+// TestParsePrometheusRejects pins the validations a scrape depends on.
+func TestParsePrometheusRejects(t *testing.T) {
+	bad := []struct{ name, in string }{
+		{"garbage value", "foo bar\n"},
+		{"missing value", "foo\n"},
+		{"bad type", "# TYPE foo widget\n"},
+		{"malformed type line", "# TYPE foo\n"},
+		{"duplicate family", "# TYPE foo counter\n# TYPE foo counter\n"},
+		{"non-cumulative buckets", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n"},
+		{"inf bucket != count", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"},
+		{"histogram without count", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\n"},
+		{"unordered bounds", "# TYPE h histogram\n" +
+			"h_bucket{le=\"5\"} 1\nh_bucket{le=\"2\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n"},
+	}
+	for _, tc := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+		}
+	}
+	// Comments and blank lines are fine; unknown untyped samples get their
+	// own family.
+	ok := "# HELP something or other\n\nfree_sample 1.5\n"
+	fams, err := ParsePrometheus(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("benign input rejected: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Type != "untyped" || fams[0].Name != "free_sample" {
+		t.Errorf("untyped fallback: %+v", fams)
+	}
+}

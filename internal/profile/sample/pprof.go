@@ -1,0 +1,201 @@
+package sample
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WritePprof writes the profile as a gzipped pprof profile.proto, the
+// format `go tool pprof` and the pprof web UI consume. The encoding is
+// stdlib-only (a hand-rolled protobuf varint writer) and fully
+// deterministic: no wall-clock timestamp is recorded (time_nanos stays 0;
+// duration_nanos comes from the virtual clock), string/function/location
+// tables are built in first-appearance order, and the gzip header carries
+// no mod time — so equal profiles serialize to equal bytes.
+//
+// Layout (profile.proto field numbers):
+//
+//	sample_type:  [{samples, count}, {cycles, count}]
+//	sample:       one per unique stack, values [n, n*period]
+//	mapping:      the executable image span
+//	location:     one per unique PC, address + one Line -> function
+//	function:     one per unique symbol name
+//	period_type:  {cycles, count}, period = Period
+func (p *Profile) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(p.marshalPprof()); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// Profile message field numbers (pprof profile.proto).
+const (
+	pfSampleType    = 1
+	pfSample        = 2
+	pfMapping       = 3
+	pfLocation      = 4
+	pfFunction      = 5
+	pfStringTable   = 6
+	pfDurationNanos = 10
+	pfPeriodType    = 11
+	pfPeriod        = 12
+)
+
+func (p *Profile) marshalPprof() []byte {
+	var (
+		out     protoBuf
+		strings = newStringTable()
+	)
+	// sample_type: [{samples, count}, {cycles, count}].
+	out.message(pfSampleType, valueType(strings, "samples", "count"))
+	out.message(pfSampleType, valueType(strings, "cycles", "count"))
+
+	// Locations and functions are interned in first-appearance order over
+	// the aggregated samples, so ids are deterministic.
+	type locKey = uint64
+	locID := map[locKey]uint64{}
+	funcID := map[string]uint64{}
+	var locs []protoBuf
+	var funcs []protoBuf
+
+	internFunc := func(name string) uint64 {
+		if id, ok := funcID[name]; ok {
+			return id
+		}
+		id := uint64(len(funcs) + 1)
+		funcID[name] = id
+		var fb protoBuf
+		fb.uvarintField(1, id)
+		fb.uvarintField(2, uint64(strings.intern(name))) // name
+		fb.uvarintField(3, uint64(strings.intern(name))) // system_name
+		funcs = append(funcs, fb)
+		return id
+	}
+	internLoc := func(pc uint64) uint64 {
+		if id, ok := locID[pc]; ok {
+			return id
+		}
+		id := uint64(len(locs) + 1)
+		locID[pc] = id
+		var line protoBuf
+		line.uvarintField(1, internFunc(p.FuncName(pc)))
+		var lb protoBuf
+		lb.uvarintField(1, id)
+		lb.uvarintField(2, 1) // mapping_id
+		lb.uvarintField(3, pc)
+		lb.messageRaw(4, line.b)
+		locs = append(locs, lb)
+		return id
+	}
+
+	for _, row := range p.aggregate() {
+		var ids protoBuf
+		for _, pc := range row.stack {
+			ids.uvarint(internLoc(pc))
+		}
+		var vals protoBuf
+		vals.uvarint(uint64(row.count))
+		vals.uvarint(uint64(row.count) * p.Period)
+		var sb protoBuf
+		sb.messageRaw(1, ids.b)  // packed location_id
+		sb.messageRaw(2, vals.b) // packed value
+		out.messageRaw(pfSample, sb.b)
+	}
+
+	var mb protoBuf
+	mb.uvarintField(1, 1) // id
+	mb.uvarintField(2, p.execLo)
+	mb.uvarintField(3, p.execHi)
+	mb.uvarintField(5, uint64(strings.intern(p.name)))
+	out.messageRaw(pfMapping, mb.b)
+
+	for _, lb := range locs {
+		out.messageRaw(pfLocation, lb.b)
+	}
+	for _, fb := range funcs {
+		out.messageRaw(pfFunction, fb.b)
+	}
+	// period_type strings intern before the table serializes.
+	pt := valueType(strings, "cycles", "count")
+	for _, s := range strings.list {
+		out.stringField(pfStringTable, s)
+	}
+	out.uvarintField(pfDurationNanos, p.DurationNanos)
+	out.messageRaw(pfPeriodType, pt.b)
+	out.uvarintField(pfPeriod, p.Period)
+	return out.b
+}
+
+func valueType(st *stringTable, typ, unit string) protoBuf {
+	var b protoBuf
+	b.uvarintField(1, uint64(st.intern(typ)))
+	b.uvarintField(2, uint64(st.intern(unit)))
+	return b
+}
+
+// stringTable interns strings in first-use order; index 0 is always "".
+type stringTable struct {
+	index map[string]int64
+	list  []string
+}
+
+func newStringTable() *stringTable {
+	return &stringTable{index: map[string]int64{"": 0}, list: []string{""}}
+}
+
+func (st *stringTable) intern(s string) int64 {
+	if i, ok := st.index[s]; ok {
+		return i
+	}
+	i := int64(len(st.list))
+	st.index[s] = i
+	st.list = append(st.list, s)
+	return i
+}
+
+// protoBuf is a minimal protobuf wire-format writer: varints, and
+// length-delimited fields for strings, packed scalars, and sub-messages.
+type protoBuf struct {
+	b []byte
+}
+
+func (p *protoBuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) key(field, wire int) {
+	p.uvarint(uint64(field)<<3 | uint64(wire))
+}
+
+// uvarintField writes a varint-typed field, omitting it when zero (proto3
+// default-value semantics, which the decoder mirrors).
+func (p *protoBuf) uvarintField(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.key(field, 0)
+	p.uvarint(v)
+}
+
+func (p *protoBuf) stringField(field int, s string) {
+	p.key(field, 2)
+	p.uvarint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// messageRaw writes raw bytes as a length-delimited field (sub-message or
+// packed repeated scalar).
+func (p *protoBuf) messageRaw(field int, raw []byte) {
+	p.key(field, 2)
+	p.uvarint(uint64(len(raw)))
+	p.b = append(p.b, raw...)
+}
+
+func (p *protoBuf) message(field int, m protoBuf) {
+	p.messageRaw(field, m.b)
+}

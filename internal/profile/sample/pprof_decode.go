@@ -1,0 +1,341 @@
+package sample
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Decoded is the parsed view of a pprof profile.proto — enough structure
+// to validate framing and cross-check aggregates against the Profile that
+// produced it (CI round-trips every emitted profile through this).
+type Decoded struct {
+	SampleTypes []string // "type/unit" per sample_type entry
+	Samples     []DecodedSample
+	Locations   map[uint64]DecodedLocation
+	Functions   map[uint64]string // function id -> name
+	StringTable []string
+	Period      int64
+	PeriodType  string
+	Duration    int64 // duration_nanos
+}
+
+// DecodedSample is one Sample message.
+type DecodedSample struct {
+	LocationIDs []uint64
+	Values      []int64
+}
+
+// DecodedLocation is one Location message.
+type DecodedLocation struct {
+	Address     uint64
+	FunctionIDs []uint64
+}
+
+// TotalSamples sums the first value (the sample count) across samples.
+func (d *Decoded) TotalSamples() int64 {
+	var n int64
+	for _, s := range d.Samples {
+		if len(s.Values) > 0 {
+			n += s.Values[0]
+		}
+	}
+	return n
+}
+
+// FuncTotals aggregates the first value by leaf-location function name.
+func (d *Decoded) FuncTotals() map[string]int64 {
+	out := map[string]int64{}
+	for _, s := range d.Samples {
+		if len(s.LocationIDs) == 0 || len(s.Values) == 0 {
+			continue
+		}
+		loc := d.Locations[s.LocationIDs[0]]
+		name := fmt.Sprintf("0x%x", loc.Address)
+		if len(loc.FunctionIDs) > 0 {
+			name = d.Functions[loc.FunctionIDs[0]]
+		}
+		out[name] += s.Values[0]
+	}
+	return out
+}
+
+// ParsePprof parses a gzipped pprof profile.proto, validating wire framing
+// (every varint, length prefix, and nested message must be well-formed and
+// the string table must start with "").
+func ParsePprof(r io.Reader) (*Decoded, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: not gzip: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof: gunzip: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+	d := &Decoded{
+		Locations: map[uint64]DecodedLocation{},
+		Functions: map[uint64]string{},
+	}
+	// String references are indices into a table that may appear after its
+	// referents in the stream; record the indices now, resolve after.
+	var pending struct {
+		funcs  map[uint64]uint64 // function id -> name string index
+		types  [][2]uint64       // sample_type (type idx, unit idx)
+		period *[2]uint64        // period_type (type idx, unit idx)
+	}
+	pending.funcs = map[uint64]uint64{}
+	err = walkProto(raw, func(field int, wire int, v uint64, b []byte) error {
+		switch field {
+		case pfSampleType:
+			typIdx, unitIdx, err := parseValueType(b)
+			if err != nil {
+				return err
+			}
+			pending.types = append(pending.types, [2]uint64{typIdx, unitIdx})
+			d.SampleTypes = append(d.SampleTypes, "")
+		case pfSample:
+			s, err := parseSample(b)
+			if err != nil {
+				return err
+			}
+			d.Samples = append(d.Samples, s)
+		case pfLocation:
+			id, loc, err := parseLocation(b)
+			if err != nil {
+				return err
+			}
+			d.Locations[id] = loc
+		case pfFunction:
+			var id, nameIdx uint64
+			err := walkProto(b, func(f, w int, v uint64, sub []byte) error {
+				switch f {
+				case 1:
+					id = v
+				case 2:
+					nameIdx = v
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			pending.funcs[id] = nameIdx
+		case pfStringTable:
+			if wire != 2 {
+				return fmt.Errorf("pprof: string_table field has wire type %d", wire)
+			}
+			d.StringTable = append(d.StringTable, string(b))
+		case pfDurationNanos:
+			d.Duration = int64(v)
+		case pfPeriodType:
+			typIdx, unitIdx, err := parseValueType(b)
+			if err != nil {
+				return err
+			}
+			pending.period = &[2]uint64{typIdx, unitIdx}
+		case pfPeriod:
+			d.Period = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(d.StringTable) == 0 || d.StringTable[0] != "" {
+		return nil, fmt.Errorf("pprof: string table must start with the empty string")
+	}
+	// Function names and the sample-type strings were recorded as indices
+	// while the table was still streaming in; resolve them now.
+	resolve := func(idx uint64) (string, error) {
+		if idx >= uint64(len(d.StringTable)) {
+			return "", fmt.Errorf("pprof: string index %d out of range (%d strings)", idx, len(d.StringTable))
+		}
+		return d.StringTable[idx], nil
+	}
+	for id, idx := range pending.funcs {
+		name, err := resolve(idx)
+		if err != nil {
+			return nil, err
+		}
+		d.Functions[id] = name
+	}
+	for i, pair := range pending.types {
+		typ, err := resolve(pair[0])
+		if err != nil {
+			return nil, err
+		}
+		unit, err := resolve(pair[1])
+		if err != nil {
+			return nil, err
+		}
+		d.SampleTypes[i] = typ + "/" + unit
+	}
+	if pending.period != nil {
+		typ, err := resolve(pending.period[0])
+		if err != nil {
+			return nil, err
+		}
+		unit, err := resolve(pending.period[1])
+		if err != nil {
+			return nil, err
+		}
+		d.PeriodType = typ + "/" + unit
+	}
+	return d, nil
+}
+
+// walkProto iterates one message's fields. Length-delimited fields pass
+// their bytes in b; varint fields pass the value in v.
+func walkProto(b []byte, visit func(field, wire int, v uint64, b []byte) error) error {
+	for len(b) > 0 {
+		key, n, err := uvarint(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0: // varint
+			v, n, err := uvarint(b)
+			if err != nil {
+				return err
+			}
+			b = b[n:]
+			if err := visit(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(b) < 8 {
+				return fmt.Errorf("pprof: truncated fixed64 in field %d", field)
+			}
+			var v uint64
+			for i := 7; i >= 0; i-- {
+				v = v<<8 | uint64(b[i])
+			}
+			b = b[8:]
+			if err := visit(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 2: // length-delimited
+			l, n, err := uvarint(b)
+			if err != nil {
+				return err
+			}
+			b = b[n:]
+			if l > uint64(len(b)) {
+				return fmt.Errorf("pprof: field %d length %d exceeds remaining %d bytes", field, l, len(b))
+			}
+			if err := visit(field, wire, 0, b[:l]); err != nil {
+				return err
+			}
+			b = b[l:]
+		case 5: // fixed32
+			if len(b) < 4 {
+				return fmt.Errorf("pprof: truncated fixed32 in field %d", field)
+			}
+			v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+			b = b[4:]
+			if err := visit(field, wire, v, nil); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("pprof: unsupported wire type %d in field %d", wire, field)
+		}
+	}
+	return nil
+}
+
+func uvarint(b []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("pprof: truncated or oversized varint")
+}
+
+// packedUints parses a packed (or singly-encoded) repeated uint64 field.
+func packedUints(b []byte) ([]uint64, error) {
+	var out []uint64
+	for len(b) > 0 {
+		v, n, err := uvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+func parseSample(b []byte) (DecodedSample, error) {
+	var s DecodedSample
+	err := walkProto(b, func(field, wire int, v uint64, sub []byte) error {
+		switch field {
+		case 1:
+			if wire == 0 {
+				s.LocationIDs = append(s.LocationIDs, v)
+				return nil
+			}
+			ids, err := packedUints(sub)
+			if err != nil {
+				return err
+			}
+			s.LocationIDs = append(s.LocationIDs, ids...)
+		case 2:
+			if wire == 0 {
+				s.Values = append(s.Values, int64(v))
+				return nil
+			}
+			vals, err := packedUints(sub)
+			if err != nil {
+				return err
+			}
+			for _, u := range vals {
+				s.Values = append(s.Values, int64(u))
+			}
+		}
+		return nil
+	})
+	return s, err
+}
+
+func parseLocation(b []byte) (uint64, DecodedLocation, error) {
+	var id uint64
+	var loc DecodedLocation
+	err := walkProto(b, func(field, wire int, v uint64, sub []byte) error {
+		switch field {
+		case 1:
+			id = v
+		case 3:
+			loc.Address = v
+		case 4: // Line
+			return walkProto(sub, func(f, w int, lv uint64, _ []byte) error {
+				if f == 1 {
+					loc.FunctionIDs = append(loc.FunctionIDs, lv)
+				}
+				return nil
+			})
+		}
+		return nil
+	})
+	return id, loc, err
+}
+
+func parseValueType(b []byte) (typIdx, unitIdx uint64, err error) {
+	err = walkProto(b, func(field, wire int, v uint64, _ []byte) error {
+		switch field {
+		case 1:
+			typIdx = v
+		case 2:
+			unitIdx = v
+		}
+		return nil
+	})
+	return typIdx, unitIdx, err
+}

@@ -1,0 +1,113 @@
+package sample
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteFolded writes one line per sample in flamegraph.pl/speedscope folded
+// form: semicolon-joined frames root-first, a space, and the count (always
+// 1 — one line per captured sample, so the file's line count equals the
+// profile's total sample count).
+func (p *Profile) WriteFolded(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range p.Samples {
+		for i := len(s.Stack) - 1; i >= 0; i-- {
+			if _, err := bw.WriteString(p.FuncName(s.Stack[i])); err != nil {
+				return err
+			}
+			if i > 0 {
+				if err := bw.WriteByte(';'); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := bw.WriteString(" 1\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TopRow is one function's attribution in the top-N table.
+type TopRow struct {
+	Name string
+	// Self counts samples whose leaf frame is in this function.
+	Self int64
+	// Cum counts samples with this function anywhere on the stack (each
+	// sample counted once even if the function recurses).
+	Cum int64
+}
+
+// Top returns up to n functions ordered by Self count (descending), ties
+// broken by Cum then name so the table is deterministic.
+func (p *Profile) Top(n int) []TopRow {
+	self := map[string]int64{}
+	cum := map[string]int64{}
+	var order []string
+	seen := map[string]bool{}
+	onStack := map[string]bool{}
+	for _, s := range p.Samples {
+		if len(s.Stack) == 0 {
+			continue
+		}
+		for k := range onStack {
+			delete(onStack, k)
+		}
+		for i, pc := range s.Stack {
+			name := p.FuncName(pc)
+			if !seen[name] {
+				seen[name] = true
+				order = append(order, name)
+			}
+			if i == 0 {
+				self[name]++
+			}
+			if !onStack[name] {
+				onStack[name] = true
+				cum[name]++
+			}
+		}
+	}
+	rows := make([]TopRow, 0, len(order))
+	for _, name := range order {
+		rows = append(rows, TopRow{Name: name, Self: self[name], Cum: cum[name]})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Self != rows[j].Self {
+			return rows[i].Self > rows[j].Self
+		}
+		if rows[i].Cum != rows[j].Cum {
+			return rows[i].Cum > rows[j].Cum
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// WriteTop renders the top-N table with self/cumulative counts and
+// percentages of total samples.
+func (p *Profile) WriteTop(w io.Writer, n int) error {
+	total := int64(len(p.Samples))
+	if _, err := fmt.Fprintf(w, "%-24s %10s %7s %10s %7s\n", "func", "self", "self%", "cum", "cum%"); err != nil {
+		return err
+	}
+	pct := func(v int64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(v) / float64(total)
+	}
+	for _, r := range p.Top(n) {
+		if _, err := fmt.Fprintf(w, "%-24s %10d %6.2f%% %10d %6.2f%%\n",
+			r.Name, r.Self, pct(r.Self), r.Cum, pct(r.Cum)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -173,6 +173,73 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+// TestHTTPMetricsPrometheus pins the /metrics content negotiation: the
+// query parameter or a scraper's Accept header selects the Prometheus text
+// exposition, which must parse and carry the server's counters; the default
+// representation stays the plain registry dump.
+func TestHTTPMetricsPrometheus(t *testing.T) {
+	_, ts, _ := newTestServer(t, HandlerOptions{})
+	p := workload.Programs()[0]
+	postMultipart(t, ts.URL, map[string]string{
+		"spec":   `{"funcs":["` + p.Funcs[0] + `"]}`,
+		"source": p.Source,
+	}, nil).Body.Close()
+
+	get := func(url, accept string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	// ?format=prometheus and a scraper Accept header both negotiate the
+	// exposition format.
+	for _, tc := range []struct{ url, accept string }{
+		{ts.URL + "/metrics?format=prometheus", ""},
+		{ts.URL + "/metrics", "text/plain;version=0.0.4"},
+		{ts.URL + "/metrics", "application/openmetrics-text"},
+	} {
+		resp, body := get(tc.url, tc.accept)
+		if got := resp.Header.Get("Content-Type"); got != obs.PromContentType {
+			t.Errorf("GET %s (Accept %q): Content-Type %q, want %q", tc.url, tc.accept, got, obs.PromContentType)
+		}
+		fams, err := obs.ParsePrometheus(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("exposition does not parse: %v\n%s", err, body)
+		}
+		byName := map[string]string{}
+		for _, f := range fams {
+			byName[f.Name] = f.Type
+		}
+		if byName["server_requests"] != "counter" {
+			t.Errorf("server_requests family = %q, want counter (families %v)", byName["server_requests"], byName)
+		}
+		if byName["server_latency_ns_cold"] != "histogram" {
+			t.Errorf("server_latency_ns_cold family = %q, want histogram", byName["server_latency_ns_cold"])
+		}
+	}
+
+	// The default stays the human-readable dump with dotted names.
+	resp, body := get(ts.URL+"/metrics", "")
+	if got := resp.Header.Get("Content-Type"); got != "text/plain; charset=utf-8" {
+		t.Errorf("default Content-Type = %q", got)
+	}
+	if !strings.Contains(body, "server.requests") {
+		t.Errorf("default dump missing dotted server.requests:\n%s", body)
+	}
+}
+
 // TestHTTPMultipartTempFileChurn pins the multipart spill discipline: with a
 // one-byte in-memory budget every uploaded binary spills to a temp file, and
 // after a burst of distinct-keyed requests (each a full compute, churning the
