@@ -10,15 +10,20 @@
 //	rvbench -check BENCH_emu.json [-out new.json]  regression gate
 //
 // In -check mode the run is compared against the baseline file: if the
-// matmul fast-dispatch MIPS falls below threshold×baseline (default 0.8,
+// matmul trace-dispatch MIPS falls below threshold×baseline (default 0.8,
 // i.e. a >20% regression), rvbench prints a per-workload diff and exits
 // nonzero. Only matmul gates — the suite programs retire too few
 // instructions for stable wall-clock rates — but every workload is recorded
 // so trends stay visible in the artifact history. Because absolute MIPS
 // tracks machine load, a run that misses the absolute gate still passes if
-// its fast/slow dispatch ratio held relative to baseline: the slow path
-// shares none of the fast-path machinery, so a uniform slowdown is load,
+// its trace/slow dispatch ratio held relative to baseline: the slow path
+// shares none of the trace-tier machinery, so a uniform slowdown is load,
 // while an engine regression shows up in the ratio.
+//
+// Dispatch tiers per row: "slow" is per-instruction, "fast" is
+// superblock/chained dispatch with trace compilation off (continuous with
+// pre-trace baselines), "trace" is the full engine, and "dbi"/"dbi-trace"
+// are the instrumented runs with traces off/on.
 package main
 
 import (
@@ -64,7 +69,7 @@ type Report struct {
 // gateName/gateDispatch identify the single workload the -check gate tests.
 const (
 	gateName     = "matmul"
-	gateDispatch = "fast"
+	gateDispatch = "trace"
 )
 
 func main() {
@@ -91,9 +96,10 @@ func main() {
 		log.Fatalf("build matmul: %v", err)
 	}
 	rep.Workloads = append(rep.Workloads,
-		measure(gateName, gateDispatch, mm, *reps, false),
-		measure(gateName, "slow", mm, *reps, true),
-		measureDBI("dbi-matmul", mm, []string{"multiply", "init_matrices"}, *reps),
+		measure(gateName, gateDispatch, mm, *reps, false, false),
+		measure(gateName, "fast", mm, *reps, false, true),
+		measure(gateName, "slow", mm, *reps, true, true),
+		measureDBI("dbi-matmul", mm, []string{"multiply", "init_matrices"}, *reps, true),
 	)
 	for _, p := range workload.Programs() {
 		if p.Name == gateName {
@@ -103,12 +109,19 @@ func main() {
 		if err != nil {
 			log.Fatalf("assemble %s: %v", p.Name, err)
 		}
-		rep.Workloads = append(rep.Workloads, measure(p.Name, "fast", f, *reps, false))
+		rep.Workloads = append(rep.Workloads, measure(p.Name, "fast", f, *reps, false, true))
 		if p.Name == "fib" {
 			// fib is the indirect-branch-dense workload (every recursive
-			// return is a jalr): its dbi row tracks the inline-lookup path,
-			// where dbi-matmul mostly exercises chained direct edges.
-			rep.Workloads = append(rep.Workloads, measureDBI("dbi-fib", f, p.Funcs, *reps))
+			// return is a jalr): its trace row shows how far return-heavy
+			// code gets from the trace tier, and its dbi rows track the
+			// inline-lookup/inline-cache path (with and without traces over
+			// the translated code), where dbi-matmul mostly exercises
+			// chained direct edges.
+			rep.Workloads = append(rep.Workloads,
+				measure(p.Name, "trace", f, *reps, false, false),
+				measureDBI("dbi-fib", f, p.Funcs, *reps, true),
+				measureDBI("dbi-fib", f, p.Funcs, *reps, false),
+			)
 		}
 	}
 
@@ -144,7 +157,7 @@ func main() {
 // (not mean) is the right statistic on shared CI machines: interference only
 // ever slows a run down, so the minimum is the closest observable to the
 // machine's true rate.
-func measure(name, dispatch string, file *elfrv.File, reps int, slow bool) Result {
+func measure(name, dispatch string, file *elfrv.File, reps int, slow, notrace bool) Result {
 	best := Result{Name: name, Dispatch: dispatch, WallNS: 1<<63 - 1}
 	for i := 0; i < reps; i++ {
 		cpu, err := emu.New(file, emu.P550())
@@ -152,6 +165,7 @@ func measure(name, dispatch string, file *elfrv.File, reps int, slow bool) Resul
 			log.Fatalf("%s: %v", name, err)
 		}
 		cpu.SlowDispatch = slow
+		cpu.NoTrace = notrace
 		start := time.Now()
 		if r := cpu.Run(0); r != emu.StopExit {
 			log.Fatalf("%s stopped with %v (%v)", name, r, cpu.LastTrap())
@@ -173,14 +187,20 @@ func measure(name, dispatch string, file *elfrv.File, reps int, slow bool) Resul
 // call-count probes at the named function entries, so the recorded rate
 // includes translation, probe execution, and engine round trips — the
 // dynamic-mode overhead the static numbers omit. Not gated: the point is the
-// trend of the dbi/fast ratio across the artifact history.
-func measureDBI(name string, file *elfrv.File, funcs []string, reps int) Result {
-	best := Result{Name: name, Dispatch: "dbi", WallNS: 1<<63 - 1}
+// trend of the dbi/fast ratio across the artifact history. notrace controls
+// the trace tier over the translated code ("dbi" vs "dbi-trace" rows).
+func measureDBI(name string, file *elfrv.File, funcs []string, reps int, notrace bool) Result {
+	dispatch := "dbi-trace"
+	if notrace {
+		dispatch = "dbi"
+	}
+	best := Result{Name: name, Dispatch: dispatch, WallNS: 1<<63 - 1}
 	for i := 0; i < reps; i++ {
 		p, err := proc.Launch(file, emu.P550())
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
+		p.CPU().NoTrace = notrace
 		e, err := dbi.Attach(p, file, dbi.Options{})
 		if err != nil {
 			log.Fatalf("%s: attach: %v", name, err)
@@ -263,15 +283,15 @@ func gate(base, cur *Report, threshold float64) error {
 	}
 	if c.MIPS < b.MIPS*threshold {
 		// Noise-cancelled fallback: absolute MIPS moves with machine load,
-		// but an engine regression hits the fast path specifically — the
-		// slow path shares none of the chained/fused dispatch machinery. If
-		// the within-run fast/slow ratio held, the machine is uniformly
+		// but an engine regression hits the trace tier specifically — the
+		// slow path shares none of the trace/chained dispatch machinery. If
+		// the within-run trace/slow ratio held, the machine is uniformly
 		// slow and the engine is fine.
 		bs, cs := find(base, gateName, "slow"), find(cur, gateName, "slow")
 		if bs != nil && cs != nil && bs.MIPS > 0 && cs.MIPS > 0 {
 			baseRatio, curRatio := b.MIPS/bs.MIPS, c.MIPS/cs.MIPS
 			if curRatio >= baseRatio*threshold {
-				fmt.Printf("absolute MIPS below gate (%.2f < %.0f%% of %.2f) but the fast/slow "+
+				fmt.Printf("absolute MIPS below gate (%.2f < %.0f%% of %.2f) but the trace/slow "+
 					"dispatch ratio held (%.1fx vs %.1fx baseline): machine load, not a regression\n",
 					c.MIPS, threshold*100, b.MIPS, curRatio, baseRatio)
 				return nil

@@ -80,6 +80,7 @@ var (
 	jobsFlag     = flag.Int("jobs", 0, "workers for parallel analyze/instrument phases (default GOMAXPROCS)")
 	metricsFlag  = flag.Bool("metrics", false, "dump the metrics registry to stderr on exit")
 	traceOutFlag = flag.String("trace-out", "", "write span trace as Chrome trace_event JSON to `FILE`")
+	notraceFlag  = flag.Bool("notrace", false, "disable trace compilation of hot superblock chains in every guest run (A/B overhead comparisons)")
 )
 
 // obsReg and obsTr are the process-wide sinks; both stay nil (disabling
@@ -435,6 +436,7 @@ func cmdRun(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		cpu.NoTrace = *notraceFlag
 		cpu.Stdout = os.Stdout
 		if obsReg != nil {
 			cpu.Obs = emu.NewMetrics(obsReg)
@@ -460,6 +462,7 @@ func cmdRun(args []string) {
 			cpu.Run(500)
 			p = b.Attach(cpu)
 		}
+		p.CPU().NoTrace = *notraceFlag
 		p.CPU().Stdout = os.Stdout
 		if obsReg != nil {
 			p.CPU().Obs = emu.NewMetrics(obsReg)
@@ -717,14 +720,14 @@ func cmdProfile(args []string) {
 		}
 		runSampled(file, sample.Options{
 			Period: *period, Engine: eng, MaxInst: *maxInst,
-			Obs: obsReg, Name: fs.Arg(0),
+			Obs: obsReg, Name: fs.Arg(0), NoTrace: *notraceFlag,
 		}, *pprofOut, *foldedOut, *topN)
 		return
 	}
 
 	rep, err := profile.Run(file, profile.Options{
 		Funcs: flist, Mode: parseMode(*mode), MaxInst: *maxInst,
-		Obs: obsReg, Trace: obsTr, TraceTID: 1,
+		Obs: obsReg, Trace: obsTr, TraceTID: 1, NoTrace: *notraceFlag,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -807,7 +810,7 @@ func cmdDBIRun(args []string) {
 	if *samplePeriod != 0 {
 		runSampled(file, sample.Options{
 			Period: *samplePeriod, Engine: sample.EngineDBI, MaxInst: *maxInst,
-			Obs: obsReg, NoCounterVirt: *noVirt, Name: fs.Arg(0),
+			Obs: obsReg, NoCounterVirt: *noVirt, Name: fs.Arg(0), NoTrace: *notraceFlag,
 		}, *pprofOut, *foldedOut, 10)
 		return
 	}
@@ -818,7 +821,7 @@ func cmdDBIRun(args []string) {
 	}
 	rep, err := profile.RunDBI(file, profile.Options{
 		Funcs: flist, Mode: parseMode(*mode), MaxInst: *maxInst, Obs: reg,
-		NoCounterVirt: *noVirt,
+		NoCounterVirt: *noVirt, NoTrace: *notraceFlag,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -828,7 +831,8 @@ func cmdDBIRun(args []string) {
 	for _, name := range []string{
 		"emu.dbi.translations", "emu.dbi.chain.patches", "emu.dbi.chain.hits",
 		"emu.dbi.invalidations", "emu.dbi.indirect_exits",
-		"emu.dbi.ibl.hits", "emu.dbi.ibl.misses", "emu.dbi.probe_removals",
+		"emu.dbi.ibl.hits", "emu.dbi.ibl.misses",
+		"emu.dbi.ibc.hits", "emu.dbi.ibc.misses", "emu.dbi.probe_removals",
 		"emu.dbi.flushes", "emu.dbi.probes", "emu.dbi.deopts",
 	} {
 		fmt.Printf("%-24s %d\n", name, reg.Counter(name).Load())

@@ -37,6 +37,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print every executed instruction")
 	histo := flag.Bool("histo", false, "print a per-mnemonic execution histogram (top 20)")
 	slow := flag.Bool("slow", false, "force per-instruction dispatch (disable the fused block engine)")
+	notrace := flag.Bool("notrace", false, "disable trace compilation of hot superblock chains (for A/B overhead runs)")
 	stats := flag.Bool("stats", false, "print emulator counters and wall-clock MIPS on exit")
 	pprofOut := flag.String("pprof", "", "sample the run on the virtual clock and write a gzipped pprof profile to `FILE`")
 	period := flag.Uint64("period", 4096, "sampling period in virtual cycles (with -pprof)")
@@ -68,7 +69,7 @@ func main() {
 		if *trace || *histo {
 			log.Fatal("-pprof is incompatible with -trace and -histo")
 		}
-		runSampled(f, model, *pprofOut, *period, *slow, *stats, *maxInst)
+		runSampled(f, model, *pprofOut, *period, *slow, *notrace, *stats, *maxInst)
 		return
 	}
 	cpu, err := emu.New(f, model)
@@ -78,6 +79,7 @@ func main() {
 	cpu.Stdout = os.Stdout
 	cpu.Stderr = os.Stderr
 	cpu.SlowDispatch = *slow
+	cpu.NoTrace = *notrace
 	if *trace {
 		cpu.Trace = func(c *emu.CPU, inst riscv.Inst) {
 			fmt.Fprintf(os.Stderr, "%#010x: %v\n", c.PC, inst)
@@ -145,7 +147,7 @@ func main() {
 
 // runSampled runs the binary under the virtual-clock sampling profiler on
 // the chosen dispatch engine and writes the gzipped pprof profile.
-func runSampled(f *elfrv.File, model *emu.CostModel, out string, period uint64, slow, stats bool, maxInst uint64) {
+func runSampled(f *elfrv.File, model *emu.CostModel, out string, period uint64, slow, notrace, stats bool, maxInst uint64) {
 	eng := sample.EngineFast
 	if slow {
 		eng = sample.EngineSlow
@@ -156,7 +158,7 @@ func runSampled(f *elfrv.File, model *emu.CostModel, out string, period uint64, 
 	}
 	prof, err := sample.Run(f, sample.Options{
 		Model: model, Period: period, Engine: eng, MaxInst: maxInst, Obs: reg,
-		Name: flag.Arg(0),
+		Name: flag.Arg(0), NoTrace: notrace,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -322,19 +322,22 @@ func TestDBIAttachDetach(t *testing.T) {
 	if ev.Kind != proc.EventBudget {
 		t.Fatalf("dbi slice ended with %+v", ev)
 	}
-	during, err := e.ReadVar(v)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if during == 0 {
-		t.Error("probe never fired during the attached window")
-	}
 	if err := e.Detach(); err != nil {
 		t.Fatalf("detach: %v", err)
 	}
 	pc := p.PC()
 	if base := e.cacheBase; pc >= base && pc < e.cacheEnd {
 		t.Fatalf("detach left pc %#x inside the cache", pc)
+	}
+	// Read the count after detach settles: the budget stop may park the PC
+	// mid-splice, and detach's realignment legitimately completes that
+	// in-flight firing — it belongs to the attached window.
+	during, err := e.ReadVar(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if during == 0 {
+		t.Error("probe never fired during the attached window")
 	}
 
 	// Finish natively; the result must be unaffected by the round trip.

@@ -182,6 +182,59 @@ func TestDBIIBLHitRatio(t *testing.T) {
 	}
 }
 
+// TestDBIIBCHitRatio pins the per-site inline cache's payoff on fib, whose
+// single ret site is polymorphic (it returns into two recursive call sites
+// plus main). Driven in budget slices — the cadence a sampling profiler
+// imposes — the engine drains the dbi.jt target profile at every re-entry
+// and steers the slot to the majority target, so the one-compare fast path
+// must absorb at least half of all indirect transfers. (First-install
+// instead of profile-guided steering measures ~19% here.)
+func TestDBIIBCHitRatio(t *testing.T) {
+	f, err := asm.Assemble(workload.FibSource, asm.Options{})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	p, err := proc.Launch(f, emu.P550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	e, err := Attach(p, f, Options{Obs: NewMetrics(reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, err := e.ContinueBudget(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == proc.EventExit {
+			if ev.ExitCode != workload.FibExpected {
+				t.Fatalf("exit %d, want %d", ev.ExitCode, workload.FibExpected)
+			}
+			break
+		}
+		if ev.Kind != proc.EventBudget {
+			t.Fatalf("slice ended with %+v", ev)
+		}
+	}
+	hits := reg.Counter("emu.dbi.ibc.hits").Load()
+	misses := reg.Counter("emu.dbi.ibc.misses").Load()
+	if hits+misses == 0 {
+		t.Fatal("no indirect branches at all — fib's returns vanished")
+	}
+	if ratio := float64(hits) / float64(hits+misses); ratio < 0.50 {
+		t.Errorf("IBC absorbed %.1f%% of indirect transfers (hits=%d misses=%d), want >= 50%%",
+			ratio*100, hits, misses)
+	}
+	// Every hash-table hit is by definition an IBC miss that fell through;
+	// the engine round trips are the remainder.
+	if ibl := reg.Counter("emu.dbi.ibl.hits").Load(); ibl+reg.Counter("emu.dbi.ibl.misses").Load() != misses {
+		t.Errorf("ibc.misses=%d != ibl.hits+ibl.misses=%d", misses,
+			ibl+reg.Counter("emu.dbi.ibl.misses").Load())
+	}
+}
+
 // TestDBIProbeRemoval attaches a counting probe, lets it fire, removes it
 // mid-run without a cache flush, and checks the count freezes while the
 // program completes untouched — with exact counter compensation before and
@@ -222,16 +275,11 @@ func TestDBIProbeRemoval(t *testing.T) {
 	if ev.Kind != proc.EventBudget {
 		t.Fatalf("first slice ended with %+v", ev)
 	}
-	during, err := e.ReadVar(v)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if during == 0 || during >= 465 {
-		t.Fatalf("probe fired %d times in the first slice, want 0 < n < 465", during)
-	}
 	invBefore := reg.Counter("emu.dbi.invalidations").Load()
 	// The budget stop may have parked the PC inside the splice itself, where
-	// removal correctly refuses; nudge forward and retry.
+	// removal correctly refuses; nudge forward and retry. The nudging may
+	// complete an in-flight firing, so the frozen count is read only after
+	// removal succeeds.
 	for {
 		err := e.RemoveProbeAt(sym.Value)
 		if err == nil {
@@ -243,6 +291,13 @@ func TestDBIProbeRemoval(t *testing.T) {
 		if _, err := e.ContinueBudget(1); err != nil {
 			t.Fatal(err)
 		}
+	}
+	during, err := e.ReadVar(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if during == 0 || during >= 465 {
+		t.Fatalf("probe fired %d times in the first slice, want 0 < n < 465", during)
 	}
 	if got := reg.Counter("emu.dbi.invalidations").Load(); got != invBefore {
 		t.Errorf("removal invalidated %d translations — it must patch in place", got-invBefore)

@@ -86,10 +86,13 @@ const (
 	tkAuipcJalr // fused auipc+jalr rung: auipc folded into the terminator
 )
 
-// blockLink caches one resolved successor of a block.
+// blockLink caches one resolved successor of a block. hits counts how many
+// dispatches the link served; crossing the trace-hotness threshold makes
+// the target a trace-compilation head (trace.go).
 type blockLink struct {
-	pc uint64
-	b  *block
+	pc   uint64
+	b    *block
+	hits uint32
 }
 
 // block is one superblock: a straight-line decoded run, optionally ended by
@@ -134,6 +137,12 @@ type block struct {
 	// lazily by chainNext and honoured only at the current generation.
 	succ   [2]blockLink
 	succRR uint8 // round-robin victim index
+
+	// trc is the compiled trace headed at this block (trace.go); trcFail
+	// marks a head whose walk produced nothing traceable, so the hotness
+	// trigger stops retrying it.
+	trc     *trace
+	trcFail bool
 }
 
 // succFor returns the cached successor starting at pc if it is still valid
@@ -145,6 +154,10 @@ func (b *block) succFor(c *CPU, pc uint64) *block {
 		if s.b != nil && s.pc == pc {
 			if s.b.gen == gen {
 				c.chainHits++
+				s.hits++
+				if s.hits&traceHotMask == 0 {
+					c.maybeTrace(s.b, pc)
+				}
 				return s.b
 			}
 			s.b = nil // severed: target was invalidated
@@ -186,17 +199,30 @@ func (c *CPU) chainNext(b *block) *block {
 // caller falls back to the slow path, which reports the fault.
 func (c *CPU) blockAt(pc uint64) *block {
 	if pc >= c.icBase && pc < c.icEnd {
-		if b := c.blkSlots[(pc-c.icBase)>>1]; b != nil && b.gen == c.icGen {
+		if b := c.blkSlots[(pc-c.icBase)>>1]; b != nil {
+			if b.gen == c.icGen {
+				if c.Obs != nil {
+					c.Obs.BlockHits.Inc()
+				}
+				return b
+			}
+			if b.trc != nil {
+				// The head went stale (SMC/patching): its trace dies with it.
+				b.trc = nil
+				c.traceSevers++
+			}
+		}
+	} else if b, ok := c.blkMap[pc]; ok {
+		if b.gen == c.icGen {
 			if c.Obs != nil {
 				c.Obs.BlockHits.Inc()
 			}
 			return b
 		}
-	} else if b, ok := c.blkMap[pc]; ok && b.gen == c.icGen {
-		if c.Obs != nil {
-			c.Obs.BlockHits.Inc()
+		if b.trc != nil {
+			b.trc = nil
+			c.traceSevers++
 		}
-		return b
 	}
 	return c.buildBlock(pc)
 }

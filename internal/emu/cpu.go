@@ -73,6 +73,11 @@ type CPU struct {
 	// path against the reference dispatch (see block.go).
 	SlowDispatch bool
 
+	// NoTrace disables trace compilation and dispatch (trace.go), leaving
+	// the chained superblock fast path as the top dispatch tier. Tools use
+	// it for A/B overhead runs (rvemu/rvdyn -notrace, rvbench's fast rows).
+	NoTrace bool
+
 	// Trace, when non-nil, runs before each instruction executes. Tools
 	// (and the trap-based instrumentation mode) hook here.
 	Trace func(c *CPU, inst riscv.Inst)
@@ -156,6 +161,15 @@ type CPU struct {
 	chainHits   uint64
 	chainSevers uint64
 	fuseCount   [numFuseKinds]uint64
+
+	// Trace-tier counters (trace.go): traces compiled, trace dispatches,
+	// completed loop passes, mispredicted-branch side exits, and traces
+	// severed by invalidation (at dispatch or mid-trace by an SMC store).
+	traceBuilds    uint64
+	traceHits      uint64
+	tracePasses    uint64
+	traceSideExits uint64
+	traceSevers    uint64
 
 	// blkGen mirrors the generation of the block runBlock is executing, so
 	// fused store-pair handlers can detect a mid-pair code invalidation.
@@ -444,7 +458,8 @@ func (c *CPU) Run(maxInst uint64) StopReason {
 		// Sync the hot-path counters into obs on return; the architectural
 		// and plain-field counters are the single source of truth, so the
 		// hot loop never touches an atomic.
-		defer c.syncObs(c.Instret, c.chainHits, c.chainSevers, c.fuseCount, c.Mem.TLB)()
+		defer c.syncObs(c.Instret, c.chainHits, c.chainSevers, c.fuseCount, c.Mem.TLB,
+			[5]uint64{c.traceBuilds, c.traceHits, c.tracePasses, c.traceSideExits, c.traceSevers})()
 	}
 	budget := maxInst
 	// chained holds the next block resolved through the successor cache of
@@ -466,6 +481,30 @@ func (c *CPU) Run(maxInst uint64) StopReason {
 			chained = nil
 			if b == nil {
 				b = c.blockAt(c.PC)
+			}
+			if b != nil && !c.NoTrace {
+				if t := b.trc; t != nil {
+					if t.gen != c.icGen {
+						b.trc = nil
+						c.traceSevers++
+					} else if (maxInst == 0 || budget >= t.passN) &&
+						(c.SamplePeriod == 0 || c.SampleClock()+t.maxCost < c.sampleNext) {
+						// Trace tier: the whole flattened chain in one
+						// dispatch, gated exactly like a block — the budget
+						// covers a full pass and even the worst-case pass
+						// cannot cross the pending sample mark.
+						retired, stop := c.runTrace(t, budget, maxInst != 0)
+						if stop != stopNone {
+							return stop
+						}
+						budget -= retired
+						if c.watchHit {
+							c.watchHit = false
+							return StopCodeWrite
+						}
+						continue
+					}
+				}
 			}
 			if b != nil && (maxInst == 0 || budget >= b.n) &&
 				(c.SamplePeriod == 0 || c.SampleClock()+b.maxCost < c.sampleNext) {
@@ -496,12 +535,17 @@ func (c *CPU) Run(maxInst uint64) StopReason {
 // syncObs snapshots the hot-path counters at Run entry and returns the
 // deferred function that publishes the deltas to the obs registry.
 func (c *CPU) syncObs(instret, chainHits, chainSevers uint64,
-	fuse [numFuseKinds]uint64, tlb TLBStats) func() {
+	fuse [numFuseKinds]uint64, tlb TLBStats, tr [5]uint64) func() {
 	return func() {
 		m := c.Obs
 		m.Instructions.Add(c.Instret - instret)
 		m.ChainHits.Add(c.chainHits - chainHits)
 		m.ChainSevers.Add(c.chainSevers - chainSevers)
+		m.TraceBuilds.Add(c.traceBuilds - tr[0])
+		m.TraceHits.Add(c.traceHits - tr[1])
+		m.TracePasses.Add(c.tracePasses - tr[2])
+		m.TraceSideExits.Add(c.traceSideExits - tr[3])
+		m.TraceSevers.Add(c.traceSevers - tr[4])
 		for k := 0; k < numFuseKinds; k++ {
 			m.Fused[k].Add(c.fuseCount[k] - fuse[k])
 		}
@@ -584,7 +628,18 @@ func (c *CPU) exec(inst riscv.Inst) (stop bool, err error) {
 		if !dc.apply(inst.Imm + 2048) {
 			return false, fmt.Errorf("emu: dbi.jt with unallocated delta %d at %#x", inst.Imm, inst.Addr)
 		}
-		dc.IBLHits++
+		if dc.Deltas[inst.Imm+2048].JT == DBIJTIBC {
+			dc.IBCHits++
+		} else {
+			dc.IBLHits++
+		}
+		// The rd/rs1 fields carry the site's inline-cache slot index (the
+		// registers themselves are dead here — the stub restored the guest
+		// set before the dbi.jt); tagged sites feed the target profile.
+		if site := uint16(inst.Rd&31) | uint16(inst.Rs1&31)<<5; site != 0 {
+			dc.JTProf[dc.JTProfN%JTProfSize] = JTSample{Site: site, Cache: dc.Scratch[3]}
+			dc.JTProfN++
+		}
 		next = dc.Scratch[3]
 	case riscv.MnBEQ:
 		if rs1 == rs2 {

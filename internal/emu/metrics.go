@@ -33,6 +33,19 @@ type Metrics struct {
 	ChainHits   *obs.Counter
 	ChainSevers *obs.Counter
 
+	// Trace-tier counters (trace.go). TraceBuilds counts hot chains
+	// compiled into flattened traces; TraceHits counts trace dispatches;
+	// TracePasses counts completed loop passes (passes/hits is the loop
+	// residency — how many iterations each dispatch absorbs);
+	// TraceSideExits counts mispredicted-branch exits back to the
+	// dispatcher; TraceSevers counts traces dropped by code invalidation
+	// (SMC or dynamic patching), at dispatch or mid-trace.
+	TraceBuilds    *obs.Counter
+	TraceHits      *obs.Counter
+	TracePasses    *obs.Counter
+	TraceSideExits *obs.Counter
+	TraceSevers    *obs.Counter
+
 	// Software-TLB probe counters, per access kind. hits/(hits+misses) is
 	// the translation hit rate; the fetch TLB only sees decode-cache
 	// misses, so its traffic is naturally tiny on cached code.
@@ -59,6 +72,11 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Syscalls:           r.Counter("emu.syscalls"),
 		ChainHits:          r.Counter("emu.chain.hits"),
 		ChainSevers:        r.Counter("emu.chain.severs"),
+		TraceBuilds:        r.Counter("emu.trace.builds"),
+		TraceHits:          r.Counter("emu.trace.hits"),
+		TracePasses:        r.Counter("emu.trace.passes"),
+		TraceSideExits:     r.Counter("emu.trace.side_exits"),
+		TraceSevers:        r.Counter("emu.trace.severs"),
 		TLBReadHits:        r.Counter("emu.tlb.read.hits"),
 		TLBReadMisses:      r.Counter("emu.tlb.read.misses"),
 		TLBWriteHits:       r.Counter("emu.tlb.write.hits"),

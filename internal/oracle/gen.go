@@ -16,8 +16,12 @@ import (
 //
 //   - every load, store, and atomic targets the sandbox (a .data block whose
 //     base lives in gp and s1) or a small window above sp, all mapped in
-//     both engines;
-//   - every branch and jump is strictly forward, so control flow terminates;
+//     both engines — except the self-modifying loop production, whose one
+//     store targets a known .text word with a known valid instruction;
+//   - every branch and jump is strictly forward, except the counted-loop
+//     production's single backedge, whose trip count is pinned by an
+//     immediately preceding li into a counter the loop body never writes —
+//     so control flow terminates structurally either way;
 //   - the program ends by folding live registers into a0 and calling exit.
 //
 // The same seed always yields the same source text, so any divergence the
@@ -130,7 +134,7 @@ func (g *progGen) off(width int) int {
 }
 
 func (g *progGen) step() {
-	switch p := g.rng.Intn(100); {
+	switch p := g.rng.Intn(103); {
 	case p < 22: // register-register ALU
 		ops := []string{"add", "sub", "sll", "srl", "sra", "slt", "sltu",
 			"xor", "or", "and", "addw", "subw", "sllw", "srlw", "sraw",
@@ -314,7 +318,7 @@ func (g *progGen) step() {
 		links := []string{"zero", "ra"}
 		g.emit("la %s, %s", d, lbl)
 		g.emit("jalr %s, 0(%s)", links[g.rng.Intn(2)], d)
-	default: // forward control flow
+	case p < 100: // forward control flow
 		skip := 1 + g.rng.Intn(6)
 		if g.rng.Intn(4) == 0 {
 			// Fused compare+branch shape: slt rd, a, b ; bne rd, zero, L.
@@ -335,8 +339,87 @@ func (g *progGen) step() {
 		ops := []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
 		g.emit("%s %s, %s, %s", ops[g.rng.Intn(len(ops))], g.intSrc(), g.intSrc(),
 			g.newLabel(skip))
+	default: // bounded backward loop — the generator's only backedges
+		// A counted loop whose trip count exceeds the emulator's
+		// chain-hotness threshold, so full-run engines promote the body
+		// through superblock → chained → compiled-trace dispatch while the
+		// stepping lockstep stays per-instruction. Termination is
+		// structural: t6 is initialized right before the backedge block and
+		// the body writes only loopSafe registers, never the counter. The
+		// whole loop is emitted under grouping, so no pending forward label
+		// can land inside it and jump past the counter init.
+		g.grouping = true
+		defer func() { g.grouping = false; g.flushDue() }()
+		smc := g.rng.Intn(3) == 0
+		k := 80 + g.rng.Intn(71)
+		if smc {
+			// The self-modifying variant needs the loop hot (and therefore
+			// trace-compiled) before the code store lands, so it runs
+			// longer and triggers near the end of the countdown.
+			k = 160 + g.rng.Intn(60)
+		}
+		lbl := fmt.Sprintf("LB%d", g.nextLbl)
+		g.nextLbl++
+		var victim string
+		if smc {
+			// Self-modifying variant: one iteration — selected branchlessly,
+			// so the store sits on the trace's predicted path — redirects
+			// the every-iteration sandbox store onto the `xor t5, t5, t5`
+			// word below, rewriting it to `addi t5, zero, 1` while the
+			// loop's compiled trace is live. The engine must retire the
+			// prefix including the store, sever the trace, and re-decode:
+			// a stale cached copy computes t5 = 0 where the rewritten
+			// stream computes 1, and the exit fold diverges. (xor on
+			// t5 = x30 has no compressed form, so the victim is a full
+			// 4-byte parcel; t3/t4/s6 are loop-invariant and the body
+			// writes only loopSafe registers, so the select stays intact.)
+			w := riscv.MustEncode(riscv.Inst{Mn: riscv.MnADDI,
+				Rd: riscv.X30, Rs1: riscv.X0, Imm: 1})
+			victim = fmt.Sprintf("LV%d", g.nextLbl)
+			g.nextLbl++
+			g.emit("li t3, %d", 8+g.rng.Intn(8)) // countdown value that hits code
+			g.emit("la t4, %s", victim)
+			g.emit("xor t4, t4, gp") // t4 = victim ^ sandbox base
+			g.emit("li s6, %d", int64(w))
+		}
+		g.emit("li t6, %d", k)
+		g.body = append(g.body, lbl+":")
+		if smc {
+			g.emit("xor t5, t6, t3")
+			g.emit("sltu t5, zero, t5")
+			g.emit("addi t5, t5, -1") // all-ones iff t6 == trigger
+			g.emit("and t5, t5, t4")
+			g.emit("xor t5, t5, gp") // victim iff t6 == trigger, else sandbox
+			g.emit("sw s6, 0(t5)")
+			g.body = append(g.body, victim+":")
+			g.emit("xor t5, t5, t5")
+		}
+		for i, n := 0, 2+g.rng.Intn(3); i < n; i++ {
+			d := loopSafe[g.rng.Intn(len(loopSafe))]
+			switch g.rng.Intn(5) {
+			case 0:
+				ops := []string{"add", "xor", "sltu", "mul", "and"}
+				g.emit("%s %s, %s, %s", ops[g.rng.Intn(len(ops))], d, g.intSrc(), g.intSrc())
+			case 1:
+				g.emit("addi %s, %s, %d", d, g.intSrc(), g.rng.Intn(4096)-2048)
+			case 2:
+				g.emit("ld %s, %d(gp)", d, g.off(8))
+			case 3:
+				g.emit("fld %s, %d(s1)", g.fpReg(), g.off(8))
+			default:
+				g.emit("sd %s, %d(gp)", d, g.off(8))
+			}
+		}
+		g.emit("addi t6, t6, -1")
+		g.emit("bne t6, zero, %s", lbl)
 	}
 }
+
+// loopSafe is the register palette a counted loop's body may write: the
+// counter (t6), the SMC scratch/victim registers (t3-t5), and the pinned
+// bases (gp, s1, sp) are excluded, so a loop can never change its own trip
+// count or rewrite anything but the designated victim word.
+var loopSafe = []string{"t0", "t1", "t2", "a0", "a1", "a2", "a3", "a4", "a5", "s2", "s3", "s4", "s5"}
 
 // GenerateProgram returns the assembly source of a random-but-valid program
 // of roughly n body instructions, deterministic in seed.

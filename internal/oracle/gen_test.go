@@ -37,3 +37,66 @@ func TestGeneratorEmitsFusablePairs(t *testing.T) {
 		}
 	}
 }
+
+// TestGeneratorEmitsTraces closes the same loop one tier up: the counted
+// backward-loop production must run long enough for full-run dispatch to
+// compile traces, the self-modifying variant must sever a live trace
+// mid-iteration, and the trace-compiled run must stay architecturally
+// identical to the re-decoding reference interpreter — final registers,
+// retirement count, and exit code. (The stepping lockstep can never catch a
+// trace bug, because Run(1) dispatches per-instruction; this full-run
+// differential is where the trace tier meets the oracle.)
+func TestGeneratorEmitsTraces(t *testing.T) {
+	reg := obs.NewRegistry()
+	for seed := int64(1); seed <= 12; seed++ {
+		f, err := BuildProgram(seed, 200)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cpu, err := emu.New(f, emu.P550())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cpu.Obs = emu.NewMetrics(reg)
+		// The reference has no cost model, so its cycle CSR reads 0; pin the
+		// emulator's to match. instret needs no pinning — both engines count
+		// architectural retirement and agree at every read site.
+		cpu.CounterFn = func(csr uint16) uint64 {
+			if csr == 0xC02 {
+				return cpu.Instret
+			}
+			return 0
+		}
+		if stop := cpu.Run(1 << 22); stop != emu.StopExit {
+			t.Fatalf("seed %d: fast engine stopped with %v (%v)", seed, stop, cpu.LastTrap())
+		}
+		ref, err := NewRef(f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i := 0; i < 1<<22 && !ref.Exited; i++ {
+			if _, err := ref.Step(); err != nil {
+				t.Fatalf("seed %d: reference trapped: %v", seed, err)
+			}
+		}
+		if !ref.Exited {
+			t.Fatalf("seed %d: reference did not exit", seed)
+		}
+		if int(cpu.ExitCode) != ref.ExitCode {
+			t.Errorf("seed %d: exit %d (traced) vs %d (reference)", seed, cpu.ExitCode, ref.ExitCode)
+		}
+		if cpu.Instret != ref.Instret {
+			t.Errorf("seed %d: instret %d (traced) vs %d (reference)", seed, cpu.Instret, ref.Instret)
+		}
+		for i := 1; i < 32; i++ {
+			if cpu.X[i] != ref.X[i] {
+				t.Errorf("seed %d: x%d = %#x (traced) vs %#x (reference)", seed, i, cpu.X[i], ref.X[i])
+			}
+		}
+	}
+	for _, k := range []string{"emu.trace.builds", "emu.trace.passes", "emu.trace.severs"} {
+		if reg.Counter(k).Load() == 0 {
+			t.Errorf("%s never fired across the generated loop programs", k)
+		}
+	}
+}

@@ -36,6 +36,7 @@ func RunDBI(f *elfrv.File, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.CPU().NoTrace = opts.NoTrace
 	if opts.Obs != nil {
 		p.CPU().Obs = emu.NewMetrics(opts.Obs)
 	}

@@ -79,6 +79,11 @@ type Options struct {
 	// deterministic run-to-run but no longer byte-identical to the native
 	// engines' — the raw clock advances through cache-only instructions.
 	NoCounterVirt bool
+	// NoTrace (EngineFast only) disables the trace-compilation tier,
+	// leaving superblock chaining. Output is byte-identical either way
+	// (the trace tier defers to slower dispatch whenever a pass could
+	// cross a sample mark); the flag exists for A/B overhead runs.
+	NoTrace bool
 	// Name labels the profile's mapping entry (the binary name pprof
 	// shows). Empty means "prog".
 	Name string
@@ -133,6 +138,7 @@ func Run(f *elfrv.File, opts Options) (*Profile, error) {
 		cpu.Obs = emu.NewMetrics(opts.Obs)
 	}
 	cpu.SlowDispatch = opts.Engine == EngineSlow
+	cpu.NoTrace = opts.NoTrace
 
 	var eng *dbi.Engine
 	if opts.Engine == EngineDBI {

@@ -124,6 +124,51 @@ func TestSampleEngineIdentity(t *testing.T) {
 	}
 }
 
+// TestSampleMidTraceIdentity pins the trace-tier sampling contract: on a
+// workload whose hot loop is trace-compiled, sample marks constantly land
+// inside the span a trace pass would cover, so the dispatcher must defer
+// that pass (trace dispatch and per-pass gates check worst-case pass cost
+// against the next mark) and take the sample at the exact per-instruction
+// boundary. The profile must serialize byte-identical across the traced
+// fast path, the fast path with traces disabled, and the slow engine — at
+// both a period several times a pass cost and one below it (where traces
+// can never run a pass while a mark is pending).
+func TestSampleMidTraceIdentity(t *testing.T) {
+	f, _ := buildProg(t, "matmul")
+	for _, period := range []uint64{499, 31} {
+		reg := obs.NewRegistry()
+		traced, err := sample.Run(f, sample.Options{Period: period, Obs: reg, Name: "matmul"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if period > 100 {
+			// At the larger period traces must actually engage between
+			// marks, or this test pins nothing.
+			if passes := reg.Counter("emu.trace.passes").Load(); passes == 0 {
+				t.Fatalf("period %d: no trace passes ran under the sampler", period)
+			}
+		}
+		refBytes := pprofBytes(t, traced)
+		for _, alt := range []sample.Options{
+			{Period: period, NoTrace: true, Name: "matmul"},
+			{Period: period, Engine: sample.EngineSlow, Name: "matmul"},
+		} {
+			p, err := sample.Run(f, alt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.TotalCycles != traced.TotalCycles {
+				t.Errorf("period %d engine %v notrace=%v: total cycles %d, traced %d",
+					period, alt.Engine, alt.NoTrace, p.TotalCycles, traced.TotalCycles)
+			}
+			if !bytes.Equal(pprofBytes(t, p), refBytes) {
+				t.Errorf("period %d engine %v notrace=%v: pprof bytes differ from traced fast engine",
+					period, alt.Engine, alt.NoTrace)
+			}
+		}
+	}
+}
+
 // TestSampleConservation: the number of samples times the period is within
 // one period of the total (compensated) cycle count, on every engine.
 func TestSampleConservation(t *testing.T) {
